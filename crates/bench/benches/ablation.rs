@@ -1,0 +1,96 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * (a) leveling on/off — scenario A vs C grounding+search cost,
+//! * (b) SLRG heuristic vs the cheaper PLRG-max bound,
+//! * (c) optimistic-map replay pruning on/off,
+//! * (d) cutpoint-count sweep — how planner work scales with the number
+//!   of levels (the paper's §4.3 discussion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sekitei_model::{LevelScenario, MediaConfig};
+use sekitei_planner::{Heuristic, Planner, PlannerConfig};
+use sekitei_topology::scenarios;
+use std::hint::black_box;
+
+fn bench_heuristic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_heuristic");
+    g.sample_size(10);
+    let p = scenarios::small(LevelScenario::C);
+    for (label, h) in [
+        ("slrg", Heuristic::Slrg),
+        ("plrg_max", Heuristic::PlrgMax),
+        ("blind", Heuristic::Blind),
+    ] {
+        let planner = Planner::new(PlannerConfig { heuristic: h, ..PlannerConfig::default() });
+        g.bench_with_input(BenchmarkId::from_parameter(label), &p, |b, p| {
+            b.iter(|| {
+                let o = planner.plan(black_box(p)).unwrap();
+                assert!(o.plan.is_some());
+                o
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_replay_pruning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_replay_pruning");
+    g.sample_size(10);
+    let p = scenarios::small(LevelScenario::C);
+    for (label, on) in [("on", true), ("off", false)] {
+        let planner =
+            Planner::new(PlannerConfig { replay_pruning: on, ..PlannerConfig::default() });
+        g.bench_with_input(BenchmarkId::from_parameter(label), &p, |b, p| {
+            b.iter(|| planner.plan(black_box(p)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_cutpoint_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_cutpoints");
+    g.sample_size(10);
+    let planner = Planner::new(PlannerConfig::default());
+    // refine the M levels around the demand: k cutpoints between 80 and 120
+    for k in [1usize, 2, 4, 8] {
+        let mut p = scenarios::small(LevelScenario::A);
+        let cuts: Vec<f64> =
+            (0..k).map(|i| 80.0 + 40.0 * (i as f64 + 1.0) / (k as f64 + 1.0)).collect();
+        let spec = sekitei_model::LevelSpec::new(cuts).unwrap();
+        for iface in &mut p.interfaces {
+            let factor = match iface.name.as_str() {
+                "M" => 1.0,
+                "T" => MediaConfig::default().split_t,
+                "I" => 1.0 - MediaConfig::default().split_t,
+                _ => MediaConfig::default().split_t * MediaConfig::default().zip_ratio,
+            };
+            iface.levels.insert("ibw".into(), spec.scaled(factor));
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(k), &p, |b, p| {
+            b.iter(|| planner.plan(black_box(p)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_leveling_onoff(c: &mut Criterion) {
+    // compile-time (grounding) cost of leveling, isolated from search
+    let mut g = c.benchmark_group("ablation_grounding_levels");
+    g.sample_size(20);
+    for sc in [LevelScenario::A, LevelScenario::C, LevelScenario::E] {
+        let p = scenarios::small(sc);
+        g.bench_with_input(BenchmarkId::from_parameter(sc.label()), &p, |b, p| {
+            b.iter(|| sekitei_compile::compile(black_box(p)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_heuristic,
+    bench_replay_pruning,
+    bench_cutpoint_sweep,
+    bench_leveling_onoff
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Microbenchmarks of the planner's three phases (paper §3.2): grounding,
+//! PLRG construction, SLRG goal-set costing, and the full RG search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sekitei_compile::compile;
+use sekitei_model::LevelScenario;
+use sekitei_planner::{Planner, PlannerConfig, Plrg, SetKey, Slrg};
+use sekitei_topology::scenarios::{self, NetSize};
+use std::hint::black_box;
+
+fn sizes() -> Vec<(NetSize, LevelScenario)> {
+    vec![
+        (NetSize::Tiny, LevelScenario::C),
+        (NetSize::Small, LevelScenario::C),
+        (NetSize::Large, LevelScenario::C),
+    ]
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(20);
+    for (size, sc) in sizes() {
+        let p = scenarios::problem(size, sc);
+        g.bench_with_input(BenchmarkId::from_parameter(size.label()), &p, |b, p| {
+            b.iter(|| compile(black_box(p)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_plrg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plrg_build");
+    g.sample_size(20);
+    for (size, sc) in sizes() {
+        let task = compile(&scenarios::problem(size, sc)).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(size.label()), &task, |b, task| {
+            b.iter(|| Plrg::build(black_box(task)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_slrg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slrg_goal_query");
+    g.sample_size(20);
+    for (size, sc) in sizes() {
+        let task = compile(&scenarios::problem(size, sc)).unwrap();
+        let plrg = Plrg::build(&task);
+        let goal = SetKey::new(task.goal_props.clone());
+        g.bench_function(BenchmarkId::from_parameter(size.label()), |b| {
+            b.iter(|| {
+                // fresh oracle per iteration: measure the uncached query
+                let mut slrg = Slrg::new(&task, &plrg, 50_000);
+                black_box(slrg.achievement_cost(black_box(&goal)))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_end_to_end");
+    g.sample_size(10);
+    for (size, sc) in sizes() {
+        let p = scenarios::problem(size, sc);
+        let planner = Planner::new(PlannerConfig::default());
+        g.bench_with_input(BenchmarkId::from_parameter(size.label()), &p, |b, p| {
+            b.iter(|| planner.plan(black_box(p)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_plrg, bench_slrg, bench_full_plan);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Full-planning benchmarks across the Table 2 grid — the timing
+//! counterpart of the paper's column 9, plus the Figure 5 tradeoff.
+//! Scenario A rows are bounded "no plan" searches and are benchmarked
+//! with a small budget so the suite stays fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sekitei_model::LevelScenario;
+use sekitei_planner::{Planner, PlannerConfig};
+use sekitei_topology::scenarios::{self, NetSize};
+use std::hint::black_box;
+
+fn bench_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    for size in NetSize::ALL {
+        for sc in [LevelScenario::B, LevelScenario::C, LevelScenario::D, LevelScenario::E] {
+            let p = scenarios::problem(size, sc);
+            let planner = Planner::new(PlannerConfig::default());
+            let id = format!("{}/{}", size.label(), sc.label());
+            g.bench_with_input(BenchmarkId::from_parameter(id), &p, |b, p| {
+                b.iter(|| {
+                    let o = planner.plan(black_box(p)).unwrap();
+                    assert!(o.plan.is_some());
+                    o
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_scenario_a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_scenario_a_no_plan");
+    g.sample_size(10);
+    let planner = Planner::new(PlannerConfig {
+        max_rg_nodes: 50_000,
+        max_candidate_rejects: 500,
+        ..PlannerConfig::default()
+    });
+    for size in [NetSize::Tiny, NetSize::Small] {
+        let p = scenarios::problem(size, LevelScenario::A);
+        g.bench_with_input(BenchmarkId::from_parameter(size.label()), &p, |b, p| {
+            b.iter(|| {
+                let o = planner.plan(black_box(p)).unwrap();
+                assert!(o.plan.is_none());
+                o
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_tradeoff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_tradeoff");
+    g.sample_size(20);
+    let planner = Planner::new(PlannerConfig::default());
+    for w in [0.25, 1.5] {
+        let p = scenarios::tradeoff(w);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("w{w}")), &p, |b, p| {
+            b.iter(|| planner.plan(black_box(p)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_random_throughput(c: &mut Criterion) {
+    // the workload-generator suite: plan a batch of random instances —
+    // measures throughput on varied topologies rather than one fixture
+    use sekitei_topology::scenarios::{random_media, RandomMediaConfig, RandomModel};
+    let mut g = c.benchmark_group("random_instances");
+    g.sample_size(10);
+    for (label, model) in
+        [("waxman", RandomModel::Waxman), ("barabasi", RandomModel::BarabasiAlbert)]
+    {
+        let instances: Vec<_> = (0..16)
+            .map(|seed| {
+                random_media(&RandomMediaConfig { model, nodes: 12, seed, ..Default::default() })
+            })
+            .collect();
+        let planner = Planner::new(PlannerConfig {
+            max_rg_nodes: 100_000,
+            max_candidate_rejects: 1_000,
+            ..PlannerConfig::default()
+        });
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut solved = 0;
+                for p in &instances {
+                    if planner.plan(black_box(p)).unwrap().plan.is_some() {
+                        solved += 1;
+                    }
+                }
+                solved
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_grid, bench_scenario_a, bench_tradeoff, bench_random_throughput);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Substrate microbenchmarks: interval arithmetic, expression evaluation,
+//! spec parsing/printing, wire codec, topology generation, graph search,
+//! and the deployment simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sekitei_model::{Interval, LevelScenario};
+use sekitei_topology::{scenarios, transit_stub, TransitStubConfig};
+use std::hint::black_box;
+
+fn bench_interval_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interval_ops");
+    let a = Interval::new(27.0, 30.0);
+    let b = Interval::new(31.5, 35.0);
+    g.bench_function("add_mul_min_intersect", |bch| {
+        bch.iter(|| {
+            let x = black_box(a).add(&black_box(b));
+            let y = x.mul(&black_box(a));
+            let z = y.min_i(&black_box(b));
+            z.intersect(&black_box(a))
+        });
+    });
+    g.finish();
+}
+
+fn bench_expr_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("expr_eval");
+    let p = scenarios::tiny(LevelScenario::C);
+    let merger = p.components.iter().find(|c| c.name == "Merger").unwrap().clone();
+    g.bench_function("merger_conditions_point", |b| {
+        b.iter(|| {
+            let mut env = |v: &sekitei_model::SpecVar| match v {
+                sekitei_model::SpecVar::Iface { iface, .. } if iface == "T" => 63.0,
+                sekitei_model::SpecVar::Iface { .. } => 27.0,
+                _ => 30.0,
+            };
+            merger.conditions.iter().all(|c| c.holds(&mut env))
+        });
+    });
+    g.bench_function("merger_conditions_interval", |b| {
+        b.iter(|| {
+            let mut env = |v: &sekitei_model::SpecVar| match v {
+                sekitei_model::SpecVar::Iface { iface, .. } if iface == "T" => {
+                    Interval::new(63.0, 70.0)
+                }
+                sekitei_model::SpecVar::Iface { .. } => Interval::new(27.0, 30.0),
+                _ => Interval::new(0.0, 30.0),
+            };
+            merger.conditions.iter().all(|c| c.possibly(&mut env))
+        });
+    });
+    g.finish();
+}
+
+fn bench_spec_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spec_codec");
+    g.sample_size(20);
+    let p = scenarios::large(LevelScenario::D);
+    let text = sekitei_spec::print_problem(&p);
+    let wire = sekitei_spec::encode(&p);
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("parse_large_text", |b| {
+        b.iter(|| sekitei_spec::parse_problem(black_box(&text)).unwrap());
+    });
+    g.bench_function("print_large", |b| {
+        b.iter(|| sekitei_spec::print_problem(black_box(&p)));
+    });
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("wire_decode_large", |b| {
+        b.iter(|| sekitei_spec::decode(black_box(&wire)).unwrap());
+    });
+    g.bench_function("wire_encode_large", |b| {
+        b.iter(|| sekitei_spec::encode(black_box(&p)));
+    });
+    g.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology");
+    g.sample_size(20);
+    g.bench_function("transit_stub_93", |b| {
+        b.iter(|| transit_stub(black_box(&TransitStubConfig::default())));
+    });
+    for n in [100usize, 400] {
+        g.bench_with_input(BenchmarkId::new("waxman", n), &n, |b, &n| {
+            b.iter(|| {
+                sekitei_topology::waxman(n, 0.4, 0.2, 7, &sekitei_topology::Capacities::default())
+            });
+        });
+    }
+    let ts = transit_stub(&TransitStubConfig::default());
+    let from = ts.members[0][0][1];
+    let to = ts.members[2][2][5];
+    g.bench_function("bfs_93", |b| {
+        b.iter(|| sekitei_topology::shortest_path(black_box(&ts.net), from, to).unwrap());
+    });
+    g.bench_function("dijkstra_93", |b| {
+        b.iter(|| sekitei_topology::dijkstra(black_box(&ts.net), from, to, |_| 1.0).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20);
+    let p = scenarios::small(LevelScenario::C);
+    let o = sekitei_planner::Planner::default().plan(&p).unwrap();
+    let plan = o.plan.unwrap();
+    let ops = sekitei_sim::plan_ops(&p, &plan);
+    let sources = sekitei_sim::plan_sources(&p, &o.task, &plan);
+    g.bench_function("execute_small_plan", |b| {
+        b.iter(|| {
+            let r = sekitei_sim::simulate(black_box(&p), &sources, &ops);
+            assert!(r.ok);
+            r
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_interval_ops,
+    bench_expr_eval,
+    bench_spec_codec,
+    bench_topology,
+    bench_simulator
+);
+criterion_main!(benches);

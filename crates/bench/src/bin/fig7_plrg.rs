@@ -1,0 +1,38 @@
+//! Regenerates Figure 7 — a slice of the per-proposition logical
+//! regression graph (PLRG) for the Figure 3 problem: goal-relevant
+//! propositions with their minimum logical costs and the actions that
+//! support them.
+use sekitei_compile::compile;
+use sekitei_model::{LevelScenario, PropId};
+use sekitei_planner::Plrg;
+use sekitei_topology::scenarios;
+
+fn main() {
+    let p = scenarios::tiny(LevelScenario::C);
+    let task = compile(&p).unwrap();
+    let plrg = Plrg::build(&task);
+    let (np, na) = plrg.sizes();
+    println!("PLRG for the Figure 3 problem (scenario C): {np} proposition nodes, {na} action nodes\n");
+
+    println!("{:<28}{:>10}  supported by", "proposition", "cost ≥");
+    let mut rows: Vec<(f64, PropId)> = (0..task.num_props())
+        .map(PropId::from_index)
+        .filter(|&pr| plrg.relevant_props[pr.index()])
+        .map(|pr| (plrg.prop_cost(pr), pr))
+        .collect();
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    for (cost, pr) in rows {
+        // cheapest supporting action (the PLRG edge Figure 7 draws)
+        let best = task.achievers[pr.index()]
+            .iter()
+            .filter(|&&a| plrg.relevant_actions[a.index()])
+            .min_by(|&&a, &&b| {
+                plrg.action_value[a.index()].partial_cmp(&plrg.action_value[b.index()]).unwrap()
+            });
+        let support = match best {
+            Some(&a) => task.action(a).name.clone(),
+            None => "(initial state)".to_string(),
+        };
+        println!("{:<28}{:>10.2}  {}", task.prop_name(pr), cost, support);
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates Figure 8 — propagation of optimistic resource maps while
+//! replaying a plan tail in the main regression graph. Prints the interval
+//! state after each action of the Figure 4 plan, replayed both in
+//! mid-search mode (intervals seeded from the actions' own optimistic
+//! maps) and from the concrete initial state.
+use sekitei_compile::compile;
+use sekitei_model::{ActionId, LevelScenario};
+use sekitei_planner::replay_tail;
+use sekitei_topology::scenarios;
+
+fn main() {
+    let p = scenarios::tiny(LevelScenario::C);
+    let task = compile(&p).unwrap();
+    let pick = |pat: &str, frag: &str| -> ActionId {
+        task.action_ids()
+            .find(|&a| {
+                let n = &task.action(a).name;
+                n.contains(pat) && n.contains(frag)
+            })
+            .expect("action")
+    };
+    let tail = [pick("place(Splitter,n0)", "[M=1"),
+        pick("place(Zip,n0)", "[T=1"),
+        pick("cross(Z,n0→n1)", "in=1,out=1"),
+        pick("cross(I,n0→n1)", "in=1,out=1"),
+        pick("place(Unzip,n1)", "[Z=1"),
+        pick("place(Merger,n1)", "[T=1,I=1"),
+        pick("place(Client,n1)", "[M=1]")];
+
+    for (mode, init) in [("optimistic maps only (mid-search)", None),
+                         ("from the initial state (terminal check)", Some(task.init_values.as_slice()))] {
+        println!("=== replay {mode} ===");
+        for k in 1..=tail.len() {
+            let map = replay_tail(&task, &tail[..k], init).expect("the Figure 4 tail is feasible");
+            println!("after {}:", task.action(tail[k - 1]).name);
+            let mut entries: Vec<_> = map.iter().collect();
+            entries.sort_by_key(|(v, _)| v.index());
+            for (v, iv) in entries {
+                println!("    {:<14} {}", task.gvar_name(*v), iv);
+            }
+        }
+        println!();
+    }
+}

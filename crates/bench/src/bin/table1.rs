@@ -1,0 +1,23 @@
+//! Regenerates Table 1 — the resource level scenarios.
+use sekitei_model::{LevelScenario, LevelSpec};
+
+fn render(cuts: Vec<f64>) -> String {
+    LevelSpec::new(cuts).unwrap().to_string()
+}
+
+fn main() {
+    println!("{:<10}{:<55}Levels of link bandwidth", "Scenario", "Levels of bandwidth of M");
+    for sc in LevelScenario::ALL {
+        println!(
+            "{:<10}{:<55}{}",
+            sc.label(),
+            render(sc.m_cutpoints()),
+            render(sc.link_cutpoints())
+        );
+    }
+    println!("\nBandwidth levels of interfaces T, I, and Z are proportional to M's:");
+    let m = LevelSpec::new(LevelScenario::D.m_cutpoints()).unwrap();
+    for (name, f) in [("T", 0.7), ("I", 0.3), ("Z", 0.35)] {
+        println!("  {name} (×{f}): {}", m.scaled(f));
+    }
+}

@@ -1,0 +1,102 @@
+//! Regenerates Table 2 — the scalability evaluation: for each network size
+//! (Tiny / Small / Large) and level scenario (A–E), the plan's cost lower
+//! bound, its action count, the reserved LAN bandwidth, and the planner's
+//! work (ground actions, PLRG/SLRG/RG sizes, wall time).
+//!
+//! Rows are independent planning runs, so by default they execute in
+//! parallel on scoped worker threads (results are deterministic either
+//! way); pass `--sequential` for clean per-row timing measurements.
+
+use parking_lot::Mutex;
+use sekitei_model::LevelScenario;
+use sekitei_planner::{plan_metrics, Planner, PlannerConfig};
+use sekitei_topology::scenarios::{self, NetSize};
+
+fn run_row(size: NetSize, sc: LevelScenario) -> String {
+    let p = scenarios::problem(size, sc);
+    let planner = Planner::new(PlannerConfig::default());
+    let o = planner.plan(&p).unwrap();
+    let s = &o.stats;
+    let work = format!(
+        "{:>9}{:>8}/{:<6}{:>8}{:>9}/{:<7}{:>7.0}/{:<7.0}",
+        s.total_actions,
+        s.plrg_props,
+        s.plrg_actions,
+        s.slrg_nodes,
+        s.rg_nodes,
+        s.rg_open_left,
+        s.total_time.as_secs_f64() * 1e3,
+        s.search_time.as_secs_f64() * 1e3,
+    );
+    match &o.plan {
+        Some(plan) => {
+            let m = plan_metrics(&p, &o.task, plan);
+            let lan = if m.reserved_lan_bw > 0.0 {
+                format!("{:.1}", m.reserved_lan_bw)
+            } else {
+                "N/A".to_string()
+            };
+            format!(
+                "{:<7}{:<4}{:>12.1}{:>9}{:>10}{}",
+                size.label(),
+                sc.label(),
+                plan.cost_lower_bound,
+                plan.len(),
+                lan,
+                work
+            )
+        }
+        None => format!(
+            "{:<7}{:<4}{:>12}{:>9}{:>10}{}{}",
+            size.label(),
+            sc.label(),
+            "-",
+            "no plan",
+            "-",
+            work,
+            if s.budget_exhausted { "  (budget)" } else { "" }
+        ),
+    }
+}
+
+fn main() {
+    let sequential = std::env::args().any(|a| a == "--sequential");
+    let grid: Vec<(NetSize, LevelScenario)> = NetSize::ALL
+        .into_iter()
+        .flat_map(|size| LevelScenario::ALL.into_iter().map(move |sc| (size, sc)))
+        .collect();
+
+    println!(
+        "{:<7}{:<4}{:>12}{:>9}{:>10}{:>9}{:>15}{:>8}{:>17}{:>15}",
+        "Net", "Sc", "lower-bound", "actions", "LAN bw", "#acts", "PLRG p/a", "SLRG",
+        "RG created/open", "time tot/search"
+    );
+
+    let rows: Vec<String> = if sequential {
+        grid.iter().map(|&(size, sc)| run_row(size, sc)).collect()
+    } else {
+        let results: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::with_capacity(grid.len()));
+        crossbeam::thread::scope(|scope| {
+            for (i, &(size, sc)) in grid.iter().enumerate() {
+                let results = &results;
+                scope.spawn(move |_| {
+                    let row = run_row(size, sc);
+                    results.lock().push((i, row));
+                });
+            }
+        })
+        .expect("worker panicked");
+        let mut collected = results.into_inner();
+        collected.sort_by_key(|(i, _)| *i);
+        collected.into_iter().map(|(_, r)| r).collect()
+    };
+
+    for row in rows {
+        println!("{row}");
+    }
+    println!(
+        "\nPaper reference (Table 2): B finds shortest plans (bounds 7/10/11 = action\n\
+         counts, LAN reservation 100); C-E find the cost-optimal 13-action plans\n\
+         reserving 65 units; A fails everywhere; work grows with levels (E >> D)."
+    );
+}

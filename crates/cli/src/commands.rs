@@ -1,0 +1,484 @@
+//! Subcommand implementations.
+
+use sekitei_compile::compile;
+use sekitei_model::{CppProblem, LevelScenario};
+use sekitei_planner::{plan_metrics, Heuristic, PlanOutcome, Planner, PlannerConfig};
+use sekitei_sim::validate_plan;
+use sekitei_topology::scenarios::{self, NetSize};
+
+const USAGE: &str = "usage:
+  sekitei plan <spec-file> [--plrg-heuristic] [--no-replay-pruning]
+               [--max-nodes N] [--validate] [--quiet]
+  sekitei check <spec-file>
+  sekitei compile <spec-file> [--dump]
+  sekitei scenario <tiny|small|large> <A|B|C|D|E> [--emit] [--validate]
+  sekitei tradeoff <link-cost-weight>
+  sekitei adapt <spec-file> --existing <Comp@node> [--existing ...]
+               [--keep-cost X] [--migration-factor Y] [--validate]
+  sekitei doctor <spec-file>
+  sekitei suggest <spec-file> [--headroom H] [--apply]
+  sekitei dot <spec-file> [--plan]
+  sekitei encode <spec-file> <out.bin>
+  sekitei decode <in.bin>";
+
+/// Dispatch CLI arguments to a subcommand.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("scenario") => cmd_scenario(&args[1..]),
+        Some("tradeoff") => cmd_tradeoff(&args[1..]),
+        Some("adapt") => cmd_adapt(&args[1..]),
+        Some("doctor") => cmd_doctor(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("suggest") => cmd_suggest(&args[1..]),
+        Some("encode") => cmd_encode(&args[1..]),
+        Some("decode") => cmd_decode(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    }
+}
+
+fn load(path: &str) -> Result<CppProblem, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    sekitei_spec::parse_problem(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_config(flags: &[String]) -> Result<(PlannerConfig, bool, bool), String> {
+    let mut cfg = PlannerConfig::default();
+    let mut validate = false;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--plrg-heuristic" => cfg.heuristic = Heuristic::PlrgMax,
+            "--no-replay-pruning" => cfg.replay_pruning = false,
+            "--validate" => validate = true,
+            "--quiet" => quiet = true,
+            "--max-nodes" => {
+                i += 1;
+                let v = flags.get(i).ok_or("--max-nodes needs a value")?;
+                cfg.max_rg_nodes =
+                    v.parse().map_err(|_| format!("bad --max-nodes value `{v}`"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    Ok((cfg, validate, quiet))
+}
+
+fn report_outcome(
+    problem: &CppProblem,
+    outcome: &PlanOutcome,
+    validate: bool,
+    quiet: bool,
+) -> Result<(), String> {
+    let s = &outcome.stats;
+    match &outcome.plan {
+        Some(plan) => {
+            print!("{plan}");
+            let m = plan_metrics(problem, &outcome.task, plan);
+            println!(
+                "reserved bandwidth: LAN {:.1}, WAN {:.1}; total CPU {:.1}",
+                m.reserved_lan_bw, m.reserved_wan_bw, m.total_cpu
+            );
+            if validate {
+                let report = validate_plan(problem, &outcome.task, plan);
+                if report.ok {
+                    println!(
+                        "simulation: OK (real cost {:.2} ≥ bound {:.2})",
+                        report.total_cost, plan.cost_lower_bound
+                    );
+                } else {
+                    for v in &report.violations {
+                        eprintln!("simulation violation: {v}");
+                    }
+                    return Err("plan failed simulation".into());
+                }
+            }
+        }
+        None => {
+            println!("no plan found");
+            if s.budget_exhausted {
+                println!("(search budget exhausted — the instance may still be solvable)");
+            }
+        }
+    }
+    if !quiet {
+        println!("stats: {s}");
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or(USAGE)?;
+    let (cfg, validate, quiet) = parse_config(&args[1..])?;
+    let problem = load(path)?;
+    let outcome = Planner::new(cfg).plan(&problem).map_err(|e| e.to_string())?;
+    report_outcome(&problem, &outcome, validate, quiet)
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or(USAGE)?;
+    let p = load(path)?;
+    println!(
+        "{path}: OK — {} nodes, {} links, {} interfaces, {} components, {} sources, {} goals",
+        p.network.num_nodes(),
+        p.network.num_links(),
+        p.interfaces.len(),
+        p.components.len(),
+        p.sources.len(),
+        p.goals.len()
+    );
+    Ok(())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or(USAGE)?;
+    let dump = args.iter().any(|a| a == "--dump");
+    let p = load(path)?;
+    let task = compile(&p).map_err(|e| e.to_string())?;
+    println!(
+        "{} ground actions ({} level combinations pruned), {} propositions, {} variables, {:?}",
+        task.stats.actions, task.stats.pruned, task.stats.props, task.stats.gvars,
+        task.stats.compile_time
+    );
+    if dump {
+        for a in &task.actions {
+            println!("  {} (cost ≥ {:.2})", a.name, a.cost);
+        }
+    }
+    Ok(())
+}
+
+fn parse_scenario(s: &str) -> Result<LevelScenario, String> {
+    match s {
+        "A" | "a" => Ok(LevelScenario::A),
+        "B" | "b" => Ok(LevelScenario::B),
+        "C" | "c" => Ok(LevelScenario::C),
+        "D" | "d" => Ok(LevelScenario::D),
+        "E" | "e" => Ok(LevelScenario::E),
+        other => Err(format!("unknown level scenario `{other}` (use A–E)")),
+    }
+}
+
+fn cmd_scenario(args: &[String]) -> Result<(), String> {
+    let size = match args.first().map(String::as_str) {
+        Some("tiny") => NetSize::Tiny,
+        Some("small") => NetSize::Small,
+        Some("large") => NetSize::Large,
+        other => return Err(format!("unknown network size `{other:?}`\n{USAGE}")),
+    };
+    let sc = parse_scenario(args.get(1).ok_or(USAGE)?)?;
+    let problem = scenarios::problem(size, sc);
+    if args.iter().any(|a| a == "--emit") {
+        print!("{}", sekitei_spec::print_problem(&problem));
+        return Ok(());
+    }
+    let validate = args.iter().any(|a| a == "--validate");
+    let outcome =
+        Planner::default().plan(&problem).map_err(|e| e.to_string())?;
+    report_outcome(&problem, &outcome, validate, false)
+}
+
+fn cmd_tradeoff(args: &[String]) -> Result<(), String> {
+    let w: f64 = args
+        .first()
+        .ok_or(USAGE)?
+        .parse()
+        .map_err(|_| "tradeoff needs a numeric link-cost weight")?;
+    let problem = scenarios::tradeoff(w);
+    let outcome = Planner::default().plan(&problem).map_err(|e| e.to_string())?;
+    report_outcome(&problem, &outcome, false, false)
+}
+
+fn cmd_doctor(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or(USAGE)?;
+    let problem = load(path)?;
+    let d = sekitei_planner::diagnose(&problem, &PlannerConfig::default())
+        .map_err(|e| e.to_string())?;
+    println!("{d}");
+    Ok(())
+}
+
+fn cmd_suggest(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or(USAGE)?;
+    let mut problem = load(path)?;
+    let mut headroom = 1.0 / 9.0;
+    let mut apply = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--headroom" => {
+                i += 1;
+                headroom = args
+                    .get(i)
+                    .ok_or("--headroom needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --headroom value")?;
+            }
+            "--apply" => apply = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    let suggestions = sekitei_model::suggest_levels(&problem, headroom);
+    if suggestions.is_empty() {
+        println!("no demand constraints found — nothing to suggest");
+        return Ok(());
+    }
+    for s in &suggestions {
+        let cuts: Vec<String> = s.cutpoints.iter().map(f64::to_string).collect();
+        println!("levels {}.{} [{}]", s.iface, s.prop, cuts.join(", "));
+    }
+    if apply {
+        let n = sekitei_model::apply_suggestions(&mut problem, &suggestions);
+        println!("\n# applied to {n} interface properties; updated spec follows\n");
+        print!("{}", sekitei_spec::print_problem(&problem));
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or(USAGE)?;
+    let problem = load(path)?;
+    if args.iter().any(|a| a == "--plan") {
+        let outcome = Planner::default().plan(&problem).map_err(|e| e.to_string())?;
+        match &outcome.plan {
+            Some(plan) => print!("{}", sekitei_planner::plan_dot(&problem, plan)),
+            None => return Err("no plan found — nothing to draw".into()),
+        }
+    } else {
+        print!("{}", sekitei_planner::network_dot(&problem));
+    }
+    Ok(())
+}
+
+fn cmd_adapt(args: &[String]) -> Result<(), String> {
+    use sekitei_model::adapt::{adapt_problem, AdaptConfig};
+    use sekitei_model::{ExistingDeployment, ExistingPlacement};
+
+    let path = args.first().ok_or(USAGE)?;
+    let problem = load(path)?;
+    let mut cfg = AdaptConfig::default();
+    let mut existing = ExistingDeployment::default();
+    let mut validate = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--existing" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--existing needs Comp@node")?;
+                let (comp, node_name) =
+                    spec.split_once('@').ok_or_else(|| format!("bad --existing `{spec}`"))?;
+                let node = problem
+                    .network
+                    .node_by_name(node_name)
+                    .ok_or_else(|| format!("unknown node `{node_name}`"))?;
+                if problem.comp_id(comp).is_none() {
+                    return Err(format!("unknown component `{comp}`"));
+                }
+                existing
+                    .placements
+                    .push(ExistingPlacement { component: comp.to_string(), node });
+            }
+            "--keep-cost" => {
+                i += 1;
+                cfg.keep_cost = args
+                    .get(i)
+                    .ok_or("--keep-cost needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --keep-cost value")?;
+            }
+            "--migration-factor" => {
+                i += 1;
+                cfg.migration_factor = args
+                    .get(i)
+                    .ok_or("--migration-factor needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --migration-factor value")?;
+            }
+            "--validate" => validate = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    if existing.placements.is_empty() {
+        return Err("adapt needs at least one --existing Comp@node".into());
+    }
+    let adapted = adapt_problem(&problem, &existing, &cfg);
+    let outcome = Planner::default().plan(&adapted).map_err(|e| e.to_string())?;
+    report_outcome(&adapted, &outcome, validate, false)
+}
+
+fn cmd_encode(args: &[String]) -> Result<(), String> {
+    let (src, dst) = match args {
+        [s, d, ..] => (s, d),
+        _ => return Err(USAGE.into()),
+    };
+    let p = load(src)?;
+    let bytes = sekitei_spec::encode(&p);
+    std::fs::write(dst, &bytes).map_err(|e| format!("cannot write `{dst}`: {e}"))?;
+    println!("wrote {} bytes to {dst}", bytes.len());
+    Ok(())
+}
+
+fn cmd_decode(args: &[String]) -> Result<(), String> {
+    let src = args.first().ok_or(USAGE)?;
+    let bytes = std::fs::read(src).map_err(|e| format!("cannot read `{src}`: {e}"))?;
+    let p = sekitei_spec::decode(&bytes).map_err(|e| e.to_string())?;
+    print!("{}", sekitei_spec::print_problem(&p));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(dispatch(&s(&["help"])).is_ok());
+        assert!(dispatch(&[]).is_ok());
+        assert!(dispatch(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn scenario_tiny_plans() {
+        dispatch(&s(&["scenario", "tiny", "C", "--validate"])).unwrap();
+        dispatch(&s(&["scenario", "tiny", "A"])).unwrap();
+        assert!(dispatch(&s(&["scenario", "tiny", "Q"])).is_err());
+        assert!(dispatch(&s(&["scenario", "galactic", "C"])).is_err());
+    }
+
+    #[test]
+    fn scenario_emit_reparses() {
+        // --emit goes to stdout; at least ensure it doesn't error
+        dispatch(&s(&["scenario", "tiny", "D", "--emit"])).unwrap();
+    }
+
+    #[test]
+    fn tradeoff_runs() {
+        dispatch(&s(&["tradeoff", "0.5"])).unwrap();
+        assert!(dispatch(&s(&["tradeoff", "cheap"])).is_err());
+    }
+
+    #[test]
+    fn plan_file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("sekitei_cli_test.spec");
+        let bin_path = dir.join("sekitei_cli_test.bin");
+        let p = scenarios::tiny(LevelScenario::C);
+        std::fs::write(&spec_path, sekitei_spec::print_problem(&p)).unwrap();
+        let sp = spec_path.to_str().unwrap().to_string();
+        dispatch(&[s(&["check"]), vec![sp.clone()]].concat()).unwrap();
+        dispatch(&[s(&["plan"]), vec![sp.clone()], s(&["--validate", "--quiet"])].concat())
+            .unwrap();
+        dispatch(&[s(&["compile"]), vec![sp.clone()]].concat()).unwrap();
+        let bp = bin_path.to_str().unwrap().to_string();
+        dispatch(&[s(&["encode"]), vec![sp, bp.clone()]].concat()).unwrap();
+        dispatch(&[s(&["decode"]), vec![bp]].concat()).unwrap();
+    }
+
+    #[test]
+    fn suggest_command() {
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("sekitei_cli_suggest.spec");
+        let p = scenarios::tiny(LevelScenario::A);
+        std::fs::write(&spec_path, sekitei_spec::print_problem(&p)).unwrap();
+        let sp = spec_path.to_str().unwrap().to_string();
+        dispatch(&[s(&["suggest"]), vec![sp.clone()]].concat()).unwrap();
+        dispatch(&[s(&["suggest"]), vec![sp.clone()], s(&["--headroom", "0.2", "--apply"])].concat())
+            .unwrap();
+        assert!(dispatch(&[s(&["suggest"]), vec![sp], s(&["--headroom", "x"])].concat()).is_err());
+    }
+
+    #[test]
+    fn dot_command() {
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("sekitei_cli_dot.spec");
+        let p = scenarios::tiny(LevelScenario::C);
+        std::fs::write(&spec_path, sekitei_spec::print_problem(&p)).unwrap();
+        let sp = spec_path.to_str().unwrap().to_string();
+        dispatch(&[s(&["dot"]), vec![sp.clone()]].concat()).unwrap();
+        dispatch(&[s(&["dot"]), vec![sp], s(&["--plan"])].concat()).unwrap();
+        // unsolvable plan dot errors cleanly
+        let mut q = scenarios::tiny(LevelScenario::A);
+        q.sources.clear();
+        let qp = dir.join("sekitei_cli_dot_bad.spec");
+        std::fs::write(&qp, sekitei_spec::print_problem(&q)).unwrap();
+        assert!(dispatch(
+            &[s(&["dot"]), vec![qp.to_str().unwrap().into()], s(&["--plan"])].concat()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn doctor_command() {
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("sekitei_cli_doctor.spec");
+        // unsolvable: strip the source
+        let mut p = scenarios::tiny(LevelScenario::C);
+        p.sources.clear();
+        std::fs::write(&spec_path, sekitei_spec::print_problem(&p)).unwrap();
+        let sp = spec_path.to_str().unwrap().to_string();
+        dispatch(&[s(&["doctor"]), vec![sp]].concat()).unwrap();
+        assert!(dispatch(&s(&["doctor", "/nonexistent.spec"])).is_err());
+    }
+
+    #[test]
+    fn adapt_command() {
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("sekitei_cli_adapt.spec");
+        let p = scenarios::tiny(LevelScenario::C);
+        std::fs::write(&spec_path, sekitei_spec::print_problem(&p)).unwrap();
+        let sp = spec_path.to_str().unwrap().to_string();
+        dispatch(
+            &[
+                s(&["adapt"]),
+                vec![sp.clone()],
+                s(&["--existing", "Splitter@n0", "--existing", "Client@n1", "--validate"]),
+            ]
+            .concat(),
+        )
+        .unwrap();
+        // error paths
+        assert!(dispatch(&[s(&["adapt"]), vec![sp.clone()]].concat()).is_err());
+        assert!(dispatch(
+            &[s(&["adapt"]), vec![sp.clone()], s(&["--existing", "Ghost@n0"])].concat()
+        )
+        .is_err());
+        assert!(dispatch(
+            &[s(&["adapt"]), vec![sp], s(&["--existing", "Splitter@mars"])].concat()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn plan_flags() {
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("sekitei_cli_flags.spec");
+        let p = scenarios::tiny(LevelScenario::B);
+        std::fs::write(&spec_path, sekitei_spec::print_problem(&p)).unwrap();
+        let sp = spec_path.to_str().unwrap().to_string();
+        dispatch(
+            &[
+                s(&["plan"]),
+                vec![sp.clone()],
+                s(&["--plrg-heuristic", "--max-nodes", "100000", "--quiet"]),
+            ]
+            .concat(),
+        )
+        .unwrap();
+        assert!(dispatch(&[s(&["plan"]), vec![sp], s(&["--bogus"])].concat()).is_err());
+        assert!(dispatch(&s(&["plan", "/nonexistent/x.spec"])).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! `sekitei` — command-line interface to the deployment planner.
+//!
+//! ```text
+//! sekitei plan <spec-file> [--plrg-heuristic] [--no-replay-pruning]
+//!              [--max-nodes N] [--validate] [--quiet]
+//! sekitei check <spec-file>
+//! sekitei compile <spec-file> [--dump]
+//! sekitei scenario <tiny|small|large> <A|B|C|D|E> [--emit] [--validate]
+//! sekitei tradeoff <link-cost-weight>
+//! sekitei encode <spec-file> <out.bin>
+//! sekitei decode <in.bin>
+//! ```
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

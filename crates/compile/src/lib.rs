@@ -1,0 +1,15 @@
+//! # sekitei-compile
+//!
+//! Compilation of CPP specifications into leveled AI-planning tasks:
+//! grounding of `place`/`cross` action schemas over the network, level
+//! enumeration with static pruning (paper §3.1), optimistic resource maps,
+//! and lower-bound action costs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ground;
+pub mod task;
+
+pub use ground::{compile, CompileError};
+pub use task::{ActionKind, CompileStats, GVarData, GroundAction, PlanningTask, PropData};

@@ -1,0 +1,249 @@
+//! Compiled planning task: ground propositions, ground numeric variables,
+//! and leveled ground actions with optimistic resource maps.
+//!
+//! The compilation (see [`crate::ground`]) turns a validated
+//! [`CppProblem`](sekitei_model::CppProblem) into the AI-style planning
+//! problem of paper §2.2/§3.1: `place(component, node)` and
+//! `cross(interface, link)` actions, each instantiated once per feasible
+//! combination of resource levels, carrying
+//!
+//! * propositional preconditions/effects (used by the logical phases),
+//! * numeric conditions/effects over ground variables (used by replay),
+//! * an *optimistic resource map* — the level intervals the action assumes,
+//! * a lower-bound cost evaluated at those intervals.
+
+use sekitei_model::{
+    ActionId, CompId, Cond, DirLink, Effect, GVarId, IfaceId, Interval, LevelIdx, LinkId, NodeId,
+    PropId,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A ground proposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PropData {
+    /// Component `comp` is deployed on `node`.
+    Placed {
+        /// Component.
+        comp: CompId,
+        /// Host node.
+        node: NodeId,
+    },
+    /// Interface `iface` is available on `node` with its (single leveled)
+    /// property in level `level`. Degradable interfaces add downward
+    /// closure at the *effect* side, so preconditions match exactly.
+    Avail {
+        /// Interface.
+        iface: IfaceId,
+        /// Node where the stream is available.
+        node: NodeId,
+        /// Property level (for multi-property interfaces, levels of the
+        /// lexicographically first leveled property; further properties are
+        /// handled numerically).
+        level: LevelIdx,
+    },
+}
+
+/// A ground numeric variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GVarData {
+    /// Property `prop` (index into the interface's property list) of
+    /// `iface` as materialized on `node`.
+    IfaceProp {
+        /// Interface.
+        iface: IfaceId,
+        /// Property index within the interface spec.
+        prop: u8,
+        /// Node.
+        node: NodeId,
+    },
+    /// Node resource (index into the problem's resource catalog).
+    NodeRes {
+        /// Catalog index.
+        res: u16,
+        /// Node.
+        node: NodeId,
+    },
+    /// Link resource.
+    LinkRes {
+        /// Catalog index.
+        res: u16,
+        /// Link.
+        link: LinkId,
+    },
+}
+
+/// What a ground action does, semantically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionKind {
+    /// Deploy `comp` on `node`.
+    Place {
+        /// Component.
+        comp: CompId,
+        /// Host node.
+        node: NodeId,
+    },
+    /// Send stream `iface` across a directed link.
+    Cross {
+        /// Interface.
+        iface: IfaceId,
+        /// Directed link traversal.
+        dir: DirLink,
+    },
+}
+
+/// A fully ground, leveled action.
+#[derive(Debug, Clone)]
+pub struct GroundAction {
+    /// Human-readable rendering, e.g. `place(Splitter,n0)[M=1]`.
+    pub name: String,
+    /// Semantic kind.
+    pub kind: ActionKind,
+    /// Propositional preconditions (sorted, deduplicated).
+    pub preconds: Vec<PropId>,
+    /// Propositional add effects (sorted; includes degradable closure).
+    pub adds: Vec<PropId>,
+    /// Numeric preconditions, over ground variables.
+    pub conditions: Vec<Cond<GVarId>>,
+    /// Numeric effects (all value expressions read the pre-state).
+    pub effects: Vec<Effect<GVarId>>,
+    /// Optimistic resource map: interval assumed for each variable the
+    /// action *reads or consumes*, from its level assignment (paper §3.1).
+    pub optimistic: Vec<(GVarId, Interval)>,
+    /// Post-effect constraints: produced variables must land in these
+    /// intervals (the action's declared output levels).
+    pub post: Vec<(GVarId, Interval)>,
+    /// Level assignment, for display/statistics.
+    pub levels: Vec<(GVarId, LevelIdx)>,
+    /// Lower bound of the user cost formula over the optimistic map.
+    pub cost: f64,
+}
+
+/// Compilation statistics (feeds Table 2 column 5).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompileStats {
+    /// Ground actions emitted after leveling and pruning.
+    pub actions: usize,
+    /// Level combinations discarded by the static pruning procedure.
+    pub pruned: usize,
+    /// Ground propositions created.
+    pub props: usize,
+    /// Ground numeric variables created.
+    pub gvars: usize,
+    /// Compilation wall time.
+    pub compile_time: std::time::Duration,
+}
+
+/// The compiled planning task.
+#[derive(Debug, Clone, Default)]
+pub struct PlanningTask {
+    /// Ground propositions (index = `PropId`).
+    pub props: Vec<PropData>,
+    /// Human-readable proposition names (parallel to `props`).
+    pub prop_names: Vec<String>,
+    /// Ground actions (index = `ActionId`).
+    pub actions: Vec<GroundAction>,
+    /// Ground numeric variables (index = `GVarId`).
+    pub gvars: Vec<GVarData>,
+    /// Human-readable variable names (parallel to `gvars`).
+    pub gvar_names: Vec<String>,
+    /// Initially true propositions (sorted).
+    pub init_props: Vec<PropId>,
+    /// Initial membership bitmap (index = `PropId`).
+    pub init_mask: Vec<bool>,
+    /// Initial numeric state: `Some(interval)` for variables with a defined
+    /// initial value (resource capacities as points, source stream
+    /// properties as their producible ranges), `None` otherwise.
+    pub init_values: Vec<Option<Interval>>,
+    /// Goal propositions (sorted).
+    pub goal_props: Vec<PropId>,
+    /// `achievers[p]` = actions adding proposition `p`.
+    pub achievers: Vec<Vec<ActionId>>,
+    /// Compilation statistics.
+    pub stats: CompileStats,
+    pub(crate) prop_index: HashMap<PropData, PropId>,
+    pub(crate) gvar_index: HashMap<GVarData, GVarId>,
+}
+
+impl PlanningTask {
+    /// Number of ground actions.
+    pub fn num_actions(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Number of ground propositions.
+    pub fn num_props(&self) -> usize {
+        self.props.len()
+    }
+
+    /// Action by id.
+    pub fn action(&self, a: ActionId) -> &GroundAction {
+        &self.actions[a.index()]
+    }
+
+    /// Proposition data by id.
+    pub fn prop(&self, p: PropId) -> PropData {
+        self.props[p.index()]
+    }
+
+    /// Proposition id lookup.
+    pub fn prop_id(&self, data: &PropData) -> Option<PropId> {
+        self.prop_index.get(data).copied()
+    }
+
+    /// Ground variable id lookup.
+    pub fn gvar_id(&self, data: &GVarData) -> Option<GVarId> {
+        self.gvar_index.get(data).copied()
+    }
+
+    /// True iff `p` holds initially.
+    pub fn initially(&self, p: PropId) -> bool {
+        self.init_mask[p.index()]
+    }
+
+    /// Render a proposition for diagnostics.
+    pub fn prop_name(&self, p: PropId) -> &str {
+        &self.prop_names[p.index()]
+    }
+
+    /// Render a ground variable for diagnostics.
+    pub fn gvar_name(&self, v: GVarId) -> &str {
+        &self.gvar_names[v.index()]
+    }
+
+    /// Iterate all action ids.
+    pub fn action_ids(&self) -> impl Iterator<Item = ActionId> + '_ {
+        (0..self.actions.len()).map(ActionId::from_index)
+    }
+}
+
+impl fmt::Display for GroundAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prop_data_hash_and_eq() {
+        let a = PropData::Avail { iface: IfaceId(0), node: NodeId(3), level: 2 };
+        let b = PropData::Avail { iface: IfaceId(0), node: NodeId(3), level: 2 };
+        let c = PropData::Avail { iface: IfaceId(0), node: NodeId(3), level: 1 };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut m = HashMap::new();
+        m.insert(a, PropId(0));
+        assert_eq!(m.get(&b), Some(&PropId(0)));
+    }
+
+    #[test]
+    fn task_defaults_empty() {
+        let t = PlanningTask::default();
+        assert_eq!(t.num_actions(), 0);
+        assert_eq!(t.num_props(), 0);
+        assert!(t.prop_id(&PropData::Placed { comp: CompId(0), node: NodeId(0) }).is_none());
+    }
+}

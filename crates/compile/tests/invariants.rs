@@ -1,0 +1,250 @@
+//! Property-based invariants of the grounding/leveling compiler: every
+//! ground action the compiler emits must be internally consistent, and the
+//! compiled task must be a faithful skeleton of the problem.
+
+use proptest::prelude::*;
+use sekitei_compile::{compile, ActionKind, GVarData, PlanningTask, PropData};
+use sekitei_model::{CppProblem, Interval, LevelScenario, MediaConfig};
+use sekitei_topology::scenarios;
+
+fn check_invariants(_p: &CppProblem, task: &PlanningTask) -> Result<(), TestCaseError> {
+    // proposition table is consistent with the index
+    for (i, pd) in task.props.iter().enumerate() {
+        let id = task.prop_id(pd).expect("interned");
+        prop_assert_eq!(id.index(), i);
+    }
+    // goals and inits are valid ids; init mask matches the list
+    for &g in &task.goal_props {
+        prop_assert!(g.index() < task.num_props());
+    }
+    for (i, &m) in task.init_mask.iter().enumerate() {
+        let in_list = task.init_props.binary_search(&sekitei_model::PropId(i as u32)).is_ok();
+        prop_assert_eq!(m, in_list);
+    }
+
+    for a in &task.actions {
+        // sorted, deduplicated propositional lists
+        prop_assert!(a.preconds.windows(2).all(|w| w[0] < w[1]), "{}", a.name);
+        prop_assert!(a.adds.windows(2).all(|w| w[0] < w[1]), "{}", a.name);
+        // non-negative finite lower-bound cost
+        prop_assert!(a.cost.is_finite() && a.cost >= 0.0, "{}: cost {}", a.name, a.cost);
+        // optimistic intervals non-empty
+        for (v, iv) in &a.optimistic {
+            prop_assert!(!iv.is_empty(), "{}: {} empty", a.name, task.gvar_name(*v));
+        }
+        for (v, iv) in &a.post {
+            prop_assert!(!iv.is_empty(), "{}: post {} empty", a.name, task.gvar_name(*v));
+        }
+        // kind ↔ proposition consistency
+        match &a.kind {
+            ActionKind::Place { comp, node } => {
+                let placed = task
+                    .prop_id(&PropData::Placed { comp: *comp, node: *node })
+                    .expect("placed prop interned");
+                prop_assert!(a.adds.contains(&placed), "{}", a.name);
+            }
+            ActionKind::Cross { iface, dir } => {
+                // precondition availability on the from-side
+                prop_assert!(
+                    a.preconds.iter().any(|&p| matches!(
+                        task.prop(p),
+                        PropData::Avail { iface: i2, node, .. }
+                            if i2 == *iface && node == dir.from
+                    )),
+                    "{}",
+                    a.name
+                );
+                // all adds land on the to-side
+                for &add in &a.adds {
+                    let lands_on_to = matches!(
+                        task.prop(add),
+                        PropData::Avail { node, .. } if node == dir.to
+                    );
+                    prop_assert!(lands_on_to, "{} adds off the to-side", a.name);
+                }
+            }
+        }
+        // every numeric variable referenced is interned
+        for c in &a.conditions {
+            c.for_each_var(&mut |v| assert!(v.index() < task.gvars.len()));
+        }
+        for e in &a.effects {
+            e.for_each_var(&mut |v| assert!(v.index() < task.gvars.len()));
+        }
+    }
+
+    // achievers index is exactly inverse of adds
+    for (pi, achievers) in task.achievers.iter().enumerate() {
+        for &a in achievers {
+            prop_assert!(task
+                .action(a)
+                .adds
+                .contains(&sekitei_model::PropId(pi as u32)));
+        }
+    }
+
+    // every resource-typed gvar has a concrete initial value
+    for (i, gv) in task.gvars.iter().enumerate() {
+        match gv {
+            GVarData::NodeRes { .. } | GVarData::LinkRes { .. } => {
+                let iv = task.init_values[i].expect("resources always have capacities");
+                prop_assert!(!iv.is_empty());
+            }
+            GVarData::IfaceProp { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn media_grounding_invariants(demand in 40.0..130.0f64,
+                                  split in 3..8usize,
+                                  sc_idx in 0..5usize) {
+        let cfg = MediaConfig {
+            client_demand: demand.round(),
+            split_t: split as f64 / 10.0,
+            ..MediaConfig::default()
+        };
+        let p = scenarios::small_with(cfg, LevelScenario::ALL[sc_idx]);
+        let task = compile(&p).unwrap();
+        check_invariants(&p, &task)?;
+    }
+
+    #[test]
+    fn source_range_respected(max in 50.0..400.0f64) {
+        let mut p = scenarios::tiny(LevelScenario::D);
+        let max = max.round();
+        p.sources[0].properties.insert("ibw".into(), Interval::new(0.0, max));
+        let task = compile(&p).unwrap();
+        check_invariants(&p, &task)?;
+        // the source var's initial value is the declared range
+        let m = p.iface_id("M").unwrap();
+        let v = task
+            .gvar_id(&GVarData::IfaceProp { iface: m, prop: 0, node: p.sources[0].node })
+            .unwrap();
+        prop_assert_eq!(task.init_values[v.index()], Some(Interval::new(0.0, max)));
+        // initial avail levels exactly cover the range
+        let spec = p.iface(m).levels_of("ibw");
+        for l in 0..spec.num_levels() {
+            let pid = task.prop_id(&PropData::Avail {
+                iface: m,
+                node: p.sources[0].node,
+                level: l as u8,
+            });
+            let expected = spec.interval(l).intersects(&Interval::new(0.0, max));
+            let actual = pid.is_some_and(|pid| task.initially(pid));
+            prop_assert_eq!(actual, expected, "level {}", l);
+        }
+    }
+
+    #[test]
+    fn grounding_is_deterministic(sc_idx in 0..5usize) {
+        let p = scenarios::small(LevelScenario::ALL[sc_idx]);
+        let a = compile(&p).unwrap();
+        let b = compile(&p).unwrap();
+        prop_assert_eq!(a.num_actions(), b.num_actions());
+        prop_assert_eq!(a.num_props(), b.num_props());
+        for (x, y) in a.actions.iter().zip(&b.actions) {
+            prop_assert_eq!(&x.name, &y.name);
+            prop_assert_eq!(x.cost, y.cost);
+            prop_assert_eq!(&x.preconds, &y.preconds);
+            prop_assert_eq!(&x.adds, &y.adds);
+        }
+    }
+}
+
+#[test]
+fn tradeoff_and_latency_grounding_invariants() {
+    for p in [
+        scenarios::tradeoff(0.5),
+        scenarios::tradeoff_deadline(0.5, 30.0),
+        scenarios::large(LevelScenario::E),
+    ] {
+        let task = compile(&p).unwrap();
+        check_invariants(&p, &task).unwrap();
+    }
+}
+
+#[test]
+fn combo_explosion_guarded() {
+    // a component requiring 8 interfaces, each with 4 cutpoints (5 levels),
+    // would ground to 5^8 ≈ 390k level combinations — the compiler must
+    // refuse instead of hanging
+    use sekitei_model::{
+        ComponentSpec, CppProblem, Goal, InterfaceSpec, LevelSpec, LinkClass, Network,
+        ResourceDef, StreamSource,
+    };
+    let mut net = Network::new();
+    let a = net.add_node("a", [("cpu", 10.0)]);
+    let b = net.add_node("b", [("cpu", 10.0)]);
+    net.add_link(a, b, LinkClass::Lan, [("lbw", 100.0)]);
+
+    let levels = LevelSpec::new(vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+    let mut interfaces = Vec::new();
+    let mut omnivore = ComponentSpec::new("Omnivore");
+    let mut sources = Vec::new();
+    for i in 0..8 {
+        let name = format!("S{i}");
+        interfaces.push(
+            InterfaceSpec::bandwidth_stream(&name, "ibw", "lbw")
+                .with_levels("ibw", levels.clone()),
+        );
+        omnivore = omnivore.requires(&name);
+        sources.push(StreamSource::up_to(&name, a, "ibw", 50.0));
+    }
+    let p = CppProblem {
+        network: net,
+        resources: vec![ResourceDef::node("cpu"), ResourceDef::link("lbw")],
+        interfaces,
+        components: vec![omnivore],
+        sources,
+        pre_placed: vec![],
+        goals: vec![Goal { component: "Omnivore".into(), node: a }],
+    };
+    p.validate().unwrap();
+    match compile(&p) {
+        Err(sekitei_compile::CompileError::TooManyCombinations { count, .. }) => {
+            assert!(count > 200_000);
+        }
+        other => panic!("expected combo guard, got {other:?}"),
+    }
+}
+
+#[test]
+fn rigid_interfaces_skip_degradable_closure() {
+    // mark M non-degradable: producing level 3 must add ONLY level 3
+    let mut p = scenarios::tiny(LevelScenario::D);
+    let m_idx = p.iface_id("M").unwrap().index();
+    p.interfaces[m_idx].degradable = false;
+    let task = compile(&p).unwrap();
+    let m = p.iface_id("M").unwrap();
+    for a in &task.actions {
+        if !a.name.starts_with("place(Merger") {
+            continue;
+        }
+        let m_levels: Vec<u8> = a
+            .adds
+            .iter()
+            .filter_map(|&pr| match task.prop(pr) {
+                PropData::Avail { iface, level, .. } if iface == m => Some(level),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(m_levels.len(), 1, "{}: {m_levels:?}", a.name);
+    }
+    // ... and the degradable default adds the closure
+    let q = scenarios::tiny(LevelScenario::D);
+    let task2 = compile(&q).unwrap();
+    let closure_found = task2.actions.iter().any(|a| {
+        a.name.starts_with("place(Merger")
+            && a.adds
+                .iter()
+                .filter(|&&pr| matches!(task2.prop(pr), PropData::Avail { iface, .. } if iface == m))
+                .count()
+                > 1
+    });
+    assert!(closure_found);
+}

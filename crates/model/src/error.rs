@@ -1,0 +1,61 @@
+//! Model-level error type.
+
+use std::fmt;
+
+/// Errors raised while building or validating a CPP specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A level cutpoint was non-positive, infinite or NaN.
+    InvalidCutpoint(f64),
+    /// A component references an interface name that is not declared.
+    UnknownInterface(String),
+    /// A spec references a component name that is not declared.
+    UnknownComponent(String),
+    /// A spec references a node name that is not in the network.
+    UnknownNode(String),
+    /// A spec references a resource name that is not in the catalog.
+    UnknownResource(String),
+    /// Two declarations share a name.
+    DuplicateName(String),
+    /// A link endpoint is out of range.
+    BadLink(String),
+    /// A formula references a variable that is not in scope for its
+    /// component/interface (e.g. a property of an interface the component
+    /// neither requires nor implements).
+    VarOutOfScope(String),
+    /// Free-form structural validation failure.
+    Invalid(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidCutpoint(c) => {
+                write!(f, "level cutpoint must be finite and > 0, got {c}")
+            }
+            ModelError::UnknownInterface(n) => write!(f, "unknown interface `{n}`"),
+            ModelError::UnknownComponent(n) => write!(f, "unknown component `{n}`"),
+            ModelError::UnknownNode(n) => write!(f, "unknown node `{n}`"),
+            ModelError::UnknownResource(n) => write!(f, "unknown resource `{n}`"),
+            ModelError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            ModelError::BadLink(s) => write!(f, "bad link: {s}"),
+            ModelError::VarOutOfScope(v) => write!(f, "variable `{v}` out of scope"),
+            ModelError::Invalid(s) => write!(f, "invalid model: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(ModelError::InvalidCutpoint(-1.0).to_string().contains("-1"));
+        assert!(ModelError::UnknownInterface("Q".into()).to_string().contains("`Q`"));
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::Invalid("x".into()));
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the model substrate: interval arithmetic
+//! soundness, level-partition invariants, and expression evaluation
+//! consistency (interval results always contain point results).
+
+use proptest::prelude::*;
+use sekitei_model::{CmpOp, Cond, Expr, Interval, LevelSpec, Mono};
+
+fn finite_interval() -> impl Strategy<Value = Interval> {
+    (0.0..1000.0f64, 0.0..1000.0f64)
+        .prop_map(|(a, b)| Interval::new(a.min(b), a.max(b)))
+}
+
+proptest! {
+    #[test]
+    fn interval_add_sound(a in finite_interval(), b in finite_interval(),
+                          ta in 0.0..=1.0f64, tb in 0.0..=1.0f64) {
+        let x = a.lo + ta * (a.hi - a.lo);
+        let y = b.lo + tb * (b.hi - b.lo);
+        prop_assert!(a.add(&b).contains(x + y));
+        prop_assert!(a.sub(&b).contains(x - y));
+        prop_assert!(a.mul(&b).contains(x * y));
+        prop_assert!(a.min_i(&b).contains(x.min(y)));
+        prop_assert!(a.max_i(&b).contains(x.max(y)));
+        prop_assert!(a.neg().contains(-x));
+    }
+
+    #[test]
+    fn interval_div_sound(a in finite_interval(), b in finite_interval(),
+                          ta in 0.0..=1.0f64, tb in 0.0..=1.0f64) {
+        // shift divisor away from zero
+        let b = Interval::new(b.lo + 1.0, b.hi + 1.0);
+        let x = a.lo + ta * (a.hi - a.lo);
+        let y = b.lo + tb * (b.hi - b.lo);
+        prop_assert!(a.div(&b).contains(x / y), "{x}/{y} not in {}", a.div(&b));
+    }
+
+    #[test]
+    fn intersect_hull_laws(a in finite_interval(), b in finite_interval()) {
+        let i = a.intersect(&b);
+        let h = a.hull(&b);
+        prop_assert!(h.contains_interval(&a));
+        prop_assert!(h.contains_interval(&b));
+        prop_assert!(a.contains_interval(&i));
+        prop_assert!(b.contains_interval(&i));
+        // intersect is commutative
+        prop_assert_eq!(i, b.intersect(&a));
+    }
+
+    #[test]
+    fn levels_partition(cuts in proptest::collection::vec(0.001..10_000.0f64, 0..8),
+                        x in 0.0..20_000.0f64) {
+        let ls = LevelSpec::new(cuts).unwrap();
+        // every x belongs to exactly one level whose interval contains it
+        let l = ls.level_of(x);
+        prop_assert!(l < ls.num_levels());
+        prop_assert!(ls.interval(l).contains(x));
+        // intervals tile [0, inf): consecutive bounds meet exactly
+        for i in 1..ls.num_levels() {
+            prop_assert_eq!(ls.interval(i - 1).hi, ls.interval(i).lo);
+        }
+        prop_assert_eq!(ls.interval(0).lo, 0.0);
+        prop_assert!(ls.interval(ls.num_levels() - 1).hi.is_infinite());
+    }
+
+    #[test]
+    fn levels_requirement_within_interval(
+            cuts in proptest::collection::vec(0.001..10_000.0f64, 1..6)) {
+        let ls = LevelSpec::new(cuts).unwrap();
+        for i in 0..ls.num_levels() {
+            let req = ls.requirement(i);
+            prop_assert!(ls.interval(i).contains_interval(&req));
+            prop_assert!(!req.is_empty());
+        }
+    }
+
+    #[test]
+    fn scaled_levels_classify_consistently(
+            cuts in proptest::collection::vec(1.0..1000.0f64, 1..5),
+            factor in 0.1..5.0f64,
+            x in 0.0..2000.0f64) {
+        let ls = LevelSpec::new(cuts).unwrap();
+        let scaled = ls.scaled(factor);
+        // classification commutes with scaling away from cutpoint noise:
+        // if x is comfortably inside its level, factor·x lands in the same
+        // index of the scaled spec
+        let l = ls.level_of(x);
+        let iv = ls.interval(l);
+        let margin = 1e-6 * x.max(1.0);
+        if x - iv.lo > margin && (iv.hi.is_infinite() || iv.hi - x > margin) {
+            prop_assert_eq!(scaled.level_of(factor * x), l);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- exprs
+
+/// Random expression over two variables "a" and "b" (division avoided to
+/// sidestep near-zero divisors; covered separately above).
+fn arb_expr() -> impl Strategy<Value = Expr<&'static str>> {
+    let leaf = prop_oneof![
+        (0.0..100.0f64).prop_map(Expr::Const),
+        Just(Expr::var("a")),
+        Just(Expr::var("b")),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        (inner.clone(), inner).prop_map(|(x, y)| {
+            // cycle deterministically through operators by structure size
+            match (x.size() + y.size()) % 5 {
+                0 => x + y,
+                1 => x - y,
+                2 => x * Expr::Const(0.5) + y,
+                3 => x.min_e(y),
+                _ => x.max_e(y),
+            }
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn expr_interval_contains_point(e in arb_expr(),
+                                    a in finite_interval(), b in finite_interval(),
+                                    ta in 0.0..=1.0f64, tb in 0.0..=1.0f64) {
+        let x = a.lo + ta * (a.hi - a.lo);
+        let y = b.lo + tb * (b.hi - b.lo);
+        let point = e.eval(&mut |v: &&str| if *v == "a" { x } else { y });
+        let range = e.eval_interval(&mut |v: &&str| if *v == "a" { a } else { b });
+        prop_assert!(
+            range.contains(point) || point.is_nan(),
+            "{point} not in {range}"
+        );
+    }
+
+    #[test]
+    fn monotonicity_agrees_with_sampling(e in arb_expr(), base in 1.0..100.0f64,
+                                         delta in 0.1..50.0f64, bval in 0.0..100.0f64) {
+        let lo = e.eval(&mut |v: &&str| if *v == "a" { base } else { bval });
+        let hi = e.eval(&mut |v: &&str| if *v == "a" { base + delta } else { bval });
+        match e.monotonicity(&"a") {
+            Mono::Increasing => prop_assert!(hi >= lo - 1e-9, "{e}: {lo} -> {hi}"),
+            Mono::Decreasing => prop_assert!(hi <= lo + 1e-9, "{e}: {lo} -> {hi}"),
+            Mono::Constant => prop_assert!((hi - lo).abs() < 1e-9, "{e}: {lo} -> {hi}"),
+            Mono::Unknown => {}
+        }
+    }
+
+    #[test]
+    fn cond_possibly_certainly_consistent(e in arb_expr(),
+                                          a in finite_interval(), b in finite_interval(),
+                                          ta in 0.0..=1.0f64, tb in 0.0..=1.0f64,
+                                          thr in 0.0..200.0f64) {
+        let cond = Cond::new(e, CmpOp::Ge, Expr::Const(thr));
+        let x = a.lo + ta * (a.hi - a.lo);
+        let y = b.lo + tb * (b.hi - b.lo);
+        let holds = cond.holds(&mut |v: &&str| if *v == "a" { x } else { y });
+        let mut ienv = |v: &&str| if *v == "a" { a } else { b };
+        let possibly = cond.possibly(&mut ienv);
+        let certainly = cond.certainly(&mut ienv);
+        // certainly ⊆ point-holds ⊆ possibly
+        if certainly {
+            prop_assert!(holds, "certainly but point fails");
+        }
+        if holds {
+            prop_assert!(possibly, "point holds but not possibly");
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Structural comparison of two deployment plans — the natural companion
+//! of adaptation (`model::adapt`): after replanning, operators want to
+//! know *what actually changes* — which components stay, which move,
+//! which appear or disappear, and how the stream routing shifts.
+
+use crate::plan::Plan;
+use sekitei_compile::ActionKind;
+use sekitei_model::{CompId, CppProblem, DirLink, IfaceId, NodeId};
+
+/// A component that moved between plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Move {
+    /// Component.
+    pub comp: CompId,
+    /// Where it ran before.
+    pub from: NodeId,
+    /// Where it runs now.
+    pub to: NodeId,
+}
+
+/// Structural difference between two plans for the same (or compatible)
+/// problem.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanDiff {
+    /// Placements present in both plans (component, node).
+    pub kept: Vec<(CompId, NodeId)>,
+    /// Components that moved to a different node.
+    pub moved: Vec<Move>,
+    /// Placements only in the new plan.
+    pub added: Vec<(CompId, NodeId)>,
+    /// Placements only in the old plan.
+    pub removed: Vec<(CompId, NodeId)>,
+    /// Stream crossings only in the new plan.
+    pub rerouted_in: Vec<(IfaceId, DirLink)>,
+    /// Stream crossings only in the old plan.
+    pub rerouted_out: Vec<(IfaceId, DirLink)>,
+}
+
+impl PlanDiff {
+    /// True iff the plans are structurally identical.
+    pub fn is_empty(&self) -> bool {
+        self.moved.is_empty()
+            && self.added.is_empty()
+            && self.removed.is_empty()
+            && self.rerouted_in.is_empty()
+            && self.rerouted_out.is_empty()
+    }
+
+    /// Render against a problem for component/node names.
+    pub fn render(&self, problem: &CppProblem) -> String {
+        use std::fmt::Write;
+        let comp = |c: CompId| problem.component(c).name.clone();
+        let node = |n: NodeId| problem.network.node(n).name.clone();
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("plans are structurally identical\n");
+            return out;
+        }
+        for (c, n) in &self.kept {
+            let _ = writeln!(out, "  kept    {} @ {}", comp(*c), node(*n));
+        }
+        for m in &self.moved {
+            let _ = writeln!(out, "  moved   {}: {} → {}", comp(m.comp), node(m.from), node(m.to));
+        }
+        for (c, n) in &self.added {
+            let _ = writeln!(out, "  added   {} @ {}", comp(*c), node(*n));
+        }
+        for (c, n) in &self.removed {
+            let _ = writeln!(out, "  removed {} @ {}", comp(*c), node(*n));
+        }
+        for (i, d) in &self.rerouted_in {
+            let _ = writeln!(
+                out,
+                "  +route  {} over {} → {}",
+                problem.iface(*i).name,
+                node(d.from),
+                node(d.to)
+            );
+        }
+        for (i, d) in &self.rerouted_out {
+            let _ = writeln!(
+                out,
+                "  -route  {} over {} → {}",
+                problem.iface(*i).name,
+                node(d.from),
+                node(d.to)
+            );
+        }
+        out
+    }
+}
+
+fn placements(plan: &Plan) -> Vec<(CompId, NodeId)> {
+    plan.steps
+        .iter()
+        .filter_map(|s| match s.kind {
+            ActionKind::Place { comp, node } => Some((comp, node)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn crossings(plan: &Plan) -> Vec<(IfaceId, DirLink)> {
+    plan.steps
+        .iter()
+        .filter_map(|s| match s.kind {
+            ActionKind::Cross { iface, dir } => Some((iface, dir)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Compute the structural diff from `old` to `new`.
+pub fn plan_diff(old: &Plan, new: &Plan) -> PlanDiff {
+    let old_p = placements(old);
+    let new_p = placements(new);
+    let mut diff = PlanDiff::default();
+
+    for &(c, n) in &new_p {
+        if old_p.contains(&(c, n)) {
+            diff.kept.push((c, n));
+        } else if let Some(&(_, from)) = old_p.iter().find(|&&(oc, on)| oc == c && on != n) {
+            diff.moved.push(Move { comp: c, from, to: n });
+        } else {
+            diff.added.push((c, n));
+        }
+    }
+    for &(c, n) in &old_p {
+        let still_placed = new_p.iter().any(|&(nc, _)| nc == c);
+        if !new_p.contains(&(c, n)) && !still_placed {
+            diff.removed.push((c, n));
+        }
+    }
+
+    let old_x = crossings(old);
+    let new_x = crossings(new);
+    diff.rerouted_in = new_x.iter().filter(|x| !old_x.contains(x)).copied().collect();
+    diff.rerouted_out = old_x.iter().filter(|x| !new_x.contains(x)).copied().collect();
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Planner, PlannerConfig};
+    use sekitei_model::LevelScenario;
+    use sekitei_topology::scenarios;
+
+    fn plan_for(p: &CppProblem) -> Plan {
+        Planner::new(PlannerConfig::default()).plan(p).unwrap().plan.unwrap()
+    }
+
+    #[test]
+    fn identical_plans_empty_diff() {
+        let p = scenarios::tiny(LevelScenario::C);
+        let a = plan_for(&p);
+        let b = plan_for(&p);
+        let d = plan_diff(&a, &b);
+        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(d.kept.len(), 5);
+        assert!(d.render(&p).contains("identical"));
+    }
+
+    #[test]
+    fn different_scenarios_show_structure_change() {
+        // Small: B splits mid-path, C splits at the server — the Splitter
+        // moves and the routing changes
+        let pb = scenarios::small(LevelScenario::B);
+        let pc = scenarios::small(LevelScenario::C);
+        let b = plan_for(&pb);
+        let c = plan_for(&pc);
+        let d = plan_diff(&b, &c);
+        assert!(!d.is_empty());
+        assert!(
+            d.moved.iter().any(|m| pb.component(m.comp).name == "Splitter"),
+            "splitter should move: {d:?}"
+        );
+        assert!(!d.rerouted_in.is_empty());
+        assert!(!d.rerouted_out.is_empty());
+        let text = d.render(&pc);
+        assert!(text.contains("moved"));
+        assert!(text.contains("+route"));
+    }
+
+    #[test]
+    fn added_and_removed_detected() {
+        // loose vs tight deadline on the tradeoff: the crypto— er, the
+        // Zip/Unzip pair appears only under the tight deadline
+        let loose = scenarios::tradeoff_deadline(0.3, 100.0);
+        let tight = scenarios::tradeoff_deadline(0.3, 25.0);
+        let a = plan_for(&loose);
+        let b = plan_for(&tight);
+        let d = plan_diff(&a, &b);
+        assert!(
+            d.added.iter().any(|(c, _)| tight.component(*c).name == "Zip"),
+            "{d:?}"
+        );
+        let rev = plan_diff(&b, &a);
+        assert!(rev.removed.iter().any(|(c, _)| tight.component(*c).name == "Zip"));
+    }
+}

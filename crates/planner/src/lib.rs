@@ -1,0 +1,265 @@
+//! # sekitei-planner
+//!
+//! The Sekitei regression planner with resource levels and cost
+//! optimization — the primary contribution of *"Optimal Resource-Aware
+//! Deployment Planning for Component-based Distributed Applications"*
+//! (HPDC 2004).
+//!
+//! The algorithm runs in three phases (paper §3.2):
+//!
+//! 1. [`plrg`] — per-proposition cost bounds (admissible heuristic),
+//! 2. [`slrg`] — A* cost bounds for *sets* of propositions,
+//! 3. [`rg`] — A* over plan tails with optimistic-map [`replay`] pruning
+//!    and greedy [`mod@concretize`]-and-validate termination.
+//!
+//! The original greedy Sekitei (paper §2.2) is the same machinery run on a
+//! problem with trivial `[0, ∞)` levels (scenario A): level sups of ∞ make
+//! the greedy concretization push maximum availability, reproducing the
+//! worst-case resource assumption and its failures.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod concretize;
+pub mod diagnose;
+pub mod diff;
+pub mod plan;
+pub mod plrg;
+pub mod replay;
+pub mod rg;
+pub mod setkey;
+pub mod slrg;
+pub mod viz;
+
+pub use concretize::{concretize, greedy_source_value, minimize_sources, ConcreteExecution, ConcretizeFail};
+pub use diagnose::{diagnose, Diagnosis};
+pub use diff::{plan_diff, PlanDiff};
+pub use plan::{plan_metrics, Plan, PlanMetrics, PlanStep};
+pub use plrg::Plrg;
+pub use replay::{replay_tail, ReplayFail, ResourceMap};
+pub use rg::{Heuristic, RgConfig, RgResult};
+pub use setkey::SetKey;
+pub use viz::{network_dot, plan_dot};
+pub use slrg::{SetCost, Slrg, SlrgStats};
+
+use sekitei_compile::{compile, CompileError, CompileStats, PlanningTask};
+use sekitei_model::CppProblem;
+use std::time::Instant;
+
+/// Planner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    /// RG node budget.
+    pub max_rg_nodes: usize,
+    /// RG candidate-reject budget (bounds effort on unsolvable instances).
+    pub max_candidate_rejects: usize,
+    /// SLRG per-query expansion budget.
+    pub slrg_budget: usize,
+    /// Remaining-cost heuristic for the RG.
+    pub heuristic: Heuristic,
+    /// Optimistic-map replay pruning (ablation knob; keep on).
+    pub replay_pruning: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            max_rg_nodes: 2_000_000,
+            max_candidate_rejects: 20_000,
+            slrg_budget: 50_000,
+            heuristic: Heuristic::Slrg,
+            replay_pruning: true,
+        }
+    }
+}
+
+/// Statistics of one planning run — everything Table 2 reports.
+#[derive(Debug, Clone, Default)]
+pub struct PlannerStats {
+    /// Ground actions after leveling and pruning (col 5).
+    pub total_actions: usize,
+    /// PLRG proposition nodes (col 6, first).
+    pub plrg_props: usize,
+    /// PLRG action nodes (col 6, second).
+    pub plrg_actions: usize,
+    /// SLRG set nodes generated (col 7).
+    pub slrg_nodes: usize,
+    /// RG nodes created (col 8, first).
+    pub rg_nodes: usize,
+    /// RG nodes still open at solution time (col 8, second).
+    pub rg_open_left: usize,
+    /// RG nodes pruned by optimistic-map replay.
+    pub replay_prunes: usize,
+    /// Candidate plans rejected at terminal validation.
+    pub candidate_rejects: usize,
+    /// Total wall time including compilation (col 9, first).
+    pub total_time: std::time::Duration,
+    /// Search-only wall time (col 9, second).
+    pub search_time: std::time::Duration,
+    /// Compilation statistics.
+    pub compile: CompileStats,
+    /// True if a search budget was exhausted before exhausting the space.
+    pub budget_exhausted: bool,
+}
+
+impl std::fmt::Display for PlannerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ground actions ({} pruned), PLRG {}/{}, SLRG {}, RG {}/{} \
+             ({} replay-pruned, {} candidates rejected), time {:?} ({:?} search){}",
+            self.total_actions,
+            self.compile.pruned,
+            self.plrg_props,
+            self.plrg_actions,
+            self.slrg_nodes,
+            self.rg_nodes,
+            self.rg_open_left,
+            self.replay_prunes,
+            self.candidate_rejects,
+            self.total_time,
+            self.search_time,
+            if self.budget_exhausted { " [budget exhausted]" } else { "" },
+        )
+    }
+}
+
+/// Result of a planning run.
+#[derive(Debug)]
+pub struct PlanOutcome {
+    /// The cost-optimal plan, or `None` when the problem has no solution
+    /// the planner can prove feasible.
+    pub plan: Option<Plan>,
+    /// Run statistics.
+    pub stats: PlannerStats,
+    /// The compiled task (kept for inspection, metrics and replays).
+    pub task: PlanningTask,
+}
+
+/// Planner errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The problem failed to compile.
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<CompileError> for PlanError {
+    fn from(e: CompileError) -> Self {
+        PlanError::Compile(e)
+    }
+}
+
+/// The planner facade.
+#[derive(Debug, Clone, Default)]
+pub struct Planner {
+    config: PlannerConfig,
+}
+
+impl Planner {
+    /// Create a planner with the given configuration.
+    pub fn new(config: PlannerConfig) -> Self {
+        Planner { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Compile and solve a CPP instance.
+    pub fn plan(&self, problem: &CppProblem) -> Result<PlanOutcome, PlanError> {
+        let t0 = Instant::now();
+        let task = compile(problem)?;
+        Ok(self.plan_task(task, t0))
+    }
+
+    /// Solve an already-compiled task (`t0` anchors total-time reporting).
+    pub fn plan_task(&self, task: PlanningTask, t0: Instant) -> PlanOutcome {
+        let t_search = Instant::now();
+        let plrg = Plrg::build(&task);
+        let mut stats = PlannerStats {
+            total_actions: task.num_actions(),
+            compile: task.stats.clone(),
+            ..PlannerStats::default()
+        };
+        let (pp, pa) = plrg.sizes();
+        stats.plrg_props = pp;
+        stats.plrg_actions = pa;
+
+        let plan = if plrg.solvable(&task) {
+            let mut slrg = Slrg::new(&task, &plrg, self.config.slrg_budget);
+            let rg_cfg = RgConfig {
+                max_nodes: self.config.max_rg_nodes,
+                max_candidate_rejects: self.config.max_candidate_rejects,
+                heuristic: self.config.heuristic,
+                replay_pruning: self.config.replay_pruning,
+            };
+            let r = rg::search(&task, &plrg, &mut slrg, &rg_cfg);
+            stats.slrg_nodes = slrg.stats().nodes;
+            stats.rg_nodes = r.nodes_created;
+            stats.rg_open_left = r.open_left;
+            stats.replay_prunes = r.replay_prunes;
+            stats.candidate_rejects = r.candidate_rejects;
+            stats.budget_exhausted = r.budget_exhausted;
+            r.plan.map(|(actions, cost, exec)| Plan::from_actions(&task, &actions, cost, exec))
+        } else {
+            None
+        };
+        stats.search_time = t_search.elapsed();
+        stats.total_time = t0.elapsed();
+        PlanOutcome { plan, stats, task }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sekitei_model::LevelScenario;
+    use sekitei_topology::scenarios;
+
+    #[test]
+    fn facade_tiny_all_scenarios() {
+        let planner = Planner::default();
+        for sc in LevelScenario::ALL {
+            let outcome = planner.plan(&scenarios::tiny(sc)).unwrap();
+            match sc {
+                LevelScenario::A => assert!(outcome.plan.is_none(), "A must fail"),
+                _ => {
+                    let plan = outcome.plan.expect("B–E solve Tiny");
+                    assert_eq!(plan.len(), 7, "scenario {sc:?}");
+                }
+            }
+            assert!(outcome.stats.total_actions > 0);
+            assert!(outcome.stats.total_time >= outcome.stats.search_time);
+        }
+    }
+
+    #[test]
+    fn stats_match_paper_shape() {
+        // more levels ⇒ more ground actions (Table 2 col 5 growth)
+        let planner = Planner::default();
+        let b = planner.plan(&scenarios::tiny(LevelScenario::B)).unwrap().stats;
+        let e = planner.plan(&scenarios::tiny(LevelScenario::E)).unwrap().stats;
+        assert!(e.total_actions > b.total_actions);
+        assert!(b.plrg_props > 0 && b.plrg_actions > 0);
+        assert!(b.slrg_nodes > 0);
+        assert!(b.rg_nodes > 0);
+    }
+
+    #[test]
+    fn compile_error_propagates() {
+        let mut p = scenarios::tiny(LevelScenario::B);
+        p.goals.clear();
+        assert!(matches!(Planner::default().plan(&p), Err(PlanError::Compile(_))));
+    }
+}

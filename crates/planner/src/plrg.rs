@@ -1,0 +1,235 @@
+//! Phase 1 — the per-proposition logical regression graph (paper §3.2.1).
+//!
+//! Computes, for every ground proposition, a lower bound on the cost of
+//! achieving it from the initial state, ignoring both resource restrictions
+//! (beyond those already folded into action leveling) and interactions
+//! between actions: the cost of an action node is its own (lower-bound)
+//! cost plus the **max** over its preconditions' costs, and the cost of a
+//! proposition node is the **min** over its achievers. This is the classic
+//! cost fixpoint (h_max with action costs), computed with a
+//! generalized-Dijkstra sweep, and is *admissible* for the later phases.
+//!
+//! The "graph" itself is the goal-relevant slice: propositions and actions
+//! reachable forward from the initial state *and* backward-relevant to the
+//! goal — its node counts are what Table 2 columns 6 reports.
+
+use sekitei_compile::PlanningTask;
+use sekitei_model::{ActionId, PropId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The computed per-proposition cost structure.
+#[derive(Debug, Clone)]
+pub struct Plrg {
+    /// `value[p]` = lower bound on the cost of achieving `p` from the
+    /// initial state (`f64::INFINITY` if logically unreachable).
+    pub value: Vec<f64>,
+    /// `action_value[a]` = lower bound on the cost of a cheapest action
+    /// sequence ending in `a` (infinite if `a` can never fire).
+    pub action_value: Vec<f64>,
+    /// Goal-relevant propositions (the PLRG's proposition nodes).
+    pub relevant_props: Vec<bool>,
+    /// Goal-relevant actions (the PLRG's action nodes).
+    pub relevant_actions: Vec<bool>,
+}
+
+impl Plrg {
+    /// Build the PLRG for a compiled task.
+    pub fn build(task: &PlanningTask) -> Plrg {
+        let np = task.num_props();
+        let na = task.num_actions();
+
+        // precondition index: prop -> actions requiring it
+        let mut consumers: Vec<Vec<ActionId>> = vec![Vec::new(); np];
+        for (i, a) in task.actions.iter().enumerate() {
+            for &p in &a.preconds {
+                consumers[p.index()].push(ActionId::from_index(i));
+            }
+        }
+
+        let mut value = vec![f64::INFINITY; np];
+        let mut action_value = vec![f64::INFINITY; na];
+        let mut missing: Vec<u32> = task.actions.iter().map(|a| a.preconds.len() as u32).collect();
+        let mut done = vec![false; np];
+
+        let mut heap: BinaryHeap<(Reverse<u64>, PropId)> = BinaryHeap::new();
+        for &p in &task.init_props {
+            value[p.index()] = 0.0;
+            heap.push((Reverse(0u64), p));
+        }
+        // actions with no propositional preconditions fire immediately
+        let fire = |a: ActionId,
+                        maxpre: f64,
+                        value: &mut Vec<f64>,
+                        action_value: &mut Vec<f64>,
+                        heap: &mut BinaryHeap<(Reverse<u64>, PropId)>| {
+            let av = maxpre + task.action(a).cost;
+            if av < action_value[a.index()] {
+                action_value[a.index()] = av;
+                for &q in &task.action(a).adds {
+                    if av < value[q.index()] {
+                        value[q.index()] = av;
+                        heap.push((Reverse(av.to_bits()), q));
+                    }
+                }
+            }
+        };
+        for (i, &m) in missing.iter().enumerate() {
+            if m == 0 {
+                fire(ActionId::from_index(i), 0.0, &mut value, &mut action_value, &mut heap);
+            }
+        }
+
+        while let Some((Reverse(bits), p)) = heap.pop() {
+            let v = f64::from_bits(bits);
+            if done[p.index()] || v > value[p.index()] {
+                continue;
+            }
+            done[p.index()] = true;
+            for &a in &consumers[p.index()] {
+                missing[a.index()] -= 1;
+                if missing[a.index()] == 0 {
+                    // p is the last (and max-cost) precondition finalized
+                    fire(a, value[p.index()], &mut value, &mut action_value, &mut heap);
+                }
+            }
+        }
+
+        // backward relevance sweep from the goals
+        let mut relevant_props = vec![false; np];
+        let mut relevant_actions = vec![false; na];
+        let mut stack: Vec<PropId> = Vec::new();
+        for &g in &task.goal_props {
+            if value[g.index()].is_finite() && !relevant_props[g.index()] {
+                relevant_props[g.index()] = true;
+                stack.push(g);
+            }
+        }
+        while let Some(p) = stack.pop() {
+            for &a in &task.achievers[p.index()] {
+                if !action_value[a.index()].is_finite() || relevant_actions[a.index()] {
+                    continue;
+                }
+                relevant_actions[a.index()] = true;
+                for &q in &task.action(a).preconds {
+                    if value[q.index()].is_finite() && !relevant_props[q.index()] {
+                        relevant_props[q.index()] = true;
+                        stack.push(q);
+                    }
+                }
+            }
+        }
+
+        Plrg { value, action_value, relevant_props, relevant_actions }
+    }
+
+    /// Lower bound on the cost of achieving `p` from the initial state.
+    pub fn prop_cost(&self, p: PropId) -> f64 {
+        self.value[p.index()]
+    }
+
+    /// Admissible estimate for a *set* of propositions: the max of the
+    /// individual bounds (ignores that achievers cannot share work).
+    pub fn set_cost(&self, props: &[PropId]) -> f64 {
+        props.iter().fold(0.0, |m, &p| m.max(self.value[p.index()]))
+    }
+
+    /// True iff the goal is logically reachable (paper: unreachable goal ⇒
+    /// the problem has no solution, report immediately).
+    pub fn solvable(&self, task: &PlanningTask) -> bool {
+        task.goal_props.iter().all(|&g| self.value[g.index()].is_finite())
+    }
+
+    /// True iff the action can ever fire and contributes to the goal.
+    pub fn usable(&self, a: ActionId) -> bool {
+        self.relevant_actions[a.index()]
+    }
+
+    /// PLRG node counts `(proposition nodes, action nodes)` — Table 2 col 6.
+    pub fn sizes(&self) -> (usize, usize) {
+        (
+            self.relevant_props.iter().filter(|&&b| b).count(),
+            self.relevant_actions.iter().filter(|&&b| b).count(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sekitei_compile::compile;
+    use sekitei_model::LevelScenario;
+    use sekitei_topology::scenarios;
+
+    #[test]
+    fn tiny_goal_reachable_with_finite_cost() {
+        let p = scenarios::tiny(LevelScenario::C);
+        let task = compile(&p).unwrap();
+        let plrg = Plrg::build(&task);
+        assert!(plrg.solvable(&task));
+        let g = task.goal_props[0];
+        let c = plrg.prop_cost(g);
+        assert!(c.is_finite() && c > 0.0);
+        // the goal cost is a lower bound on the known 7-action plan cost
+        assert!(c < 60.0, "goal bound {c} unreasonably large");
+    }
+
+    #[test]
+    fn init_props_cost_zero() {
+        let p = scenarios::tiny(LevelScenario::C);
+        let task = compile(&p).unwrap();
+        let plrg = Plrg::build(&task);
+        for &ip in &task.init_props {
+            assert_eq!(plrg.prop_cost(ip), 0.0);
+        }
+    }
+
+    #[test]
+    fn unreachable_when_no_source() {
+        let mut p = scenarios::tiny(LevelScenario::C);
+        p.sources.clear();
+        let task = compile(&p).unwrap();
+        let plrg = Plrg::build(&task);
+        assert!(!plrg.solvable(&task));
+    }
+
+    #[test]
+    fn set_cost_is_max() {
+        let p = scenarios::tiny(LevelScenario::C);
+        let task = compile(&p).unwrap();
+        let plrg = Plrg::build(&task);
+        let g = task.goal_props[0];
+        let i = task.init_props[0];
+        assert_eq!(plrg.set_cost(&[g, i]), plrg.prop_cost(g));
+        assert_eq!(plrg.set_cost(&[]), 0.0);
+    }
+
+    #[test]
+    fn relevance_is_subset_of_reachable() {
+        let p = scenarios::small(LevelScenario::C);
+        let task = compile(&p).unwrap();
+        let plrg = Plrg::build(&task);
+        for (i, &rel) in plrg.relevant_actions.iter().enumerate() {
+            if rel {
+                assert!(plrg.action_value[i].is_finite());
+            }
+        }
+        let (props, actions) = plrg.sizes();
+        assert!(props > 0 && actions > 0);
+        assert!(props <= task.num_props());
+        assert!(actions <= task.num_actions());
+    }
+
+    #[test]
+    fn costs_monotone_under_level_refinement() {
+        // scenario B's coarse levels give a (weakly) smaller goal bound
+        // than C's finer ones — B's lower bounds sit at interval lows of 0.
+        let tb = compile(&scenarios::tiny(LevelScenario::B)).unwrap();
+        let tc = compile(&scenarios::tiny(LevelScenario::C)).unwrap();
+        let pb = Plrg::build(&tb);
+        let pc = Plrg::build(&tc);
+        let gb = pb.prop_cost(tb.goal_props[0]);
+        let gc = pc.prop_cost(tc.goal_props[0]);
+        assert!(gb <= gc, "coarse bound {gb} should not exceed fine bound {gc}");
+    }
+}

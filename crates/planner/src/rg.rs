@@ -1,0 +1,380 @@
+//! Phase 3 — the main regression graph (paper §3.2.3).
+//!
+//! A* over totally-ordered *plan tails*. Each node carries the action that
+//! will execute first in its tail plus the set of propositions still to be
+//! achieved before it; expanding a node regresses over the achievers of one
+//! selected open proposition. Whenever a node is created, its tail is
+//! replayed through the optimistic resource maps ([`crate::replay`]) and
+//! pruned on failure — the early detection of resource violations that
+//! distinguishes the RG from the purely logical SLRG. Because resource
+//! feasibility depends on the whole tail, nodes are never shared: the RG is
+//! a tree (paper: "it is not possible to reuse nodes in the RG").
+//!
+//! A node with an empty open set is a *candidate* plan; it is returned only
+//! if its tail replays from the concrete initial state **and** the greedy
+//! concretization executes exactly ([`mod@crate::concretize`]). Rejected
+//! candidates simply leave the search running — this is how the planner
+//! walks past plausible-but-infeasible configurations (e.g. sending raw
+//! T+I through a link that can only fit the compressed pair).
+
+use crate::concretize::{concretize, ConcreteExecution};
+use crate::plrg::Plrg;
+use crate::replay::replay_tail;
+use crate::setkey::SetKey;
+use crate::slrg::Slrg;
+use sekitei_compile::PlanningTask;
+use sekitei_model::{ActionId, PropId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which remaining-cost heuristic the RG uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Heuristic {
+    /// The SLRG set-cost oracle (paper's choice).
+    #[default]
+    Slrg,
+    /// The cheaper PLRG max bound (ablation).
+    PlrgMax,
+    /// No heuristic at all — uniform-cost search (ablation baseline; shows
+    /// what the logical phases buy).
+    Blind,
+}
+
+/// RG search configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RgConfig {
+    /// Abort after creating this many nodes.
+    pub max_nodes: usize,
+    /// Abort after rejecting this many candidate plans at terminal
+    /// validation. An unsolvable unleveled instance (scenario A) generates
+    /// candidate after candidate whose greedy-max execution fails; this is
+    /// the "bound is reached" cutoff the paper mentions for that case.
+    pub max_candidate_rejects: usize,
+    /// Remaining-cost heuristic.
+    pub heuristic: Heuristic,
+    /// Replay tails through optimistic maps and prune failures
+    /// (disabling this is the ablation showing why Figure 8 matters).
+    pub replay_pruning: bool,
+}
+
+impl Default for RgConfig {
+    fn default() -> Self {
+        RgConfig {
+            max_nodes: 2_000_000,
+            max_candidate_rejects: 20_000,
+            heuristic: Heuristic::Slrg,
+            replay_pruning: true,
+        }
+    }
+}
+
+/// Outcome of the RG search.
+#[derive(Debug)]
+pub struct RgResult {
+    /// The plan (execution-ordered actions), its cost lower bound and its
+    /// concrete execution — `None` when no plan was found.
+    pub plan: Option<(Vec<ActionId>, f64, ConcreteExecution)>,
+    /// Nodes created (Table 2 col 8, first number).
+    pub nodes_created: usize,
+    /// Nodes still open when the solution was found (col 8, second number).
+    pub open_left: usize,
+    /// Nodes discarded by optimistic-map replay.
+    pub replay_prunes: usize,
+    /// Candidate plans rejected by terminal validation/concretization.
+    pub candidate_rejects: usize,
+    /// Nodes expanded.
+    pub expansions: usize,
+    /// True when the node budget was exhausted.
+    pub budget_exhausted: bool,
+}
+
+struct RgNode {
+    action: ActionId,
+    parent: u32, // u32::MAX = root
+    set: SetKey,
+    g: f64,
+}
+
+const ROOT: u32 = u32::MAX;
+
+/// Run the RG search.
+pub fn search(
+    task: &PlanningTask,
+    plrg: &Plrg,
+    slrg: &mut Slrg<'_>,
+    cfg: &RgConfig,
+) -> RgResult {
+    let mut result = RgResult {
+        plan: None,
+        nodes_created: 0,
+        open_left: 0,
+        replay_prunes: 0,
+        candidate_rejects: 0,
+        expansions: 0,
+        budget_exhausted: false,
+    };
+
+    let goal = SetKey::new(
+        task.goal_props.iter().copied().filter(|&p| !task.initially(p)).collect(),
+    );
+
+    let mut nodes: Vec<RgNode> = Vec::new();
+    // (Reverse(f), g_bits: deeper-first tie-break, Reverse(counter), idx)
+    let mut open: BinaryHeap<(Reverse<u64>, u64, Reverse<u64>, u32)> = BinaryHeap::new();
+    let mut counter = 0u64;
+
+    let h_of = |slrg: &mut Slrg<'_>, set: &SetKey| -> f64 {
+        match cfg.heuristic {
+            Heuristic::Slrg => slrg.achievement_cost(set).bound,
+            Heuristic::PlrgMax => plrg.set_cost(set.props()),
+            // even blind search must skip logically-dead sets
+            Heuristic::Blind => {
+                if plrg.set_cost(set.props()).is_finite() {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    };
+
+    // the virtual root: nothing executed yet, the goal set open
+    if goal.is_empty() {
+        // goals already satisfied: the empty plan, executed trivially
+        let exec = concretize(task, &[], &std::collections::HashMap::new())
+            .expect("empty plan always executes");
+        result.plan = Some((Vec::new(), 0.0, exec));
+        return result;
+    }
+    let h0 = h_of(slrg, &goal);
+    if !h0.is_finite() {
+        return result; // logically unsolvable
+    }
+    nodes.push(RgNode { action: ActionId(0), parent: ROOT, set: goal, g: 0.0 });
+    result.nodes_created += 1;
+    open.push((Reverse(h0.to_bits()), 0f64.to_bits(), Reverse(counter), 0));
+
+    while let Some((_, _, _, idx)) = open.pop() {
+        if result.nodes_created >= cfg.max_nodes {
+            result.budget_exhausted = true;
+            break;
+        }
+        result.expansions += 1;
+        let (set, g) = {
+            let n = &nodes[idx as usize];
+            (n.set.clone(), n.g)
+        };
+
+        if set.is_empty() {
+            // candidate plan: validate from the initial state
+            let tail = collect_tail(&nodes, idx);
+            match replay_tail(task, &tail, Some(&task.init_values)) {
+                Ok(map) => match concretize(task, &tail, &map) {
+                    Ok(exec) => {
+                        result.plan = Some((tail, g, exec));
+                        result.open_left = open.len();
+                        return result;
+                    }
+                    Err(_) => {
+                        result.candidate_rejects += 1;
+                    }
+                },
+                Err(_) => {
+                    result.candidate_rejects += 1;
+                }
+            }
+            if result.candidate_rejects >= cfg.max_candidate_rejects {
+                result.budget_exhausted = true;
+                break;
+            }
+            continue;
+        }
+
+        // branch on the open proposition with the largest PLRG bound
+        let target = select_prop(plrg, &set);
+        let achievers = task.achievers[target.index()].clone();
+        for a in achievers {
+            if !plrg.usable(a) {
+                continue;
+            }
+            // A ground action never needs to appear twice in one tail:
+            // repeating a placement or a crossing re-adds propositions that
+            // are already guaranteed and (with `Set`/`Sub` numeric effects)
+            // never delivers more than the first occurrence. Pruning
+            // repeats bounds tail depth by the action count and kills the
+            // cross-ping-pong regression ladders that would otherwise make
+            // unsolvable instances (scenario A) run forever.
+            if tail_contains(&nodes, idx, a) {
+                continue;
+            }
+            let act = task.action(a);
+            let child_set = set.regress(&act.adds, &act.preconds, |p| task.initially(p));
+            let g2 = g + act.cost;
+            let h = h_of(slrg, &child_set);
+            if !h.is_finite() {
+                continue;
+            }
+            let child_idx = nodes.len() as u32;
+            nodes.push(RgNode { action: a, parent: idx, set: child_set, g: g2 });
+
+            if cfg.replay_pruning {
+                let tail = collect_tail(&nodes, child_idx);
+                if replay_tail(task, &tail, None).is_err() {
+                    result.replay_prunes += 1;
+                    nodes.pop();
+                    continue;
+                }
+            }
+            result.nodes_created += 1;
+            counter += 1;
+            open.push((Reverse((g2 + h).to_bits()), g2.to_bits(), Reverse(counter), child_idx));
+            if nodes.len() >= cfg.max_nodes {
+                result.budget_exhausted = true;
+                result.open_left = open.len();
+                return result;
+            }
+        }
+    }
+    result.open_left = open.len();
+    result
+}
+
+/// True iff action `a` already occurs in the tail rooted at `idx`.
+fn tail_contains(nodes: &[RgNode], mut idx: u32, a: ActionId) -> bool {
+    while idx != ROOT {
+        let n = &nodes[idx as usize];
+        if n.parent == ROOT {
+            break;
+        }
+        if n.action == a {
+            return true;
+        }
+        idx = n.parent;
+    }
+    false
+}
+
+/// Plan tail of a node in execution order: the node's own action runs
+/// first, the root's child's action runs last.
+fn collect_tail(nodes: &[RgNode], mut idx: u32) -> Vec<ActionId> {
+    let mut tail = Vec::new();
+    loop {
+        let n = &nodes[idx as usize];
+        if n.parent == ROOT {
+            break; // the seeded root carries the goal set, not an action
+        }
+        tail.push(n.action);
+        idx = n.parent;
+    }
+    tail
+}
+
+fn select_prop(plrg: &Plrg, set: &SetKey) -> PropId {
+    *set.props()
+        .iter()
+        .max_by(|&&a, &&b| {
+            plrg.prop_cost(a).partial_cmp(&plrg.prop_cost(b)).unwrap().then(a.cmp(&b))
+        })
+        .expect("non-empty set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sekitei_compile::compile;
+    use sekitei_model::LevelScenario;
+    use sekitei_topology::scenarios;
+
+    fn run(sc: LevelScenario) -> (PlanningTask, RgResult) {
+        let p = scenarios::tiny(sc);
+        let task = compile(&p).unwrap();
+        let plrg = Plrg::build(&task);
+        let mut slrg = Slrg::new(&task, &plrg, 50_000);
+        let r = search(&task, &plrg, &mut slrg, &RgConfig::default());
+        (task, r)
+    }
+
+    #[test]
+    fn scenario_a_finds_no_plan() {
+        let (_, r) = run(LevelScenario::A);
+        assert!(r.plan.is_none(), "greedy scenario A must fail (paper §4.1)");
+        assert!(!r.budget_exhausted);
+        assert!(r.candidate_rejects > 0 || r.replay_prunes > 0);
+    }
+
+    #[test]
+    fn scenario_b_finds_seven_action_plan() {
+        let (task, r) = run(LevelScenario::B);
+        let (plan, cost, _) = r.plan.expect("scenario B solves Tiny");
+        assert_eq!(plan.len(), 7, "paper Table 2: 7 actions");
+        // every action costs exactly 1 at level-lows of 0 ⇒ bound = 7
+        assert!((cost - 7.0).abs() < 1e-9, "paper Table 2: lower bound 7, got {cost}");
+        let names: Vec<_> = plan.iter().map(|&a| task.action(a).name.clone()).collect();
+        assert!(names.iter().any(|n| n.contains("place(Splitter,n0)")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("place(Zip,n0)")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("cross(Z,n0→n1)")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("cross(I,n0→n1)")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("place(Unzip,n1)")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("place(Merger,n1)")), "{names:?}");
+        assert!(names.last().unwrap().contains("place(Client,n1)"), "{names:?}");
+    }
+
+    #[test]
+    fn scenario_c_same_plan_higher_bound() {
+        let (_, r) = run(LevelScenario::C);
+        let (plan, cost, exec) = r.plan.expect("scenario C solves Tiny");
+        assert_eq!(plan.len(), 7);
+        assert!(cost > 7.0, "C's bound reflects real bandwidth: {cost}");
+        // processes 100 units (paper §4.2)
+        assert!((exec.source_values[0].1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_ends_with_goal_achiever() {
+        let (task, r) = run(LevelScenario::D);
+        let (plan, _, _) = r.plan.unwrap();
+        let last = task.action(*plan.last().unwrap());
+        assert!(last.adds.iter().any(|&p| task.goal_props.contains(&p)));
+    }
+
+    #[test]
+    fn replay_pruning_off_still_sound() {
+        let p = scenarios::tiny(LevelScenario::B);
+        let task = compile(&p).unwrap();
+        let plrg = Plrg::build(&task);
+        let mut slrg = Slrg::new(&task, &plrg, 50_000);
+        let cfg = RgConfig { replay_pruning: false, ..RgConfig::default() };
+        let r = search(&task, &plrg, &mut slrg, &cfg);
+        let (plan, _, _) = r.plan.expect("still solvable without replay pruning");
+        assert_eq!(plan.len(), 7);
+        assert_eq!(r.replay_prunes, 0);
+    }
+
+    #[test]
+    fn plrg_heuristic_finds_same_cost() {
+        let p = scenarios::tiny(LevelScenario::C);
+        let task = compile(&p).unwrap();
+        let plrg = Plrg::build(&task);
+        let mut slrg = Slrg::new(&task, &plrg, 50_000);
+        let slrg_cost = search(&task, &plrg, &mut slrg, &RgConfig::default())
+            .plan
+            .unwrap()
+            .1;
+        let mut slrg2 = Slrg::new(&task, &plrg, 50_000);
+        let cfg = RgConfig { heuristic: Heuristic::PlrgMax, ..RgConfig::default() };
+        let plrg_cost = search(&task, &plrg, &mut slrg2, &cfg).plan.unwrap().1;
+        assert!((slrg_cost - plrg_cost).abs() < 1e-9, "{slrg_cost} vs {plrg_cost}");
+    }
+
+    #[test]
+    fn unsolvable_when_no_source() {
+        let mut p = scenarios::tiny(LevelScenario::C);
+        p.sources.clear();
+        let task = compile(&p).unwrap();
+        let plrg = Plrg::build(&task);
+        let mut slrg = Slrg::new(&task, &plrg, 50_000);
+        let r = search(&task, &plrg, &mut slrg, &RgConfig::default());
+        assert!(r.plan.is_none());
+        assert_eq!(r.nodes_created, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Canonical proposition-set keys for the SLRG and RG search spaces.
+
+use sekitei_model::PropId;
+
+/// An immutable, sorted, deduplicated set of propositions, cheap to hash
+/// and compare. Sets are small (goal regression rarely tracks more than a
+/// few dozen open conditions), so a sorted boxed slice beats fancier
+/// structures on both memory and speed.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SetKey(Box<[PropId]>);
+
+impl SetKey {
+    /// Build from arbitrary propositions (sorts and dedups).
+    pub fn new(mut props: Vec<PropId>) -> Self {
+        props.sort_unstable();
+        props.dedup();
+        SetKey(props.into_boxed_slice())
+    }
+
+    /// The empty set.
+    pub fn empty() -> Self {
+        SetKey(Box::new([]))
+    }
+
+    /// Member propositions, sorted.
+    pub fn props(&self) -> &[PropId] {
+        &self.0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff no members.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, p: PropId) -> bool {
+        self.0.binary_search(&p).is_ok()
+    }
+
+    /// Regression over an action: `(self \ adds) ∪ preconds`, minus
+    /// anything satisfied in the initial state (delete-free semantics allow
+    /// dropping initially-true propositions immediately).
+    ///
+    /// `adds` and `preconds` must be sorted; `initially` tests membership
+    /// in the initial state.
+    pub fn regress(
+        &self,
+        adds: &[PropId],
+        preconds: &[PropId],
+        mut initially: impl FnMut(PropId) -> bool,
+    ) -> SetKey {
+        let mut out: Vec<PropId> = Vec::with_capacity(self.0.len() + preconds.len());
+        for &p in self.0.iter() {
+            if adds.binary_search(&p).is_err() {
+                out.push(p);
+            }
+        }
+        for &p in preconds {
+            if !initially(p) {
+                out.push(p);
+            }
+        }
+        SetKey::new(out)
+    }
+}
+
+impl std::fmt::Display for SetKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(v: &[u32]) -> SetKey {
+        SetKey::new(v.iter().map(|&x| PropId(x)).collect())
+    }
+
+    #[test]
+    fn canonical_form() {
+        let a = key(&[3, 1, 2, 2]);
+        let b = key(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(PropId(2)));
+        assert!(!a.contains(PropId(9)));
+        assert!(SetKey::empty().is_empty());
+    }
+
+    #[test]
+    fn regress_removes_adds_and_appends_preconds() {
+        let s = key(&[1, 2, 3]);
+        let adds = [PropId(2), PropId(3)];
+        let pre = [PropId(7), PropId(5)];
+        // preconds must be provided sorted
+        let mut pre_sorted = pre;
+        pre_sorted.sort_unstable();
+        let r = s.regress(&adds, &pre_sorted, |_| false);
+        assert_eq!(r, key(&[1, 5, 7]));
+    }
+
+    #[test]
+    fn regress_drops_initially_true() {
+        let s = key(&[1]);
+        let adds = [PropId(1)];
+        let pre = [PropId(4), PropId(6)];
+        let r = s.regress(&adds, &pre, |p| p == PropId(4));
+        assert_eq!(r, key(&[6]));
+    }
+
+    #[test]
+    fn regress_to_empty_is_terminal() {
+        let s = key(&[1]);
+        let adds = [PropId(1)];
+        let r = s.regress(&adds, &[], |_| true);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(key(&[2, 1]).to_string(), "{p1,p2}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Graphviz DOT rendering of networks and deployment plans — no external
+//! dependencies, just string generation. Pipe the output through `dot
+//! -Tsvg` (or paste into any Graphviz viewer) to get the paper's
+//! Figure 1/9-style pictures: the network with component placements as
+//! node labels and stream crossings as colored, labeled edges.
+
+use crate::plan::Plan;
+use sekitei_compile::ActionKind;
+use sekitei_model::{CppProblem, LinkClass, NodeId};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Render the bare network as an undirected DOT graph.
+pub fn network_dot(problem: &CppProblem) -> String {
+    render(problem, None)
+}
+
+/// Render the network with a plan's placements and crossings overlaid.
+pub fn plan_dot(problem: &CppProblem, plan: &Plan) -> String {
+    render(problem, Some(plan))
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+fn render(problem: &CppProblem, plan: Option<&Plan>) -> String {
+    // collect per-node placements and per-link crossings from the plan
+    let mut placements: HashMap<NodeId, Vec<String>> = HashMap::new();
+    let mut crossings: Vec<(NodeId, NodeId, String)> = Vec::new();
+    if let Some(plan) = plan {
+        for step in &plan.steps {
+            match &step.kind {
+                ActionKind::Place { comp, node } => placements
+                    .entry(*node)
+                    .or_default()
+                    .push(problem.component(*comp).name.clone()),
+                ActionKind::Cross { iface, dir } => crossings.push((
+                    dir.from,
+                    dir.to,
+                    problem.iface(*iface).name.clone(),
+                )),
+            }
+        }
+    }
+    // pre-placed components show up too
+    for pp in &problem.pre_placed {
+        placements.entry(pp.node).or_default().push(format!("{}*", pp.component));
+    }
+
+    let mut out = String::from("graph deployment {\n");
+    out.push_str("    layout=neato;\n    overlap=false;\n    splines=true;\n");
+    out.push_str("    node [shape=box, style=rounded, fontname=\"Helvetica\"];\n");
+    out.push_str("    edge [fontname=\"Helvetica\", fontsize=10];\n");
+
+    for (id, n) in problem.network.nodes() {
+        let mut label = escape(&n.name);
+        if let Some(comps) = placements.get(&id) {
+            label.push_str("\\n[");
+            label.push_str(&escape(&comps.join(", ")));
+            label.push(']');
+        }
+        let sourced = problem.sources.iter().any(|s| s.node == id);
+        let goal = problem.goals.iter().any(|g| g.node == id);
+        let fill = match (sourced, goal) {
+            (true, _) => ", fillcolor=\"#cfe8ff\", style=\"rounded,filled\"",
+            (_, true) => ", fillcolor=\"#d8f3d8\", style=\"rounded,filled\"",
+            _ => "",
+        };
+        let bold = if placements.contains_key(&id) { ", penwidth=2" } else { "" };
+        let _ = writeln!(out, "    n{} [label=\"{label}\"{fill}{bold}];", id.index());
+    }
+
+    for (lid, l) in problem.network.links() {
+        let style = match l.class {
+            LinkClass::Lan => "solid",
+            LinkClass::Wan => "dashed",
+            LinkClass::Other => "dotted",
+        };
+        // streams crossing this link (either direction)
+        let mut labels: Vec<String> = Vec::new();
+        for (from, to, iface) in &crossings {
+            if problem.network.link_between(*from, *to) == Some(lid) {
+                labels.push(format!("{iface}→"));
+            }
+        }
+        let label = if labels.is_empty() {
+            String::new()
+        } else {
+            format!(", label=\"{}\", color=\"#c04000\", penwidth=2", escape(&labels.join(" ")))
+        };
+        let _ = writeln!(
+            out,
+            "    n{} -- n{} [style={style}{label}];",
+            l.a.index(),
+            l.b.index()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Planner, PlannerConfig};
+    use sekitei_model::LevelScenario;
+    use sekitei_topology::scenarios;
+
+    #[test]
+    fn network_dot_structure() {
+        let p = scenarios::small(LevelScenario::C);
+        let dot = network_dot(&p);
+        assert!(dot.starts_with("graph deployment {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // every node and link appears
+        assert_eq!(dot.matches("label=\"n").count() + dot.matches("label=\"x").count(), 6);
+        assert_eq!(dot.matches(" -- ").count(), p.network.num_links());
+        // WAN links dashed, LAN solid
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("style=solid"));
+        // server/client highlighted
+        assert!(dot.contains("#cfe8ff"));
+        assert!(dot.contains("#d8f3d8"));
+    }
+
+    #[test]
+    fn plan_dot_overlays_placements_and_crossings() {
+        let p = scenarios::tiny(LevelScenario::C);
+        let o = Planner::new(PlannerConfig::default()).plan(&p).unwrap();
+        let plan = o.plan.unwrap();
+        let dot = plan_dot(&p, &plan);
+        assert!(dot.contains("Splitter"), "{dot}");
+        assert!(dot.contains("Merger"));
+        assert!(dot.contains("Z→"), "{dot}");
+        assert!(dot.contains("I→"));
+        assert!(dot.contains("penwidth=2"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut p = scenarios::tiny(LevelScenario::C);
+        // a hostile node name must not break the DOT syntax
+        let id = p.network.add_node("evil\"node", [("cpu", 1.0)]);
+        let _ = id;
+        let dot = network_dot(&p);
+        assert!(dot.contains("evil\\\"node"));
+    }
+}

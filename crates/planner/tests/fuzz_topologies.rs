@@ -1,0 +1,124 @@
+//! Randomized-topology fuzzing: attach the media domain to randomly
+//! generated networks (Waxman, Barabási–Albert, transit-stub) with random
+//! capacities, plant the server and client at random nodes, and verify the
+//! planner's contract on every instance:
+//!
+//! * it never panics and always terminates within its budgets,
+//! * every plan it returns executes cleanly in the independent simulator,
+//! * the cost lower bound never exceeds the executed real cost,
+//! * results are deterministic.
+
+use proptest::prelude::*;
+use sekitei_model::{
+    media_domain_with, CppProblem, Goal, LevelScenario, MediaConfig, NodeId, StreamSource,
+};
+use sekitei_planner::{Planner, PlannerConfig};
+use sekitei_sim::validate_plan;
+use sekitei_topology::{barabasi_albert, transit_stub, waxman, Capacities, TransitStubConfig};
+
+fn attach_media(
+    net: sekitei_model::Network,
+    server: NodeId,
+    client: NodeId,
+    sc: LevelScenario,
+    demand: f64,
+) -> CppProblem {
+    let cfg = MediaConfig { client_demand: demand, ..MediaConfig::default() };
+    let d = media_domain_with(cfg, sc);
+    CppProblem {
+        network: net,
+        resources: d.resources,
+        interfaces: d.interfaces,
+        components: d.components,
+        sources: vec![StreamSource::up_to("M", server, "ibw", 200.0)],
+        pre_placed: vec![],
+        goals: vec![Goal { component: "Client".into(), node: client }],
+    }
+}
+
+fn check(p: &CppProblem) -> Result<bool, TestCaseError> {
+    let planner = Planner::new(PlannerConfig {
+        max_rg_nodes: 100_000,
+        max_candidate_rejects: 1_000,
+        slrg_budget: 20_000,
+        ..PlannerConfig::default()
+    });
+    let a = planner.plan(p).expect("compiles");
+    let b = planner.plan(p).expect("compiles");
+    match (&a.plan, &b.plan) {
+        (Some(x), Some(y)) => {
+            prop_assert_eq!(x.len(), y.len(), "nondeterministic plan length");
+            prop_assert!((x.cost_lower_bound - y.cost_lower_bound).abs() < 1e-9);
+        }
+        (None, None) => {}
+        _ => prop_assert!(false, "nondeterministic solvability"),
+    }
+    if let Some(plan) = &a.plan {
+        let report = validate_plan(p, &a.task, plan);
+        prop_assert!(report.ok, "plan failed simulation: {:?}\n{plan}", report.violations);
+        prop_assert!(plan.cost_lower_bound <= report.total_cost + 1e-6);
+    }
+    Ok(a.plan.is_some())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn waxman_media_sound(seed in 0u64..10_000, n in 6usize..20,
+                          cpu in 20.0..60.0f64, bw in 40.0..160.0f64,
+                          demand in 50.0..110.0f64, sc_idx in 1..5usize) {
+        let caps = Capacities { node_cpu: cpu.round(), lan_bw: bw.round(), wan_bw: bw.round() };
+        let net = waxman(n, 0.5, 0.3, seed, &caps);
+        let server = NodeId(0);
+        let client = NodeId((n - 1) as u32);
+        let p = attach_media(net, server, client, LevelScenario::ALL[sc_idx], demand.round());
+        check(&p)?;
+    }
+
+    #[test]
+    fn barabasi_media_sound(seed in 0u64..10_000, n in 8usize..24,
+                            demand in 60.0..100.0f64, sc_idx in 1..5usize) {
+        let caps = Capacities::default();
+        let net = barabasi_albert(n, 2, seed, &caps);
+        let server = NodeId(1);
+        let client = NodeId((n - 1) as u32);
+        let p = attach_media(net, server, client, LevelScenario::ALL[sc_idx], demand.round());
+        check(&p)?;
+    }
+
+    #[test]
+    fn transit_stub_media_sound(seed in 0u64..1_000, stubs in 1usize..3,
+                                stub_size in 2usize..6, sc_idx in 1..4usize) {
+        let cfg = TransitStubConfig {
+            transit_nodes: 2,
+            stubs_per_transit: stubs,
+            stub_size,
+            seed,
+            ..TransitStubConfig::default()
+        };
+        let ts = transit_stub(&cfg);
+        let server = ts.members[0][0][0];
+        let client = *ts.members[1].last().unwrap().last().unwrap();
+        let p = attach_media(ts.net, server, client, LevelScenario::ALL[sc_idx], 90.0);
+        check(&p)?;
+    }
+}
+
+#[test]
+fn solvable_fraction_sanity() {
+    // with generous capacities most random instances must be solvable —
+    // a planner that silently fails everywhere would pass the pure
+    // soundness checks above, so pin down completeness too
+    let caps = Capacities { node_cpu: 60.0, lan_bw: 200.0, wan_bw: 200.0 };
+    let mut solved = 0;
+    let total = 20;
+    for seed in 0..total {
+        let net = waxman(10, 0.6, 0.4, seed, &caps);
+        let p = attach_media(net, NodeId(0), NodeId(9), LevelScenario::C, 90.0);
+        if check(&p).unwrap() {
+            solved += 1;
+        }
+    }
+    assert!(solved >= total * 9 / 10, "only {solved}/{total} solvable");
+}

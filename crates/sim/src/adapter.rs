@@ -1,0 +1,207 @@
+//! Adapter from planner [`Plan`]s to simulator operations.
+
+use crate::engine::{simulate, DeployOp, DeploymentReport, SourceValue};
+use sekitei_compile::{ActionKind, GVarData, PlanningTask};
+use sekitei_model::CppProblem;
+use sekitei_planner::Plan;
+use std::collections::BTreeMap;
+
+/// Convert a plan's steps into simulator operations.
+pub fn plan_ops(problem: &CppProblem, plan: &Plan) -> Vec<DeployOp> {
+    plan.steps
+        .iter()
+        .map(|s| match &s.kind {
+            ActionKind::Place { comp, node } => DeployOp::Place {
+                component: problem.component(*comp).name.clone(),
+                node: *node,
+            },
+            ActionKind::Cross { iface, dir } => {
+                DeployOp::Cross { iface: problem.iface(*iface).name.clone(), dir: *dir }
+            }
+        })
+        .collect()
+}
+
+/// Recover the concrete source injections chosen by the planner's greedy
+/// concretization.
+pub fn plan_sources(problem: &CppProblem, task: &PlanningTask, plan: &Plan) -> Vec<SourceValue> {
+    let mut out = Vec::new();
+    for &(v, value) in &plan.execution.source_values {
+        if let GVarData::IfaceProp { iface, prop, node } = task.gvars[v.index()] {
+            let spec = problem.iface(iface);
+            let mut properties: BTreeMap<String, f64> = BTreeMap::new();
+            properties.insert(spec.properties[prop as usize].clone(), value);
+            // carry any further source-declared properties at their max
+            if let Some(src) =
+                problem.sources.iter().find(|s| s.iface == spec.name && s.node == node)
+            {
+                for (k, iv) in &src.properties {
+                    properties.entry(k.clone()).or_insert(iv.hi);
+                }
+            }
+            out.push(SourceValue { iface: spec.name.clone(), node, properties });
+        }
+    }
+    out
+}
+
+/// Extract the deployment state a plan leaves behind — input for
+/// [`sekitei_model::adapt_problem`] when the environment later changes.
+pub fn existing_from_plan(
+    problem: &CppProblem,
+    plan: &Plan,
+) -> sekitei_model::ExistingDeployment {
+    let placements = plan
+        .steps
+        .iter()
+        .filter_map(|s| match &s.kind {
+            ActionKind::Place { comp, node } => Some(sekitei_model::ExistingPlacement {
+                component: problem.component(*comp).name.clone(),
+                node: *node,
+            }),
+            ActionKind::Cross { .. } => None,
+        })
+        .collect();
+    sekitei_model::ExistingDeployment { placements, streams: Vec::new() }
+}
+
+/// Execute a planner-produced plan in the simulator and report.
+///
+/// This is the workspace's end-to-end soundness check: the planner's
+/// interval reasoning and the simulator's concrete spec interpretation
+/// must agree that the plan is feasible.
+pub fn validate_plan(problem: &CppProblem, task: &PlanningTask, plan: &Plan) -> DeploymentReport {
+    let ops = plan_ops(problem, plan);
+    let sources = plan_sources(problem, task, plan);
+    simulate(problem, &sources, &ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sekitei_model::LevelScenario;
+    use sekitei_planner::{Planner, PlannerConfig};
+    use sekitei_topology::scenarios;
+
+    #[test]
+    fn planner_plans_validate_in_simulator() {
+        let planner = Planner::new(PlannerConfig::default());
+        for sc in [LevelScenario::B, LevelScenario::C, LevelScenario::D, LevelScenario::E] {
+            let p = scenarios::tiny(sc);
+            let outcome = planner.plan(&p).unwrap();
+            let plan = outcome.plan.expect("solvable");
+            let report = validate_plan(&p, &outcome.task, &plan);
+            assert!(report.ok, "scenario {sc:?}: {:?}", report.violations);
+        }
+    }
+
+    #[test]
+    fn simulator_real_cost_at_least_lower_bound() {
+        let planner = Planner::default();
+        let p = scenarios::tiny(LevelScenario::C);
+        let outcome = planner.plan(&p).unwrap();
+        let plan = outcome.plan.unwrap();
+        let report = validate_plan(&p, &outcome.task, &plan);
+        assert!(
+            report.total_cost >= plan.cost_lower_bound - 1e-6,
+            "real {} < bound {}",
+            report.total_cost,
+            plan.cost_lower_bound
+        );
+    }
+
+    #[test]
+    fn ops_and_sources_shapes() {
+        let planner = Planner::default();
+        let p = scenarios::tiny(LevelScenario::C);
+        let outcome = planner.plan(&p).unwrap();
+        let plan = outcome.plan.unwrap();
+        let ops = plan_ops(&p, &plan);
+        assert_eq!(ops.len(), plan.len());
+        let sources = plan_sources(&p, &outcome.task, &plan);
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sources[0].iface, "M");
+        assert!((sources[0].properties["ibw"] - 100.0).abs() < 1e-9);
+    }
+}
+
+/// Render a compact flow report: per link, which streams reserve how much
+/// bandwidth — the Figure 9 "reserved LAN bw" data at full resolution.
+pub fn flow_report(problem: &CppProblem, report: &crate::engine::DeploymentReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let mut by_link: std::collections::BTreeMap<(u32, &str), Vec<(&str, f64)>> =
+        std::collections::BTreeMap::new();
+    for (link, res, iface, amount) in &report.link_flows {
+        by_link.entry((link.0, res.as_str())).or_default().push((iface.as_str(), *amount));
+    }
+    for ((link, res), flows) in by_link {
+        let l = problem.network.link(sekitei_model::LinkId(link));
+        let total: f64 = flows.iter().map(|(_, a)| a).sum();
+        let cap = problem.network.link_capacity(sekitei_model::LinkId(link), res);
+        let parts: Vec<String> =
+            flows.iter().map(|(i, a)| format!("{i}={a:.1}")).collect();
+        let _ = writeln!(
+            out,
+            "{}-{} {res}: {:.1}/{:.1} ({})",
+            problem.network.node(l.a).name,
+            problem.network.node(l.b).name,
+            total,
+            cap,
+            parts.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod flow_tests {
+    use super::*;
+    use sekitei_model::LevelScenario;
+    use sekitei_planner::Planner;
+    use sekitei_topology::scenarios;
+
+    #[test]
+    fn link_flows_attribute_streams() {
+        let p = scenarios::tiny(LevelScenario::C);
+        let o = Planner::default().plan(&p).unwrap();
+        let plan = o.plan.unwrap();
+        let report = validate_plan(&p, &o.task, &plan);
+        assert!(report.ok);
+        // the single WAN link carries exactly Z (35) and I (30)
+        let mut flows: Vec<(&str, f64)> = report
+            .link_flows
+            .iter()
+            .map(|(_, _, i, a)| (i.as_str(), *a))
+            .collect();
+        flows.sort_by(|a, b| a.0.cmp(b.0));
+        assert_eq!(flows.len(), 2, "{flows:?}");
+        assert_eq!(flows[0].0, "I");
+        assert!((flows[0].1 - 30.0).abs() < 1e-9);
+        assert_eq!(flows[1].0, "Z");
+        assert!((flows[1].1 - 35.0).abs() < 1e-9);
+        // rendered report mentions both
+        let text = flow_report(&p, &report);
+        assert!(text.contains("I=30.0"), "{text}");
+        assert!(text.contains("Z=35.0"), "{text}");
+        assert!(text.contains("65.0/70.0"), "{text}");
+    }
+
+    #[test]
+    fn trace_covers_every_step() {
+        let p = scenarios::small(LevelScenario::C);
+        let o = Planner::default().plan(&p).unwrap();
+        let plan = o.plan.unwrap();
+        let report = validate_plan(&p, &o.task, &plan);
+        assert_eq!(report.trace.len(), plan.len());
+        for (i, t) in report.trace.iter().enumerate() {
+            assert_eq!(t.step, i);
+            assert!(!t.op.is_empty());
+        }
+        // crossings record link bandwidth writes
+        assert!(report
+            .trace
+            .iter()
+            .any(|t| t.op.starts_with("cross") && !t.writes.is_empty()));
+    }
+}

@@ -1,0 +1,17 @@
+//! # sekitei-sim
+//!
+//! Deployment execution simulator: instantiates plans on a network,
+//! propagates streams through component formulas, charges CPU and link
+//! bandwidth, and verifies goals and QoS. Serves as the independent
+//! soundness oracle for [`sekitei_planner`] (every plan the planner
+//! returns must execute here without violations) and as the stand-in for
+//! the paper's Partitionable Services runtime.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adapter;
+pub mod engine;
+
+pub use adapter::{existing_from_plan, flow_report, plan_ops, plan_sources, validate_plan};
+pub use engine::{simulate, DeployOp, DeploymentReport, SourceValue, StepTrace, Violation};

@@ -1,0 +1,364 @@
+//! Tokenizer for the Sekitei specification language.
+//!
+//! The surface syntax mirrors the paper's Figures 2 and 6 in a brace-based
+//! form; see the crate docs for the grammar. Comments run from `#` or `//`
+//! to end of line.
+
+use crate::error::SpecError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `:=`
+    Assign,
+    /// `-=`
+    SubAssign,
+    /// `+=`
+    AddAssign,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `==`
+    EqEq,
+    /// `--` (link connector)
+    DashDash,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::Dot => write!(f, "."),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Assign => write!(f, ":="),
+            Tok::SubAssign => write!(f, "-="),
+            Tok::AddAssign => write!(f, "+="),
+            Tok::Le => write!(f, "<="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Gt => write!(f, ">"),
+            Tok::EqEq => write!(f, "=="),
+            Tok::DashDash => write!(f, "--"),
+        }
+    }
+}
+
+/// A token with its source line (1-based), for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Tokenize a source string.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, SpecError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                out.push(Spanned { tok: Tok::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                out.push(Spanned { tok: Tok::RBrace, line });
+                i += 1;
+            }
+            '(' => {
+                out.push(Spanned { tok: Tok::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { tok: Tok::RParen, line });
+                i += 1;
+            }
+            '[' => {
+                out.push(Spanned { tok: Tok::LBracket, line });
+                i += 1;
+            }
+            ']' => {
+                out.push(Spanned { tok: Tok::RBracket, line });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { tok: Tok::Comma, line });
+                i += 1;
+            }
+            ';' => {
+                out.push(Spanned { tok: Tok::Semi, line });
+                i += 1;
+            }
+            '.' => {
+                out.push(Spanned { tok: Tok::Dot, line });
+                i += 1;
+            }
+            '+' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::AddAssign, line });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Plus, line });
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::SubAssign, line });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'-') {
+                    out.push(Spanned { tok: Tok::DashDash, line });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Minus, line });
+                    i += 1;
+                }
+            }
+            '*' => {
+                out.push(Spanned { tok: Tok::Star, line });
+                i += 1;
+            }
+            '/' => {
+                out.push(Spanned { tok: Tok::Slash, line });
+                i += 1;
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Assign, line });
+                    i += 2;
+                } else {
+                    return Err(SpecError::lex(line, "expected `:=`"));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Le, line });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Lt, line });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Ge, line });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Gt, line });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::EqEq, line });
+                    i += 2;
+                } else {
+                    return Err(SpecError::lex(line, "expected `==`"));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    // don't swallow a `.` that isn't followed by a digit
+                    if bytes[i] == b'.'
+                        && !(i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| SpecError::lex(line, format!("bad number `{text}`")))?;
+                out.push(Spanned { tok: Tok::Num(n), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned { tok: Tok::Ident(src[start..i].to_string()), line });
+            }
+            other => return Err(SpecError::lex(line, format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn idents_numbers_punct() {
+        assert_eq!(
+            toks("node.cpu >= (T.ibw + I.ibw) / 5;"),
+            vec![
+                Tok::Ident("node".into()),
+                Tok::Dot,
+                Tok::Ident("cpu".into()),
+                Tok::Ge,
+                Tok::LParen,
+                Tok::Ident("T".into()),
+                Tok::Dot,
+                Tok::Ident("ibw".into()),
+                Tok::Plus,
+                Tok::Ident("I".into()),
+                Tok::Dot,
+                Tok::Ident("ibw".into()),
+                Tok::RParen,
+                Tok::Slash,
+                Tok::Num(5.0),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn compound_operators() {
+        assert_eq!(
+            toks("a := b; c -= d; e += f; g == h; i <= j; k -- l"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Assign,
+                Tok::Ident("b".into()),
+                Tok::Semi,
+                Tok::Ident("c".into()),
+                Tok::SubAssign,
+                Tok::Ident("d".into()),
+                Tok::Semi,
+                Tok::Ident("e".into()),
+                Tok::AddAssign,
+                Tok::Ident("f".into()),
+                Tok::Semi,
+                Tok::Ident("g".into()),
+                Tok::EqEq,
+                Tok::Ident("h".into()),
+                Tok::Semi,
+                Tok::Ident("i".into()),
+                Tok::Le,
+                Tok::Ident("j".into()),
+                Tok::Semi,
+                Tok::Ident("k".into()),
+                Tok::DashDash,
+                Tok::Ident("l".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("31.5 100 0.7 1e3 2.5e-2"), vec![
+            Tok::Num(31.5),
+            Tok::Num(100.0),
+            Tok::Num(0.7),
+            Tok::Num(1000.0),
+            Tok::Num(0.025),
+        ]);
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let spanned = lex("a # comment\nb // another\nc").unwrap();
+        assert_eq!(spanned.len(), 3);
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[2].line, 3);
+    }
+
+    #[test]
+    fn dot_not_swallowed_by_number() {
+        // `5.x` must lex as Num(5), Dot, Ident(x) — not a bad number
+        assert_eq!(
+            toks("5.x"),
+            vec![Tok::Num(5.0), Tok::Dot, Tok::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("a ? b").is_err());
+        assert!(lex("a : b").is_err());
+        assert!(lex("a = b").is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # sekitei-spec
+//!
+//! Textual specification language for CPP domains — the practical face of
+//! the paper's Figures 2 and 6 — plus a compact binary wire format.
+//!
+//! ```
+//! let src = r#"
+//!     resource node cpu;
+//!     resource link lbw;
+//!     interface M {
+//!         property ibw;
+//!         levels ibw [90, 100];
+//!         cross {
+//!             effect { link.lbw -= min(M.ibw, link.lbw);
+//!                      M.ibw := min(M.ibw, link.lbw); }
+//!             cost 1 + M.ibw / 10;
+//!         }
+//!     }
+//!     component Client {
+//!         requires M;
+//!         when { M.ibw >= 90; }
+//!         cost 1 + M.ibw / 10;
+//!     }
+//!     network {
+//!         node n0 { cpu 30; }
+//!         node n1 { cpu 30; }
+//!         link n0 -- n1 lan { lbw 150; }
+//!     }
+//!     problem {
+//!         source M at n0 { ibw up to 200; }
+//!         goal Client at n1;
+//!     }
+//! "#;
+//! let problem = sekitei_spec::parse_problem(src).unwrap();
+//! assert_eq!(problem.components.len(), 1);
+//! // print → parse is the identity (structurally)
+//! let printed = sekitei_spec::print_problem(&problem);
+//! let again = sekitei_spec::parse_problem(&printed).unwrap();
+//! assert_eq!(problem.components, again.components);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod wire;
+
+pub use error::SpecError;
+pub use parser::{parse_expr, parse_problem};
+pub use printer::print_problem;
+pub use wire::{decode, encode};

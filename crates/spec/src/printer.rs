@@ -1,0 +1,232 @@
+//! Pretty-printer: renders a [`CppProblem`] back to the specification
+//! language, such that `parse(print(p))` reproduces `p` structurally.
+
+use sekitei_model::resource::Elasticity;
+use sekitei_model::{
+    CppProblem, Expr, LevelSpec, LinkClass, Placement, SCond, SEffect, SExpr, SpecVar,
+};
+use std::fmt::Write;
+
+/// Render a complete problem specification.
+pub fn print_problem(p: &CppProblem) -> String {
+    let mut out = String::new();
+    for r in &p.resources {
+        let _ = write!(out, "resource {} {}", r.locus, r.name);
+        if !r.levels.is_trivial() {
+            let _ = write!(out, " levels {}", levels(&r.levels));
+        }
+        match r.elasticity {
+            Elasticity::Degradable => {}
+            Elasticity::Upgradable => out.push_str(" upgradable"),
+            Elasticity::Rigid => out.push_str(" rigid"),
+        }
+        if !r.consumable {
+            out.push_str(" static");
+        }
+        out.push_str(";\n");
+    }
+    out.push('\n');
+
+    for i in &p.interfaces {
+        let _ = writeln!(out, "interface {} {{", i.name);
+        if !i.properties.is_empty() {
+            let _ = writeln!(out, "    property {};", i.properties.join(", "));
+        }
+        if !i.degradable {
+            out.push_str("    rigid;\n");
+        }
+        for (prop, ls) in &i.levels {
+            if !ls.is_trivial() {
+                let _ = writeln!(out, "    levels {prop} {};", levels(ls));
+            }
+        }
+        let has_cross = !i.cross_conditions.is_empty()
+            || !i.cross_effects.is_empty()
+            || i.cross_cost != Expr::c(1.0);
+        if has_cross {
+            out.push_str("    cross {\n");
+            if !i.cross_conditions.is_empty() {
+                out.push_str("        when {\n");
+                for c in &i.cross_conditions {
+                    let _ = writeln!(out, "            {};", cond(c));
+                }
+                out.push_str("        }\n");
+            }
+            if !i.cross_effects.is_empty() {
+                out.push_str("        effect {\n");
+                for e in &i.cross_effects {
+                    let _ = writeln!(out, "            {};", effect(e));
+                }
+                out.push_str("        }\n");
+            }
+            let _ = writeln!(out, "        cost {};", expr(&i.cross_cost));
+            out.push_str("    }\n");
+        }
+        out.push_str("}\n\n");
+    }
+
+    for c in &p.components {
+        let _ = writeln!(out, "component {} {{", c.name);
+        if !c.requires.is_empty() {
+            let _ = writeln!(out, "    requires {};", c.requires.join(", "));
+        }
+        if !c.implements.is_empty() {
+            let _ = writeln!(out, "    implements {};", c.implements.join(", "));
+        }
+        if !c.conditions.is_empty() {
+            out.push_str("    when {\n");
+            for cd in &c.conditions {
+                let _ = writeln!(out, "        {};", cond(cd));
+            }
+            out.push_str("    }\n");
+        }
+        if !c.effects.is_empty() {
+            out.push_str("    effect {\n");
+            for e in &c.effects {
+                let _ = writeln!(out, "        {};", effect(e));
+            }
+            out.push_str("    }\n");
+        }
+        let _ = writeln!(out, "    cost {};", expr(&c.cost));
+        if let Placement::Only(nodes) = &c.placement {
+            let _ = writeln!(out, "    only on {};", nodes.join(", "));
+        }
+        out.push_str("}\n\n");
+    }
+
+    out.push_str("network {\n");
+    for (_, n) in p.network.nodes() {
+        let _ = write!(out, "    node {} {{ ", n.name);
+        for (k, v) in &n.resources {
+            let _ = write!(out, "{k} {v}; ");
+        }
+        out.push_str("}\n");
+    }
+    for (_, l) in p.network.links() {
+        let class = match l.class {
+            LinkClass::Lan => " lan",
+            LinkClass::Wan => " wan",
+            LinkClass::Other => "",
+        };
+        let _ = write!(
+            out,
+            "    link {} -- {}{class} {{ ",
+            p.network.node(l.a).name,
+            p.network.node(l.b).name
+        );
+        for (k, v) in &l.resources {
+            let _ = write!(out, "{k} {v}; ");
+        }
+        out.push_str("}\n");
+    }
+    out.push_str("}\n\nproblem {\n");
+    for s in &p.sources {
+        let _ = write!(out, "    source {} at {} {{ ", s.iface, p.network.node(s.node).name);
+        for (prop, iv) in &s.properties {
+            if iv.lo == 0.0 {
+                let _ = write!(out, "{prop} up to {}; ", iv.hi);
+            } else {
+                let _ = write!(out, "{prop} in [{}, {}]; ", iv.lo, iv.hi);
+            }
+        }
+        out.push_str("}\n");
+    }
+    for pp in &p.pre_placed {
+        let _ = writeln!(out, "    placed {} at {};", pp.component, p.network.node(pp.node).name);
+    }
+    for g in &p.goals {
+        let _ = writeln!(out, "    goal {} at {};", g.component, p.network.node(g.node).name);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn levels(ls: &LevelSpec) -> String {
+    let cuts: Vec<String> = ls.cutpoints().iter().map(|c| c.to_string()).collect();
+    format!("[{}]", cuts.join(", "))
+}
+
+/// Render an expression with explicit parentheses (re-parses identically).
+pub fn expr(e: &SExpr) -> String {
+    match e {
+        Expr::Const(c) => {
+            if *c < 0.0 {
+                format!("(0 - {})", -c)
+            } else {
+                c.to_string()
+            }
+        }
+        Expr::Var(v) => var(v),
+        Expr::Add(a, b) => format!("({} + {})", expr(a), expr(b)),
+        Expr::Sub(a, b) => format!("({} - {})", expr(a), expr(b)),
+        Expr::Mul(a, b) => format!("({} * {})", expr(a), expr(b)),
+        Expr::Div(a, b) => format!("({} / {})", expr(a), expr(b)),
+        Expr::Min(a, b) => format!("min({}, {})", expr(a), expr(b)),
+        Expr::Max(a, b) => format!("max({}, {})", expr(a), expr(b)),
+        Expr::Neg(a) => format!("(-{})", expr(a)),
+    }
+}
+
+fn var(v: &SpecVar) -> String {
+    v.to_string()
+}
+
+fn cond(c: &SCond) -> String {
+    format!("{} {} {}", expr(&c.lhs), c.op, expr(&c.rhs))
+}
+
+fn effect(e: &SEffect) -> String {
+    format!("{} {} {}", var(&e.target), e.op, expr(&e.value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_problem;
+    use sekitei_model::LevelScenario;
+    use sekitei_topology::scenarios;
+
+    #[test]
+    fn roundtrip_tiny_all_scenarios() {
+        for sc in LevelScenario::ALL {
+            let p = scenarios::tiny(sc);
+            let text = print_problem(&p);
+            let q = parse_problem(&text)
+                .unwrap_or_else(|e| panic!("scenario {sc:?} reparse failed: {e}\n{text}"));
+            assert_eq!(p.resources, q.resources, "{sc:?}");
+            assert_eq!(p.interfaces, q.interfaces, "{sc:?}");
+            assert_eq!(p.components, q.components, "{sc:?}");
+            assert_eq!(p.sources, q.sources, "{sc:?}");
+            assert_eq!(p.goals, q.goals, "{sc:?}");
+            assert_eq!(p.network.num_nodes(), q.network.num_nodes());
+            assert_eq!(p.network.num_links(), q.network.num_links());
+        }
+    }
+
+    #[test]
+    fn roundtrip_small_and_tradeoff() {
+        for p in [scenarios::small(LevelScenario::D), scenarios::tradeoff(1.5)] {
+            let text = print_problem(&p);
+            let q = parse_problem(&text).expect("reparse");
+            assert_eq!(p.components, q.components);
+            assert_eq!(p.network.num_links(), q.network.num_links());
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_planning_behavior() {
+        let p = scenarios::tiny(LevelScenario::C);
+        let q = parse_problem(&print_problem(&p)).unwrap();
+        let planner = sekitei_planner::Planner::default();
+        let a = planner.plan(&p).unwrap();
+        let b = planner.plan(&q).unwrap();
+        let (pa, pb) = (a.plan.unwrap(), b.plan.unwrap());
+        assert_eq!(pa.len(), pb.len());
+        assert!((pa.cost_lower_bound - pb.cost_lower_bound).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_constant_renders_parseable() {
+        assert_eq!(expr(&Expr::<SpecVar>::c(-3.5)), "(0 - 3.5)");
+    }
+}

@@ -1,0 +1,562 @@
+//! Compact binary wire format for [`CppProblem`]s.
+//!
+//! Used to ship problem instances between processes (e.g. a deployment
+//! service handing work to planner workers) without paying text parsing on
+//! the hot path. The format is versioned with a magic header; decoding
+//! validates the problem before returning it.
+
+use crate::error::SpecError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sekitei_model::resource::Elasticity;
+use sekitei_model::{
+    AssignOp, CmpOp, ComponentSpec, Cond, CppProblem, Effect, Expr, Goal, InterfaceSpec, Interval,
+    LevelSpec, LinkClass, Network, NodeId, Placement, PrePlacement, ResourceDef, SpecVar,
+    StreamSource,
+};
+use sekitei_model::resource::Locus;
+
+const MAGIC: &[u8; 4] = b"SKT1";
+
+/// Encode a problem to bytes.
+pub fn encode(p: &CppProblem) -> Bytes {
+    let mut b = BytesMut::with_capacity(4096);
+    b.put_slice(MAGIC);
+
+    b.put_u32(p.resources.len() as u32);
+    for r in &p.resources {
+        put_str(&mut b, &r.name);
+        b.put_u8(match r.locus {
+            Locus::Node => 0,
+            Locus::Link => 1,
+        });
+        b.put_u8(r.consumable as u8);
+        b.put_u8(match r.elasticity {
+            Elasticity::Degradable => 0,
+            Elasticity::Upgradable => 1,
+            Elasticity::Rigid => 2,
+        });
+        put_levels(&mut b, &r.levels);
+    }
+
+    b.put_u32(p.interfaces.len() as u32);
+    for i in &p.interfaces {
+        put_str(&mut b, &i.name);
+        b.put_u32(i.properties.len() as u32);
+        for prop in &i.properties {
+            put_str(&mut b, prop);
+        }
+        b.put_u8(i.degradable as u8);
+        b.put_u32(i.cross_conditions.len() as u32);
+        for c in &i.cross_conditions {
+            put_cond(&mut b, c);
+        }
+        b.put_u32(i.cross_effects.len() as u32);
+        for e in &i.cross_effects {
+            put_effect(&mut b, e);
+        }
+        put_expr(&mut b, &i.cross_cost);
+        b.put_u32(i.levels.len() as u32);
+        for (prop, ls) in &i.levels {
+            put_str(&mut b, prop);
+            put_levels(&mut b, ls);
+        }
+    }
+
+    b.put_u32(p.components.len() as u32);
+    for c in &p.components {
+        put_str(&mut b, &c.name);
+        put_strs(&mut b, &c.requires);
+        put_strs(&mut b, &c.implements);
+        b.put_u32(c.conditions.len() as u32);
+        for cd in &c.conditions {
+            put_cond(&mut b, cd);
+        }
+        b.put_u32(c.effects.len() as u32);
+        for e in &c.effects {
+            put_effect(&mut b, e);
+        }
+        put_expr(&mut b, &c.cost);
+        match &c.placement {
+            Placement::Anywhere => b.put_u8(0),
+            Placement::Only(nodes) => {
+                b.put_u8(1);
+                put_strs(&mut b, nodes);
+            }
+        }
+    }
+
+    // network
+    b.put_u32(p.network.num_nodes() as u32);
+    for (_, n) in p.network.nodes() {
+        put_str(&mut b, &n.name);
+        b.put_u32(n.resources.len() as u32);
+        for (k, v) in &n.resources {
+            put_str(&mut b, k);
+            b.put_f64(*v);
+        }
+    }
+    b.put_u32(p.network.num_links() as u32);
+    for (_, l) in p.network.links() {
+        b.put_u32(l.a.0);
+        b.put_u32(l.b.0);
+        b.put_u8(match l.class {
+            LinkClass::Lan => 0,
+            LinkClass::Wan => 1,
+            LinkClass::Other => 2,
+        });
+        b.put_u32(l.resources.len() as u32);
+        for (k, v) in &l.resources {
+            put_str(&mut b, k);
+            b.put_f64(*v);
+        }
+    }
+
+    b.put_u32(p.sources.len() as u32);
+    for s in &p.sources {
+        put_str(&mut b, &s.iface);
+        b.put_u32(s.node.0);
+        b.put_u32(s.properties.len() as u32);
+        for (k, iv) in &s.properties {
+            put_str(&mut b, k);
+            b.put_f64(iv.lo);
+            b.put_f64(iv.hi);
+        }
+    }
+    b.put_u32(p.pre_placed.len() as u32);
+    for pp in &p.pre_placed {
+        put_str(&mut b, &pp.component);
+        b.put_u32(pp.node.0);
+    }
+    b.put_u32(p.goals.len() as u32);
+    for g in &p.goals {
+        put_str(&mut b, &g.component);
+        b.put_u32(g.node.0);
+    }
+    b.freeze()
+}
+
+/// Decode and validate a problem from bytes.
+pub fn decode(mut buf: &[u8]) -> Result<CppProblem, SpecError> {
+    let b = &mut buf;
+    let mut magic = [0u8; 4];
+    take(b, &mut magic)?;
+    if &magic != MAGIC {
+        return Err(SpecError::wire("bad magic"));
+    }
+
+    let mut resources = Vec::new();
+    for _ in 0..get_u32(b)? {
+        let name = get_str(b)?;
+        let locus = match get_u8(b)? {
+            0 => Locus::Node,
+            1 => Locus::Link,
+            x => return Err(SpecError::wire(format!("bad locus {x}"))),
+        };
+        let consumable = get_u8(b)? != 0;
+        let elasticity = match get_u8(b)? {
+            0 => Elasticity::Degradable,
+            1 => Elasticity::Upgradable,
+            2 => Elasticity::Rigid,
+            x => return Err(SpecError::wire(format!("bad elasticity {x}"))),
+        };
+        let levels = get_levels(b)?;
+        resources.push(ResourceDef { name, locus, consumable, levels, elasticity });
+    }
+
+    let mut interfaces = Vec::new();
+    for _ in 0..get_u32(b)? {
+        let name = get_str(b)?;
+        let mut properties = Vec::new();
+        for _ in 0..get_u32(b)? {
+            properties.push(get_str(b)?);
+        }
+        let degradable = get_u8(b)? != 0;
+        let mut cross_conditions = Vec::new();
+        for _ in 0..get_u32(b)? {
+            cross_conditions.push(get_cond(b)?);
+        }
+        let mut cross_effects = Vec::new();
+        for _ in 0..get_u32(b)? {
+            cross_effects.push(get_effect(b)?);
+        }
+        let cross_cost = get_expr(b)?;
+        let mut levels = std::collections::BTreeMap::new();
+        for _ in 0..get_u32(b)? {
+            let prop = get_str(b)?;
+            levels.insert(prop, get_levels(b)?);
+        }
+        interfaces.push(InterfaceSpec {
+            name,
+            properties,
+            degradable,
+            cross_conditions,
+            cross_effects,
+            cross_cost,
+            levels,
+        });
+    }
+
+    let mut components = Vec::new();
+    for _ in 0..get_u32(b)? {
+        let name = get_str(b)?;
+        let requires = get_strs(b)?;
+        let implements = get_strs(b)?;
+        let mut conditions = Vec::new();
+        for _ in 0..get_u32(b)? {
+            conditions.push(get_cond(b)?);
+        }
+        let mut effects = Vec::new();
+        for _ in 0..get_u32(b)? {
+            effects.push(get_effect(b)?);
+        }
+        let cost = get_expr(b)?;
+        let placement = match get_u8(b)? {
+            0 => Placement::Anywhere,
+            1 => Placement::Only(get_strs(b)?),
+            x => return Err(SpecError::wire(format!("bad placement {x}"))),
+        };
+        components.push(ComponentSpec {
+            name,
+            requires,
+            implements,
+            conditions,
+            effects,
+            cost,
+            placement,
+        });
+    }
+
+    let mut network = Network::new();
+    for _ in 0..get_u32(b)? {
+        let name = get_str(b)?;
+        let mut res = Vec::new();
+        for _ in 0..get_u32(b)? {
+            let k = get_str(b)?;
+            let v = get_f64(b)?;
+            res.push((k, v));
+        }
+        network.add_node(name, res);
+    }
+    for _ in 0..get_u32(b)? {
+        let a = NodeId(get_u32(b)?);
+        let bb = NodeId(get_u32(b)?);
+        let class = match get_u8(b)? {
+            0 => LinkClass::Lan,
+            1 => LinkClass::Wan,
+            2 => LinkClass::Other,
+            x => return Err(SpecError::wire(format!("bad link class {x}"))),
+        };
+        let mut res = Vec::new();
+        for _ in 0..get_u32(b)? {
+            let k = get_str(b)?;
+            let v = get_f64(b)?;
+            res.push((k, v));
+        }
+        if a.index() >= network.num_nodes() || bb.index() >= network.num_nodes() || a == bb {
+            return Err(SpecError::wire("bad link endpoints"));
+        }
+        network.add_link(a, bb, class, res);
+    }
+
+    let mut sources = Vec::new();
+    for _ in 0..get_u32(b)? {
+        let iface = get_str(b)?;
+        let node = NodeId(get_u32(b)?);
+        let mut properties = std::collections::BTreeMap::new();
+        for _ in 0..get_u32(b)? {
+            let k = get_str(b)?;
+            let lo = get_f64(b)?;
+            let hi = get_f64(b)?;
+            properties.insert(k, Interval::new(lo, hi));
+        }
+        sources.push(StreamSource { iface, node, properties });
+    }
+    let mut pre_placed = Vec::new();
+    for _ in 0..get_u32(b)? {
+        let component = get_str(b)?;
+        let node = NodeId(get_u32(b)?);
+        pre_placed.push(PrePlacement { component, node });
+    }
+    let mut goals = Vec::new();
+    for _ in 0..get_u32(b)? {
+        let component = get_str(b)?;
+        let node = NodeId(get_u32(b)?);
+        goals.push(Goal { component, node });
+    }
+
+    let problem =
+        CppProblem { network, resources, interfaces, components, sources, pre_placed, goals };
+    problem.validate()?;
+    Ok(problem)
+}
+
+// ------------------------------------------------------------- primitives
+
+fn put_str(b: &mut BytesMut, s: &str) {
+    b.put_u32(s.len() as u32);
+    b.put_slice(s.as_bytes());
+}
+
+fn put_strs(b: &mut BytesMut, ss: &[String]) {
+    b.put_u32(ss.len() as u32);
+    for s in ss {
+        put_str(b, s);
+    }
+}
+
+fn put_levels(b: &mut BytesMut, ls: &LevelSpec) {
+    b.put_u32(ls.cutpoints().len() as u32);
+    for &c in ls.cutpoints() {
+        b.put_f64(c);
+    }
+}
+
+fn put_var(b: &mut BytesMut, v: &SpecVar) {
+    match v {
+        SpecVar::Iface { iface, prop } => {
+            b.put_u8(0);
+            put_str(b, iface);
+            put_str(b, prop);
+        }
+        SpecVar::Node { res } => {
+            b.put_u8(1);
+            put_str(b, res);
+        }
+        SpecVar::Link { res } => {
+            b.put_u8(2);
+            put_str(b, res);
+        }
+    }
+}
+
+fn put_expr(b: &mut BytesMut, e: &Expr<SpecVar>) {
+    match e {
+        Expr::Const(c) => {
+            b.put_u8(0);
+            b.put_f64(*c);
+        }
+        Expr::Var(v) => {
+            b.put_u8(1);
+            put_var(b, v);
+        }
+        Expr::Add(x, y) => bin(b, 2, x, y),
+        Expr::Sub(x, y) => bin(b, 3, x, y),
+        Expr::Mul(x, y) => bin(b, 4, x, y),
+        Expr::Div(x, y) => bin(b, 5, x, y),
+        Expr::Min(x, y) => bin(b, 6, x, y),
+        Expr::Max(x, y) => bin(b, 7, x, y),
+        Expr::Neg(x) => {
+            b.put_u8(8);
+            put_expr(b, x);
+        }
+    }
+}
+
+fn bin(b: &mut BytesMut, tag: u8, x: &Expr<SpecVar>, y: &Expr<SpecVar>) {
+    b.put_u8(tag);
+    put_expr(b, x);
+    put_expr(b, y);
+}
+
+fn put_cond(b: &mut BytesMut, c: &Cond<SpecVar>) {
+    put_expr(b, &c.lhs);
+    b.put_u8(match c.op {
+        CmpOp::Le => 0,
+        CmpOp::Lt => 1,
+        CmpOp::Ge => 2,
+        CmpOp::Gt => 3,
+        CmpOp::Eq => 4,
+    });
+    put_expr(b, &c.rhs);
+}
+
+fn put_effect(b: &mut BytesMut, e: &Effect<SpecVar>) {
+    put_var(b, &e.target);
+    b.put_u8(match e.op {
+        AssignOp::Set => 0,
+        AssignOp::Sub => 1,
+        AssignOp::Add => 2,
+    });
+    put_expr(b, &e.value);
+}
+
+fn take(b: &mut &[u8], out: &mut [u8]) -> Result<(), SpecError> {
+    if b.remaining() < out.len() {
+        return Err(SpecError::wire("unexpected end of input"));
+    }
+    b.copy_to_slice(out);
+    Ok(())
+}
+
+fn get_u8(b: &mut &[u8]) -> Result<u8, SpecError> {
+    if b.remaining() < 1 {
+        return Err(SpecError::wire("unexpected end of input"));
+    }
+    Ok(b.get_u8())
+}
+
+fn get_u32(b: &mut &[u8]) -> Result<u32, SpecError> {
+    if b.remaining() < 4 {
+        return Err(SpecError::wire("unexpected end of input"));
+    }
+    Ok(b.get_u32())
+}
+
+fn get_f64(b: &mut &[u8]) -> Result<f64, SpecError> {
+    if b.remaining() < 8 {
+        return Err(SpecError::wire("unexpected end of input"));
+    }
+    Ok(b.get_f64())
+}
+
+fn get_str(b: &mut &[u8]) -> Result<String, SpecError> {
+    let len = get_u32(b)? as usize;
+    if len > 1 << 20 {
+        return Err(SpecError::wire("string too long"));
+    }
+    if b.remaining() < len {
+        return Err(SpecError::wire("unexpected end of input"));
+    }
+    let mut bytes = vec![0u8; len];
+    b.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| SpecError::wire("invalid utf-8"))
+}
+
+fn get_strs(b: &mut &[u8]) -> Result<Vec<String>, SpecError> {
+    let n = get_u32(b)? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(get_str(b)?);
+    }
+    Ok(out)
+}
+
+fn get_levels(b: &mut &[u8]) -> Result<LevelSpec, SpecError> {
+    let n = get_u32(b)? as usize;
+    let mut cuts = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        cuts.push(get_f64(b)?);
+    }
+    LevelSpec::new(cuts).map_err(|e| SpecError::wire(e.to_string()))
+}
+
+fn get_var(b: &mut &[u8]) -> Result<SpecVar, SpecError> {
+    Ok(match get_u8(b)? {
+        0 => {
+            let iface = get_str(b)?;
+            let prop = get_str(b)?;
+            SpecVar::Iface { iface, prop }
+        }
+        1 => SpecVar::Node { res: get_str(b)? },
+        2 => SpecVar::Link { res: get_str(b)? },
+        x => return Err(SpecError::wire(format!("bad var tag {x}"))),
+    })
+}
+
+fn get_expr(b: &mut &[u8]) -> Result<Expr<SpecVar>, SpecError> {
+    Ok(match get_u8(b)? {
+        0 => Expr::Const(get_f64(b)?),
+        1 => Expr::Var(get_var(b)?),
+        2 => Expr::Add(Box::new(get_expr(b)?), Box::new(get_expr(b)?)),
+        3 => Expr::Sub(Box::new(get_expr(b)?), Box::new(get_expr(b)?)),
+        4 => Expr::Mul(Box::new(get_expr(b)?), Box::new(get_expr(b)?)),
+        5 => Expr::Div(Box::new(get_expr(b)?), Box::new(get_expr(b)?)),
+        6 => Expr::Min(Box::new(get_expr(b)?), Box::new(get_expr(b)?)),
+        7 => Expr::Max(Box::new(get_expr(b)?), Box::new(get_expr(b)?)),
+        8 => Expr::Neg(Box::new(get_expr(b)?)),
+        x => return Err(SpecError::wire(format!("bad expr tag {x}"))),
+    })
+}
+
+fn get_cond(b: &mut &[u8]) -> Result<Cond<SpecVar>, SpecError> {
+    let lhs = get_expr(b)?;
+    let op = match get_u8(b)? {
+        0 => CmpOp::Le,
+        1 => CmpOp::Lt,
+        2 => CmpOp::Ge,
+        3 => CmpOp::Gt,
+        4 => CmpOp::Eq,
+        x => return Err(SpecError::wire(format!("bad cmp tag {x}"))),
+    };
+    let rhs = get_expr(b)?;
+    Ok(Cond::new(lhs, op, rhs))
+}
+
+fn get_effect(b: &mut &[u8]) -> Result<Effect<SpecVar>, SpecError> {
+    let target = get_var(b)?;
+    let op = match get_u8(b)? {
+        0 => AssignOp::Set,
+        1 => AssignOp::Sub,
+        2 => AssignOp::Add,
+        x => return Err(SpecError::wire(format!("bad assign tag {x}"))),
+    };
+    let value = get_expr(b)?;
+    Ok(Effect::new(target, op, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sekitei_model::LevelScenario;
+    use sekitei_topology::scenarios;
+
+    #[test]
+    fn roundtrip_all_canonical_problems() {
+        let problems = vec![
+            scenarios::tiny(LevelScenario::A),
+            scenarios::tiny(LevelScenario::E),
+            scenarios::small(LevelScenario::C),
+            scenarios::tradeoff(0.5),
+        ];
+        for p in problems {
+            let bytes = encode(&p);
+            let q = decode(&bytes).unwrap();
+            assert_eq!(p.resources, q.resources);
+            assert_eq!(p.interfaces, q.interfaces);
+            assert_eq!(p.components, q.components);
+            assert_eq!(p.sources, q.sources);
+            assert_eq!(p.pre_placed, q.pre_placed);
+            assert_eq!(p.goals, q.goals);
+            assert_eq!(p.network.num_nodes(), q.network.num_nodes());
+            assert_eq!(p.network.num_links(), q.network.num_links());
+        }
+    }
+
+    #[test]
+    fn roundtrip_large_is_compact() {
+        let p = scenarios::large(LevelScenario::D);
+        let bytes = encode(&p);
+        // 93-node network with full domain fits comfortably under 32 KiB
+        assert!(bytes.len() < 32 * 1024, "{} bytes", bytes.len());
+        let q = decode(&bytes).unwrap();
+        assert_eq!(q.network.num_nodes(), 93);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(decode(b"XXXX123"), Err(SpecError::Wire(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let p = scenarios::tiny(LevelScenario::C);
+        let bytes = encode(&p);
+        // every strict prefix must fail cleanly, never panic
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_tags() {
+        let p = scenarios::tiny(LevelScenario::C);
+        let bytes = encode(&p).to_vec();
+        // flip a byte in the middle; must error or produce a validated
+        // problem — never panic
+        for i in (4..bytes.len()).step_by(97) {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0xFF;
+            let _ = decode(&corrupt);
+        }
+    }
+}

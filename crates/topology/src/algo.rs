@@ -1,0 +1,224 @@
+//! Graph algorithms over [`Network`]s: BFS shortest paths, weighted
+//! Dijkstra, connectivity. Used by scenario construction (to assert the
+//! structural properties the paper's experiment relies on) and by the
+//! statistics module.
+
+use sekitei_model::{LinkId, Network, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// A path through the network: alternating nodes and the links between
+/// them (`links.len() == nodes.len() - 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Visited nodes, in order.
+    pub nodes: Vec<NodeId>,
+    /// Traversed links, in order.
+    pub links: Vec<LinkId>,
+}
+
+impl Path {
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True for a single-node path.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+/// Shortest path by hop count (BFS). Returns `None` when unreachable.
+pub fn shortest_path(net: &Network, from: NodeId, to: NodeId) -> Option<Path> {
+    if from == to {
+        return Some(Path { nodes: vec![from], links: vec![] });
+    }
+    let n = net.num_nodes();
+    let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[from.index()] = true;
+    let mut queue = VecDeque::from([from]);
+    while let Some(u) = queue.pop_front() {
+        for &l in net.incident(u) {
+            let v = net.opposite(l, u).expect("incident link");
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                prev[v.index()] = Some((u, l));
+                if v == to {
+                    return Some(reconstruct(from, to, &prev));
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Shortest path by additive link weight (Dijkstra). `weight` maps each
+/// link to a non-negative cost. Returns `None` when unreachable.
+pub fn dijkstra(
+    net: &Network,
+    from: NodeId,
+    to: NodeId,
+    mut weight: impl FnMut(LinkId) -> f64,
+) -> Option<(Path, f64)> {
+    let n = net.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    let mut done = vec![false; n];
+    dist[from.index()] = 0.0;
+    // f64 keys via ordered bits; all weights nonneg so this is safe
+    let mut heap: BinaryHeap<(Reverse<u64>, NodeId)> = BinaryHeap::new();
+    heap.push((Reverse(0), from));
+    while let Some((Reverse(dbits), u)) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        let du = f64::from_bits(dbits);
+        if u == to {
+            return Some((reconstruct(from, to, &prev), du));
+        }
+        for &l in net.incident(u) {
+            let v = net.opposite(l, u).expect("incident link");
+            let w = weight(l);
+            debug_assert!(w >= 0.0, "negative link weight");
+            let nd = du + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                prev[v.index()] = Some((u, l));
+                heap.push((Reverse(nd.to_bits()), v));
+            }
+        }
+    }
+    None
+}
+
+fn reconstruct(from: NodeId, to: NodeId, prev: &[Option<(NodeId, LinkId)>]) -> Path {
+    let mut nodes = vec![to];
+    let mut links = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let (p, l) = prev[cur.index()].expect("reconstruct: broken chain");
+        links.push(l);
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    links.reverse();
+    Path { nodes, links }
+}
+
+/// True iff every node is reachable from every other.
+pub fn is_connected(net: &Network) -> bool {
+    let n = net.num_nodes();
+    if n <= 1 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![NodeId(0)];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(u) = stack.pop() {
+        for &l in net.incident(u) {
+            let v = net.opposite(l, u).expect("incident link");
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                count += 1;
+                stack.push(v);
+            }
+        }
+    }
+    count == n
+}
+
+/// Eccentricity-based diameter in hops (max over BFS from every node).
+/// `None` for a disconnected network.
+pub fn diameter(net: &Network) -> Option<usize> {
+    let n = net.num_nodes();
+    let mut best = 0usize;
+    for s in net.node_ids() {
+        let mut dist = vec![usize::MAX; n];
+        dist[s.index()] = 0;
+        let mut q = VecDeque::from([s]);
+        let mut reached = 1;
+        while let Some(u) = q.pop_front() {
+            for &l in net.incident(u) {
+                let v = net.opposite(l, u).expect("incident link");
+                if dist[v.index()] == usize::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    best = best.max(dist[v.index()]);
+                    reached += 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        if reached != n {
+            return None;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sekitei_model::LinkClass;
+
+    fn line(n: usize) -> Network {
+        let mut net = Network::new();
+        let ids: Vec<_> = (0..n).map(|i| net.add_node(format!("n{i}"), [("cpu", 1.0)])).collect();
+        for w in ids.windows(2) {
+            net.add_link(w[0], w[1], LinkClass::Lan, [("lbw", 10.0)]);
+        }
+        net
+    }
+
+    #[test]
+    fn bfs_on_line() {
+        let net = line(5);
+        let p = shortest_path(&net, NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.nodes.first(), Some(&NodeId(0)));
+        assert_eq!(p.nodes.last(), Some(&NodeId(4)));
+        let same = shortest_path(&net, NodeId(2), NodeId(2)).unwrap();
+        assert!(same.is_empty());
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let mut net = line(3);
+        net.add_node("island", [("cpu", 1.0)]);
+        assert!(shortest_path(&net, NodeId(0), NodeId(3)).is_none());
+        assert!(!is_connected(&net));
+        assert!(diameter(&net).is_none());
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_detour() {
+        // triangle: 0-1 weight 10, 0-2 and 2-1 weight 1 each
+        let mut net = Network::new();
+        let a = net.add_node("a", [("cpu", 1.0)]);
+        let b = net.add_node("b", [("cpu", 1.0)]);
+        let c = net.add_node("c", [("cpu", 1.0)]);
+        let heavy = net.add_link(a, b, LinkClass::Wan, [("lbw", 1.0)]);
+        net.add_link(a, c, LinkClass::Lan, [("lbw", 1.0)]);
+        net.add_link(c, b, LinkClass::Lan, [("lbw", 1.0)]);
+        let (p, cost) =
+            dijkstra(&net, a, b, |l| if l == heavy { 10.0 } else { 1.0 }).unwrap();
+        assert_eq!(cost, 2.0);
+        assert_eq!(p.nodes, vec![a, c, b]);
+    }
+
+    #[test]
+    fn connectivity_and_diameter() {
+        let net = line(6);
+        assert!(is_connected(&net));
+        assert_eq!(diameter(&net), Some(5));
+        let single = line(1);
+        assert!(is_connected(&single));
+        assert_eq!(diameter(&single), Some(0));
+    }
+}

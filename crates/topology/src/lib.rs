@@ -1,0 +1,22 @@
+//! # sekitei-topology
+//!
+//! Network topology substrate: generators (GT-ITM-style transit-stub,
+//! Waxman, deterministic micro-topologies), graph algorithms, structural
+//! statistics, and the canonical CPP scenarios of the paper's evaluation
+//! (Tiny / Small / Large / Figure 5 tradeoff).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algo;
+pub mod generators;
+pub mod scenarios;
+pub mod stats;
+
+pub use algo::{diameter, dijkstra, is_connected, shortest_path, Path};
+pub use generators::{
+    barabasi_albert, line, ring, star, transit_stub, waxman, Capacities, TransitStub,
+    TransitStubConfig,
+};
+pub use scenarios::NetSize;
+pub use stats::{network_stats, NetworkStats};

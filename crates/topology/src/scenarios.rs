@@ -1,0 +1,530 @@
+//! Canonical CPP instances from the paper's evaluation (§4.1):
+//!
+//! * [`tiny`] — the 2-node network of Figure 3 (Scenario 1);
+//! * [`small`] — the 6-node network of Figure 9;
+//! * [`large`] — the 93-node transit-stub network of Figure 10;
+//! * [`tradeoff`] — the Figure 5 Y-network for cost-function tradeoffs.
+//!
+//! All three media networks share the paper's resource distribution: LAN
+//! links 150 units, WAN links 70 units, 30 CPU per node (enough for
+//! Splitter+Zip processing up to ≈111 units of the media stream), server
+//! producing up to 200 units, client demanding at least 90.
+
+use crate::generators::{self, Capacities, TransitStubConfig};
+use sekitei_model::expr::{CmpOp, Cond, Expr};
+use sekitei_model::resource::names::{CPU, LBW};
+use sekitei_model::{
+    media_domain_with, ComponentSpec, CppProblem, Goal, InterfaceSpec, LevelScenario, LevelSpec,
+    LinkClass, MediaConfig, MediaDomain, Network, NodeId, ResourceDef, SpecVar, StreamSource,
+};
+
+/// Maximum bandwidth the server can produce (paper §4.1).
+pub const SERVER_CAPACITY: f64 = 200.0;
+/// Client's minimum bandwidth demand (paper §4.1).
+pub const CLIENT_DEMAND: f64 = 90.0;
+
+/// Network size of the Table 2 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetSize {
+    /// 2 nodes (Figure 3).
+    Tiny,
+    /// 6 nodes (Figure 9).
+    Small,
+    /// 93 nodes (Figure 10).
+    Large,
+}
+
+impl NetSize {
+    /// All sizes in Table 2 order.
+    pub const ALL: [NetSize; 3] = [NetSize::Tiny, NetSize::Small, NetSize::Large];
+
+    /// Row label as in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetSize::Tiny => "Tiny",
+            NetSize::Small => "Small",
+            NetSize::Large => "Large",
+        }
+    }
+}
+
+fn assemble(
+    net: Network,
+    domain: MediaDomain,
+    server: NodeId,
+    client: NodeId,
+) -> CppProblem {
+    let p = CppProblem {
+        network: net,
+        resources: domain.resources,
+        interfaces: domain.interfaces,
+        components: domain.components,
+        sources: vec![StreamSource::up_to("M", server, "ibw", SERVER_CAPACITY)],
+        pre_placed: vec![],
+        goals: vec![Goal { component: "Client".into(), node: client }],
+    };
+    debug_assert!(p.validate().is_ok());
+    p
+}
+
+/// The Figure 3 two-node problem: server on `n0` (200 units of M, 30 CPU),
+/// client on `n1`, one 70-unit WAN link. The greedy planner (scenario A)
+/// fails; leveled scenarios find the 7-action plan of Figure 4.
+pub fn tiny(sc: LevelScenario) -> CppProblem {
+    tiny_with(MediaConfig::default(), sc)
+}
+
+/// [`tiny`] with explicit domain constants.
+pub fn tiny_with(cfg: MediaConfig, sc: LevelScenario) -> CppProblem {
+    let caps = Capacities::default();
+    let net = generators::line(&[LinkClass::Wan], &caps);
+    let server = net.node_by_name("n0").unwrap();
+    let client = net.node_by_name("n1").unwrap();
+    assemble(net, media_domain_with(cfg, sc), server, client)
+}
+
+/// The Figure 9 six-node problem. The server-client path is
+/// `srv -LAN- a -LAN- b -WAN- c -LAN- cli` (plus a distractor node); the
+/// 10-action shortest plan splits at `b`/merges at `c` and reserves 100
+/// units of LAN bandwidth, while the 13-action optimal plan splits at the
+/// server and reserves only 65.
+pub fn small(sc: LevelScenario) -> CppProblem {
+    small_with(MediaConfig::default(), sc)
+}
+
+/// [`small`] with explicit domain constants.
+pub fn small_with(cfg: MediaConfig, sc: LevelScenario) -> CppProblem {
+    let caps = Capacities::default();
+    let mut net = generators::line(
+        &[LinkClass::Lan, LinkClass::Lan, LinkClass::Wan, LinkClass::Lan],
+        &caps,
+    );
+    // distractor node hanging off the path (present in Figure 9's network,
+    // absent from every sensible plan)
+    let a = net.node_by_name("n1").unwrap();
+    let x = net.add_node("x", [(CPU, caps.node_cpu)]);
+    net.add_link(a, x, LinkClass::Lan, [(LBW, caps.lan_bw)]);
+    let server = net.node_by_name("n0").unwrap();
+    let client = net.node_by_name("n4").unwrap();
+    assemble(net, media_domain_with(cfg, sc), server, client)
+}
+
+/// The Figure 10 93-node transit-stub problem (GT-ITM structural model):
+/// 3 transit nodes, 3 stub domains each, 10 nodes per stub. Server and
+/// client sit one LAN hop inside two different stubs of the same transit
+/// node, so the shortest data path is `LAN, WAN, WAN, LAN` — most of the
+/// 93 nodes never participate in a plan but cannot be statically pruned.
+pub fn large(sc: LevelScenario) -> CppProblem {
+    large_with(MediaConfig::default(), sc)
+}
+
+/// [`large`] with explicit domain constants.
+pub fn large_with(cfg: MediaConfig, sc: LevelScenario) -> CppProblem {
+    let ts = generators::transit_stub(&TransitStubConfig::default());
+    // stub tree construction always links member 1 to the gateway
+    let server = ts.members[0][0][1];
+    let client = ts.members[0][1][1];
+    debug_assert_eq!(
+        crate::algo::shortest_path(&ts.net, server, client).map(|p| p.len()),
+        Some(4)
+    );
+    assemble(ts.net, media_domain_with(cfg, sc), server, client)
+}
+
+/// The paper's Figure 1 network verbatim: eight nodes, the *Server* on
+/// node 7, the *Client* on node 0, and a low-bandwidth link between nodes
+/// 1 and 4 that forces the transformation pipeline into the data path.
+/// Side nodes 2, 3, 5 and 6 pad the topology exactly as drawn.
+pub fn figure1(sc: LevelScenario) -> CppProblem {
+    let caps = Capacities::default();
+    let mut net = Network::new();
+    let n: Vec<NodeId> =
+        (0..8).map(|i| net.add_node(format!("n{i}"), [(CPU, caps.node_cpu)])).collect();
+    // main path: 7 — 4 — 1 — 0, with 4—1 the 70-unit bottleneck
+    net.add_link(n[7], n[4], LinkClass::Lan, [(LBW, caps.lan_bw)]);
+    net.add_link(n[4], n[1], LinkClass::Wan, [(LBW, caps.wan_bw)]);
+    net.add_link(n[1], n[0], LinkClass::Lan, [(LBW, caps.lan_bw)]);
+    // side spurs as in the figure
+    net.add_link(n[4], n[5], LinkClass::Lan, [(LBW, caps.lan_bw)]);
+    net.add_link(n[5], n[6], LinkClass::Lan, [(LBW, caps.lan_bw)]);
+    net.add_link(n[1], n[2], LinkClass::Lan, [(LBW, caps.lan_bw)]);
+    net.add_link(n[2], n[3], LinkClass::Lan, [(LBW, caps.lan_bw)]);
+    let server = n[7];
+    let client = n[0];
+    assemble(net, media_domain_with(MediaConfig::default(), sc), server, client)
+}
+
+/// Table 2 row selector.
+pub fn problem(size: NetSize, sc: LevelScenario) -> CppProblem {
+    match size {
+        NetSize::Tiny => tiny(sc),
+        NetSize::Small => small(sc),
+        NetSize::Large => large(sc),
+    }
+}
+
+// ------------------------------------------------------------------------
+// Figure 5: cost-function tradeoff
+// ------------------------------------------------------------------------
+
+/// Client demand of the [`tradeoff`] problem (units of the T stream).
+pub const TRADEOFF_DEMAND: f64 = 63.0;
+
+/// Minimal text-delivery domain for the Figure 5 experiment: interfaces
+/// `T` and `Z`, components `TClient`, `Zip`, `Unzip`. `link_cost_weight`
+/// scales the bandwidth-proportional part of crossing costs relative to
+/// placement costs.
+pub fn text_domain(link_cost_weight: f64, demand: f64) -> MediaDomain {
+    let cfg = MediaConfig { link_cost_weight, client_demand: demand, ..MediaConfig::default() };
+    let ibw = |i: &str| Expr::var(SpecVar::iface(i, "ibw"));
+    let cpu = || Expr::var(SpecVar::node(CPU));
+    let t_levels = LevelSpec::new(vec![demand, demand + 7.0]).unwrap();
+
+    let stream = |name: &str, factor: f64| {
+        let cost = Expr::c(cfg.action_cost_weight)
+            + ibw(name) * Expr::c(cfg.link_cost_weight / cfg.cost_div);
+        InterfaceSpec::bandwidth_stream(name, "ibw", LBW)
+            .with_cross_cost(cost)
+            .with_levels("ibw", t_levels.scaled(factor))
+    };
+    let place_cost =
+        |processed: Expr<SpecVar>| Expr::c(cfg.action_cost_weight) + processed / Expr::c(cfg.cost_div);
+
+    let tclient = ComponentSpec::new("TClient")
+        .requires("T")
+        .condition(Cond::new(ibw("T"), CmpOp::Ge, Expr::c(demand)))
+        .with_cost(place_cost(ibw("T")));
+    let zip = ComponentSpec::new("Zip")
+        .requires("T")
+        .implements("Z")
+        .condition(Cond::new(cpu(), CmpOp::Ge, ibw("T") / Expr::c(cfg.cpu_light_div)))
+        .effect(sekitei_model::Effect::new(
+            SpecVar::iface("Z", "ibw"),
+            sekitei_model::AssignOp::Set,
+            ibw("T") * Expr::c(cfg.zip_ratio),
+        ))
+        .effect(sekitei_model::Effect::new(
+            SpecVar::node(CPU),
+            sekitei_model::AssignOp::Sub,
+            ibw("T") / Expr::c(cfg.cpu_light_div),
+        ))
+        .with_cost(place_cost(ibw("T")));
+    let unzip = ComponentSpec::new("Unzip")
+        .requires("Z")
+        .implements("T")
+        .condition(Cond::new(
+            cpu(),
+            CmpOp::Ge,
+            ibw("Z") / Expr::c(cfg.cpu_light_div * cfg.zip_ratio),
+        ))
+        .effect(sekitei_model::Effect::new(
+            SpecVar::iface("T", "ibw"),
+            sekitei_model::AssignOp::Set,
+            ibw("Z") / Expr::c(cfg.zip_ratio),
+        ))
+        .effect(sekitei_model::Effect::new(
+            SpecVar::node(CPU),
+            sekitei_model::AssignOp::Sub,
+            ibw("Z") / Expr::c(cfg.cpu_light_div * cfg.zip_ratio),
+        ))
+        .with_cost(place_cost(ibw("Z")));
+
+    MediaDomain {
+        resources: vec![ResourceDef::node(CPU), ResourceDef::link(LBW)],
+        interfaces: vec![stream("T", 1.0), stream("Z", cfg.zip_ratio)],
+        components: vec![tclient, zip, unzip],
+        config: cfg,
+    }
+}
+
+/// The Figure 5 problem: deliver `T` from server `S` to client `C`, either
+/// over a 3-link high-bandwidth path (`S-a-b-C`) or over a 2-link
+/// low-bandwidth path (`S-d-C`, 40 units — enough for the compressed `Z`
+/// stream, not for raw `T`). Which plan is optimal depends on
+/// `link_cost_weight`: cheap bandwidth favours the long raw path, expensive
+/// bandwidth favours compressing (crossover near `w ≈ 0.83` at the default
+/// constants).
+pub fn tradeoff(link_cost_weight: f64) -> CppProblem {
+    let domain = text_domain(link_cost_weight, TRADEOFF_DEMAND);
+    tradeoff_with_domain(domain)
+}
+
+/// Per-hop latency of the [`tradeoff`] network's long (LAN) path links.
+pub const TRADEOFF_LAN_DELAY: f64 = 12.0;
+/// Per-hop latency of the [`tradeoff`] network's short (WAN) path links.
+pub const TRADEOFF_WAN_DELAY: f64 = 4.0;
+
+/// [`tradeoff`] with an end-to-end deadline: interfaces accumulate `lat`
+/// across links (LAN hops are slow satellite-style links at 12 units,
+/// WAN hops fast at 4) and the client imposes `lat <= deadline`. With a
+/// loose deadline the cost function decides as in Figure 5; with a tight
+/// one the 36-unit-latency long path is discarded during replay (paper
+/// §3.2.3) regardless of its cost advantage.
+pub fn tradeoff_deadline(link_cost_weight: f64, deadline: f64) -> CppProblem {
+    let mut domain = text_domain(link_cost_weight, TRADEOFF_DEMAND);
+    sekitei_model::add_latency(
+        &mut domain,
+        sekitei_model::LatencyConfig { proc_delay: 2.0, deadline },
+        &["TClient"],
+    );
+    tradeoff_with_domain(domain)
+}
+
+fn tradeoff_with_domain(domain: MediaDomain) -> CppProblem {
+    let caps = Capacities::default();
+    let mut net = Network::new();
+    let s = net.add_node("S", [(CPU, caps.node_cpu)]);
+    let a = net.add_node("a", [(CPU, caps.node_cpu)]);
+    let b = net.add_node("b", [(CPU, caps.node_cpu)]);
+    let c = net.add_node("C", [(CPU, caps.node_cpu)]);
+    let d = net.add_node("d", [(CPU, caps.node_cpu)]);
+    let delay = sekitei_model::media::DELAY;
+    // high-bandwidth (but high-latency) 3-link path
+    net.add_link(s, a, LinkClass::Lan, [(LBW, caps.lan_bw), (delay, TRADEOFF_LAN_DELAY)]);
+    net.add_link(a, b, LinkClass::Lan, [(LBW, caps.lan_bw), (delay, TRADEOFF_LAN_DELAY)]);
+    net.add_link(b, c, LinkClass::Lan, [(LBW, caps.lan_bw), (delay, TRADEOFF_LAN_DELAY)]);
+    // low-bandwidth low-latency 2-link path
+    net.add_link(s, d, LinkClass::Wan, [(LBW, 40.0), (delay, TRADEOFF_WAN_DELAY)]);
+    net.add_link(d, c, LinkClass::Wan, [(LBW, 40.0), (delay, TRADEOFF_WAN_DELAY)]);
+
+    let p = CppProblem {
+        network: net,
+        resources: domain.resources,
+        interfaces: domain.interfaces,
+        components: domain.components,
+        sources: vec![StreamSource::up_to("T", s, "ibw", 70.0)],
+        pre_placed: vec![],
+        goals: vec![Goal { component: "TClient".into(), node: c }],
+    };
+    debug_assert!(p.validate().is_ok());
+    p
+}
+
+// ------------------------------------------------------------------------
+// Randomized instances (fuzzing and throughput benchmarks)
+// ------------------------------------------------------------------------
+
+/// Which random graph model a [`random_media`] instance uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RandomModel {
+    /// Waxman geometric random graph.
+    Waxman,
+    /// Barabási–Albert preferential attachment.
+    BarabasiAlbert,
+}
+
+/// Parameters for [`random_media`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomMediaConfig {
+    /// Graph model.
+    pub model: RandomModel,
+    /// Node count (≥ 4).
+    pub nodes: usize,
+    /// Uniform capacities.
+    pub capacities: Capacities,
+    /// Level scenario for the media domain.
+    pub scenario: LevelScenario,
+    /// Client demand.
+    pub demand: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomMediaConfig {
+    fn default() -> Self {
+        RandomMediaConfig {
+            model: RandomModel::Waxman,
+            nodes: 12,
+            capacities: Capacities::default(),
+            scenario: LevelScenario::C,
+            demand: CLIENT_DEMAND,
+            seed: 1,
+        }
+    }
+}
+
+/// A random media-delivery instance: the media domain attached to a random
+/// connected network, server on the first node, client on the last. Fully
+/// deterministic given the config — the workload generator behind the
+/// fuzz tests and the throughput benchmarks.
+pub fn random_media(cfg: &RandomMediaConfig) -> CppProblem {
+    assert!(cfg.nodes >= 4, "need at least 4 nodes");
+    let net = match cfg.model {
+        RandomModel::Waxman => generators::waxman(cfg.nodes, 0.5, 0.3, cfg.seed, &cfg.capacities),
+        RandomModel::BarabasiAlbert => {
+            generators::barabasi_albert(cfg.nodes, 2, cfg.seed, &cfg.capacities)
+        }
+    };
+    let server = NodeId(0);
+    let client = NodeId((cfg.nodes - 1) as u32);
+    let media = media_domain_with(
+        MediaConfig { client_demand: cfg.demand, ..MediaConfig::default() },
+        cfg.scenario,
+    );
+    let p = CppProblem {
+        network: net,
+        resources: media.resources,
+        interfaces: media.interfaces,
+        components: media.components,
+        sources: vec![StreamSource::up_to("M", server, "ibw", SERVER_CAPACITY)],
+        pre_placed: vec![],
+        goals: vec![Goal { component: "Client".into(), node: client }],
+    };
+    debug_assert!(p.validate().is_ok());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn tiny_shape() {
+        let p = tiny(LevelScenario::C);
+        assert_eq!(p.network.num_nodes(), 2);
+        assert_eq!(p.network.num_links(), 1);
+        p.validate().unwrap();
+        assert_eq!(p.sources[0].node, NodeId(0));
+        assert_eq!(p.goals[0].node, NodeId(1));
+    }
+
+    #[test]
+    fn small_shape() {
+        let p = small(LevelScenario::C);
+        assert_eq!(p.network.num_nodes(), 6);
+        p.validate().unwrap();
+        let path = algo::shortest_path(&p.network, p.sources[0].node, p.goals[0].node).unwrap();
+        assert_eq!(path.len(), 4);
+        let classes: Vec<_> =
+            path.links.iter().map(|&l| p.network.link(l).class).collect();
+        assert_eq!(
+            classes,
+            vec![LinkClass::Lan, LinkClass::Lan, LinkClass::Wan, LinkClass::Lan]
+        );
+    }
+
+    #[test]
+    fn large_shape() {
+        let p = large(LevelScenario::C);
+        assert_eq!(p.network.num_nodes(), 93);
+        p.validate().unwrap();
+        let path = algo::shortest_path(&p.network, p.sources[0].node, p.goals[0].node).unwrap();
+        assert_eq!(path.len(), 4);
+        let classes: Vec<_> =
+            path.links.iter().map(|&l| p.network.link(l).class).collect();
+        assert_eq!(
+            classes,
+            vec![LinkClass::Lan, LinkClass::Wan, LinkClass::Wan, LinkClass::Lan]
+        );
+    }
+
+    #[test]
+    fn all_scenarios_validate() {
+        for size in NetSize::ALL {
+            for sc in LevelScenario::ALL {
+                problem(size, sc).validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn large_is_deterministic() {
+        let a = large(LevelScenario::B);
+        let b = large(LevelScenario::B);
+        assert_eq!(a.network, b.network);
+    }
+
+    #[test]
+    fn tradeoff_shape() {
+        let p = tradeoff(1.0);
+        p.validate().unwrap();
+        assert_eq!(p.network.num_nodes(), 5);
+        assert_eq!(p.network.num_links(), 5);
+        // the short path cannot carry raw T (63 > 40), can carry Z (31.5)
+        let s = p.sources[0].node;
+        let c = p.goals[0].node;
+        let short = algo::dijkstra(&p.network, s, c, |_| 1.0).unwrap();
+        assert_eq!(short.0.len(), 2);
+        for &l in &short.0.links {
+            assert_eq!(p.network.link_capacity(l, LBW), 40.0);
+        }
+    }
+
+    #[test]
+    fn tradeoff_deadline_validates() {
+        let p = tradeoff_deadline(0.3, 20.0);
+        p.validate().unwrap();
+        // the delay resource is registered and carried by every link
+        assert!(p.resource(sekitei_model::media::DELAY).is_some());
+        for (l, d) in p.network.links() {
+            assert!(
+                p.network.link_capacity(l, sekitei_model::media::DELAY) > 0.0,
+                "{d:?}"
+            );
+        }
+        let tc = p.components.iter().find(|c| c.name == "TClient").unwrap();
+        assert_eq!(tc.conditions.len(), 2);
+    }
+
+    #[test]
+    fn text_domain_cost_scales_with_link_weight() {
+        let cheap = text_domain(0.1, TRADEOFF_DEMAND);
+        let pricey = text_domain(3.0, TRADEOFF_DEMAND);
+        let eval = |d: &MediaDomain| {
+            d.interfaces[0]
+                .cross_cost
+                .eval(&mut |_: &SpecVar| 63.0)
+        };
+        assert!(eval(&cheap) < eval(&pricey));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(NetSize::Tiny.label(), "Tiny");
+        assert_eq!(NetSize::Large.label(), "Large");
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let p = figure1(LevelScenario::C);
+        p.validate().unwrap();
+        assert_eq!(p.network.num_nodes(), 8);
+        assert_eq!(p.network.num_links(), 7);
+        // server n7, client n0, 3-hop path through the 70-unit 4—1 link
+        assert_eq!(p.network.node(p.sources[0].node).name, "n7");
+        assert_eq!(p.network.node(p.goals[0].node).name, "n0");
+        let path = algo::shortest_path(&p.network, p.sources[0].node, p.goals[0].node).unwrap();
+        assert_eq!(path.len(), 3);
+        let bottleneck = p
+            .network
+            .link_between(
+                p.network.node_by_name("n4").unwrap(),
+                p.network.node_by_name("n1").unwrap(),
+            )
+            .unwrap();
+        assert_eq!(p.network.link_capacity(bottleneck, LBW), 70.0);
+    }
+
+    #[test]
+    fn random_media_deterministic_and_valid() {
+        for model in [RandomModel::Waxman, RandomModel::BarabasiAlbert] {
+            let cfg = RandomMediaConfig { model, nodes: 15, seed: 7, ..Default::default() };
+            let a = random_media(&cfg);
+            let b = random_media(&cfg);
+            a.validate().unwrap();
+            assert_eq!(a.network, b.network);
+            assert_eq!(a.network.num_nodes(), 15);
+            assert!(algo::is_connected(&a.network));
+            assert_eq!(a.goals[0].node, NodeId(14));
+        }
+    }
+
+    #[test]
+    fn random_media_varies_with_seed() {
+        let base = RandomMediaConfig::default();
+        let a = random_media(&RandomMediaConfig { seed: 1, ..base });
+        let b = random_media(&RandomMediaConfig { seed: 2, ..base });
+        assert_ne!(a.network, b.network);
+    }
+}

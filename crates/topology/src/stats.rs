@@ -1,0 +1,88 @@
+//! Structural statistics of a network — used by the Figure 10 regeneration
+//! binary and useful for sanity-checking generated topologies.
+
+use crate::algo;
+use sekitei_model::{LinkClass, Network};
+
+/// Summary statistics of a network's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Undirected link count.
+    pub links: usize,
+    /// LAN link count.
+    pub lan_links: usize,
+    /// WAN link count.
+    pub wan_links: usize,
+    /// Minimum node degree.
+    pub min_degree: usize,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Mean node degree.
+    pub mean_degree: f64,
+    /// Hop diameter (None when disconnected).
+    pub diameter: Option<usize>,
+    /// Whether the network is connected.
+    pub connected: bool,
+}
+
+/// Compute [`NetworkStats`].
+pub fn network_stats(net: &Network) -> NetworkStats {
+    let degrees: Vec<usize> = net.node_ids().map(|n| net.incident(n).len()).collect();
+    let (lan, wan) = net.links().fold((0usize, 0usize), |(l, w), (_, d)| match d.class {
+        LinkClass::Lan => (l + 1, w),
+        LinkClass::Wan => (l, w + 1),
+        LinkClass::Other => (l, w),
+    });
+    let connected = algo::is_connected(net);
+    NetworkStats {
+        nodes: net.num_nodes(),
+        links: net.num_links(),
+        lan_links: lan,
+        wan_links: wan,
+        min_degree: degrees.iter().copied().min().unwrap_or(0),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        mean_degree: if degrees.is_empty() {
+            0.0
+        } else {
+            degrees.iter().sum::<usize>() as f64 / degrees.len() as f64
+        },
+        diameter: if connected { algo::diameter(net) } else { None },
+        connected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{self, Capacities};
+
+    #[test]
+    fn stats_of_line() {
+        let net = generators::line(
+            &[LinkClass::Lan, LinkClass::Wan, LinkClass::Lan],
+            &Capacities::default(),
+        );
+        let s = network_stats(&net);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.links, 3);
+        assert_eq!(s.lan_links, 2);
+        assert_eq!(s.wan_links, 1);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 2);
+        assert!(s.connected);
+        assert_eq!(s.diameter, Some(3));
+        assert!((s.mean_degree - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_transit_stub() {
+        let ts = generators::transit_stub(&generators::TransitStubConfig::default());
+        let s = network_stats(&ts.net);
+        assert_eq!(s.nodes, 93);
+        assert!(s.connected);
+        assert!(s.wan_links >= 9 + 2); // 9 uplinks + core ring
+        assert!(s.lan_links >= 81); // 9 stubs × (10-1) tree edges
+    }
+}

@@ -1,0 +1,93 @@
+//! Deployment adaptation (the paper's §6 future-work item): when the
+//! environment changes under a running application, replan while *reusing*
+//! components that can stay and *migrating* the ones that must move —
+//! at costs that differ from initial deployment.
+//!
+//! A diamond network offers two 70-unit WAN routes, so the initial plan
+//! needs no compression at all: it splits the media stream at the server
+//! and sends the text stream (63–70 units) over one WAN link and the image
+//! stream (27–30 units) over the other. Then the text stream's WAN link
+//! degrades to 40 units — too thin for T. Adaptation keeps Splitter,
+//! Merger and Client exactly where they run (at the cheap keep cost) and
+//! simply swaps the two streams' routes; replanning from scratch would pay
+//! full placement costs for the identical configuration.
+//!
+//! Run with: `cargo run --release --example adapt_redeploy`
+
+use sekitei::model::adapt::{adapt_problem, AdaptConfig};
+use sekitei::model::resource::names::{CPU, LBW};
+use sekitei::model::{media_domain, CppProblem, Goal, LinkClass, Network, StreamSource};
+use sekitei::prelude::*;
+use sekitei::sim::existing_from_plan;
+
+/// Build the diamond: s —LAN— a —WAN(bw_a)— k and s —LAN— b —WAN(70)— k.
+fn diamond(bw_via_a: f64) -> CppProblem {
+    let mut net = Network::new();
+    let s = net.add_node("s", [(CPU, 30.0)]);
+    let a = net.add_node("a", [(CPU, 30.0)]);
+    let b = net.add_node("b", [(CPU, 30.0)]);
+    let k = net.add_node("k", [(CPU, 30.0)]);
+    net.add_link(s, a, LinkClass::Lan, [(LBW, 150.0)]);
+    net.add_link(a, k, LinkClass::Wan, [(LBW, bw_via_a)]);
+    net.add_link(s, b, LinkClass::Lan, [(LBW, 150.0)]);
+    net.add_link(b, k, LinkClass::Wan, [(LBW, 70.0)]);
+    let d = media_domain(LevelScenario::C);
+    CppProblem {
+        network: net,
+        resources: d.resources,
+        interfaces: d.interfaces,
+        components: d.components,
+        sources: vec![StreamSource::up_to("M", s, "ibw", 200.0)],
+        pre_placed: vec![],
+        goals: vec![Goal { component: "Client".into(), node: k }],
+    }
+}
+
+fn main() {
+    let planner = Planner::new(PlannerConfig::default());
+
+    // 1. initial deployment on the healthy network
+    let healthy = diamond(70.0);
+    let outcome = planner.plan(&healthy).unwrap();
+    let initial = outcome.plan.expect("healthy network solvable");
+    println!("=== initial deployment ===");
+    print!("{initial}");
+
+    // 2. the WAN link via `a` degrades to 40 units
+    let degraded = diamond(40.0);
+    println!("\n=== WAN link a—k degrades: 70 → 40 units ===\n");
+
+    // 3a. naive repair: replan from scratch, paying full placement costs
+    let fresh = planner.plan(&degraded).unwrap().plan.expect("still solvable");
+    println!("replan from scratch: {} actions, cost ≥ {:.2}", fresh.len(), fresh.cost_lower_bound);
+
+    // 3b. adaptation: keep is cheap, migration pays a tariff
+    let existing = existing_from_plan(&healthy, &initial);
+    let adapted_problem = adapt_problem(&degraded, &existing, &AdaptConfig::default());
+    let outcome = planner.plan(&adapted_problem).unwrap();
+    let adapted = outcome.plan.expect("adaptation solvable");
+    println!("adaptive replan:     {} actions, cost ≥ {:.2}", adapted.len(), adapted.cost_lower_bound);
+    println!("\n=== adapted deployment ===");
+    print!("{adapted}");
+
+    assert!(
+        adapted.cost_lower_bound < fresh.cost_lower_bound,
+        "reuse must beat fresh instantiation"
+    );
+    // every previously running component stays on its node
+    for e in &existing.placements {
+        let kept = adapted.steps.iter().any(|st| {
+            st.name.starts_with(&format!("place({},{})", e.component,
+                adapted_problem.network.node(e.node).name))
+        });
+        assert!(kept, "{} should be kept at {}", e.component, e.node);
+    }
+    // ... and the streams take both WAN routes now
+    let via_a = adapted.steps.iter().any(|s| s.name.contains("a→k"));
+    let via_b = adapted.steps.iter().any(|s| s.name.contains("b→k"));
+    assert!(via_a && via_b, "the streams must use both WAN routes");
+
+    let report = validate_plan(&adapted_problem, &outcome.task, &adapted);
+    assert!(report.ok, "{:?}", report.violations);
+    println!("\nadapted deployment verified: components reused, streams re-routed.");
+}

@@ -1,0 +1,38 @@
+//! Scenario 2 / Figure 5: user-specified cost functions choose between
+//! plans. A text stream can reach the client either over a 3-link
+//! high-bandwidth path (raw) or a 2-link low-bandwidth path that needs
+//! Zip/Unzip. Sweeping the relative price of link bandwidth moves the
+//! optimum from one to the other — "the cheapest plan is not necessarily
+//! the one with the smallest number of steps."
+//!
+//! Run with: `cargo run --release --example cost_tradeoffs`
+
+use sekitei::prelude::*;
+
+fn main() {
+    let planner = Planner::new(PlannerConfig::default());
+    println!("{:>8} {:>9} {:>10}  choice", "w_link", "actions", "cost LB");
+    let mut last_shape = None;
+    for &w in &[0.1, 0.25, 0.5, 0.75, 0.83, 1.0, 1.5, 2.5] {
+        let problem = scenarios::tradeoff(w);
+        let outcome = planner.plan(&problem).expect("compiles");
+        let plan = outcome.plan.expect("both paths are feasible");
+        let compressed = plan.steps.iter().any(|s| s.name.contains("Zip"));
+        let shape = if compressed {
+            "compress onto the short path (2 crossings + Zip/Unzip)"
+        } else {
+            "raw over the long path (3 crossings)"
+        };
+        if last_shape.is_some() && last_shape != Some(compressed) {
+            println!("{:->60}", " crossover ");
+        }
+        last_shape = Some(compressed);
+        println!("{w:>8.2} {:>9} {:>10.2}  {shape}", plan.len(), plan.cost_lower_bound);
+
+        // both choices validate in the simulator
+        let report = validate_plan(&problem, &outcome.task, &plan);
+        assert!(report.ok, "{:?}", report.violations);
+    }
+    println!("\nWith cheap bandwidth the planner spends link capacity to save");
+    println!("components; with expensive bandwidth it spends CPU to save links.");
+}

@@ -1,0 +1,125 @@
+//! Qualitative link constraints (paper §2.1: "other properties such as
+//! link security"): a web-service request stream carries sensitive data
+//! and may only cross links marked `secure`, unless an Encryptor/Decryptor
+//! pair wraps it first. Depending on the topology the planner either
+//! routes over the secure backbone or inserts the crypto components —
+//! the same auxiliary-component insertion as Figure 1, driven by a
+//! *qualitative* constraint instead of bandwidth.
+//!
+//! Run with: `cargo run --release --example secure_services`
+
+use sekitei::model::resource::names::{CPU, LBW};
+use sekitei::model::resource::{Elasticity, ResourceDef};
+use sekitei::model::{
+    AssignOp, CmpOp, ComponentSpec, Cond, CppProblem, Effect, Expr, Goal, InterfaceSpec,
+    LevelSpec, LinkClass, Network, SpecVar, StreamSource,
+};
+use sekitei::prelude::*;
+
+const SECURE: &str = "secure";
+const DEMAND: f64 = 40.0;
+
+fn ibw(i: &str) -> Expr<SpecVar> {
+    Expr::var(SpecVar::iface(i, "ibw"))
+}
+
+fn domain() -> (Vec<ResourceDef>, Vec<InterfaceSpec>, Vec<ComponentSpec>) {
+    let mut secure_res = ResourceDef::link(SECURE);
+    secure_res.consumable = false;
+    secure_res.elasticity = Elasticity::Rigid;
+    let resources = vec![ResourceDef::node(CPU), ResourceDef::link(LBW), secure_res];
+
+    let levels = LevelSpec::new(vec![DEMAND]).unwrap();
+    // plaintext requests may only cross secure links
+    let req = InterfaceSpec::bandwidth_stream("Req", "ibw", LBW)
+        .with_cross_cost(Expr::c(1.0) + ibw("Req") / Expr::c(10.0))
+        .with_levels("ibw", levels.clone());
+    let req = InterfaceSpec {
+        cross_conditions: vec![Cond::new(
+            Expr::var(SpecVar::link(SECURE)),
+            CmpOp::Ge,
+            Expr::c(1.0),
+        )],
+        ..req
+    };
+    // ciphertext crosses anything (10% framing overhead)
+    let enc = InterfaceSpec::bandwidth_stream("Enc", "ibw", LBW)
+        .with_cross_cost(Expr::c(1.0) + ibw("Enc") / Expr::c(10.0))
+        .with_levels("ibw", levels.scaled(1.1));
+
+    let encryptor = ComponentSpec::new("Encryptor")
+        .requires("Req")
+        .implements("Enc")
+        .condition(Cond::new(Expr::var(SpecVar::node(CPU)), CmpOp::Ge, ibw("Req") / Expr::c(8.0)))
+        .effect(Effect::new(SpecVar::iface("Enc", "ibw"), AssignOp::Set, ibw("Req") * Expr::c(1.1)))
+        .effect(Effect::new(SpecVar::node(CPU), AssignOp::Sub, ibw("Req") / Expr::c(8.0)))
+        .with_cost(Expr::c(1.0) + ibw("Req") / Expr::c(10.0));
+    let decryptor = ComponentSpec::new("Decryptor")
+        .requires("Enc")
+        .implements("Req")
+        .condition(Cond::new(Expr::var(SpecVar::node(CPU)), CmpOp::Ge, ibw("Enc") / Expr::c(8.0)))
+        .effect(Effect::new(SpecVar::iface("Req", "ibw"), AssignOp::Set, ibw("Enc") / Expr::c(1.1)))
+        .effect(Effect::new(SpecVar::node(CPU), AssignOp::Sub, ibw("Enc") / Expr::c(8.0)))
+        .with_cost(Expr::c(1.0) + ibw("Enc") / Expr::c(10.0));
+    let backend = ComponentSpec::new("Backend")
+        .requires("Req")
+        .condition(Cond::new(ibw("Req"), CmpOp::Ge, Expr::c(DEMAND)))
+        .with_cost(Expr::c(1.0));
+
+    (resources, vec![req, enc], vec![encryptor, decryptor, backend])
+}
+
+/// gateway —(secure? backbone)— dc, plus an always-insecure public route.
+fn problem(backbone_secure: bool) -> CppProblem {
+    let mut net = Network::new();
+    let gw = net.add_node("gw", [(CPU, 30.0)]);
+    let mid = net.add_node("mid", [(CPU, 30.0)]);
+    let dc = net.add_node("dc", [(CPU, 30.0)]);
+    let sec = if backbone_secure { 1.0 } else { 0.0 };
+    net.add_link(gw, mid, LinkClass::Wan, [(LBW, 100.0), (SECURE, sec)]);
+    net.add_link(mid, dc, LinkClass::Wan, [(LBW, 100.0), (SECURE, sec)]);
+    // cheaper direct public link — never secure
+    net.add_link(gw, dc, LinkClass::Wan, [(LBW, 100.0), (SECURE, 0.0)]);
+
+    let (resources, interfaces, components) = domain();
+    let p = CppProblem {
+        network: net,
+        resources,
+        interfaces,
+        components,
+        sources: vec![StreamSource::up_to("Req", gw, "ibw", 80.0)],
+        pre_placed: vec![],
+        goals: vec![Goal { component: "Backend".into(), node: dc }],
+    };
+    p.validate().expect("well-formed");
+    p
+}
+
+fn main() {
+    let planner = Planner::new(PlannerConfig::default());
+
+    println!("=== secure backbone available ===");
+    let p = problem(true);
+    let o = planner.plan(&p).unwrap();
+    let plan = o.plan.expect("solvable via the backbone");
+    print!("{plan}");
+    assert!(
+        plan.steps.iter().all(|s| !s.name.contains("cryptor")),
+        "plaintext may ride the secure backbone"
+    );
+    assert!(validate_plan(&p, &o.task, &plan).ok);
+
+    println!("\n=== backbone insecure: crypto pair required ===");
+    let p = problem(false);
+    let o = planner.plan(&p).unwrap();
+    let plan = o.plan.expect("solvable with encryption");
+    print!("{plan}");
+    assert!(plan.steps.iter().any(|s| s.name.contains("place(Encryptor,gw)")));
+    assert!(plan.steps.iter().any(|s| s.name.contains("place(Decryptor,dc)")));
+    // and the ciphertext takes the cheap 1-hop public link
+    assert!(plan.steps.iter().any(|s| s.name.contains("cross(Enc,gw→dc)")), "{plan}");
+    let report = validate_plan(&p, &o.task, &plan);
+    assert!(report.ok, "{:?}", report.violations);
+
+    println!("\nqualitative security constraints honored in both worlds.");
+}

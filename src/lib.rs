@@ -1,0 +1,46 @@
+//! # sekitei — resource-aware deployment planning
+//!
+//! Facade crate re-exporting the whole workspace: a faithful, from-scratch
+//! Rust reproduction of *"Optimal Resource-Aware Deployment Planning for
+//! Component-based Distributed Applications"* (Kichkaylo & Karamcheti,
+//! HPDC 2004) — the leveled, cost-optimal extension of the **Sekitei**
+//! planner for the component placement problem (CPP).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sekitei::prelude::*;
+//!
+//! // The paper's Figure 3 "Tiny" scenario: 2 nodes, one 70-unit link,
+//! // 30 CPU per node, client demands 90 units of the M stream.
+//! let problem = sekitei::scenarios::tiny(LevelScenario::C);
+//! let outcome = Planner::new(PlannerConfig::default()).plan(&problem).unwrap();
+//! let plan = outcome.plan.expect("scenario C finds the 7-action plan");
+//! assert_eq!(plan.steps.len(), 7);
+//! ```
+//!
+//! See `examples/` for larger walkthroughs and `crates/bench` for the
+//! binaries regenerating every table and figure of the paper.
+
+pub use sekitei_compile as compile;
+pub use sekitei_model as model;
+pub use sekitei_planner as planner;
+pub use sekitei_sim as sim;
+pub use sekitei_spec as spec;
+pub use sekitei_topology as topology;
+
+/// Canonical evaluation scenarios (Tiny / Small / Large / tradeoff).
+pub mod scenarios {
+    pub use sekitei_topology::scenarios::*;
+}
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use sekitei_model::{
+        media_domain, CppProblem, Goal, Interval, LevelScenario, LevelSpec, MediaConfig, Network,
+        StreamSource,
+    };
+    pub use sekitei_planner::{PlanOutcome, Planner, PlannerConfig};
+    pub use sekitei_sim::validate_plan;
+    pub use sekitei_topology::scenarios::{self, NetSize};
+}

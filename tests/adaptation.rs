@@ -1,0 +1,143 @@
+//! Integration tests for deployment adaptation (paper §6 future work):
+//! keep/migrate cost structure, stream re-routing, and interaction with
+//! the ordinary planner.
+
+use sekitei::model::adapt::{adapt_problem, AdaptConfig};
+use sekitei::model::resource::names::{CPU, LBW};
+use sekitei::model::{media_domain, CppProblem, Goal, LinkClass, Network, StreamSource};
+use sekitei::prelude::*;
+use sekitei::sim::existing_from_plan;
+
+fn diamond(bw_via_a: f64) -> CppProblem {
+    let mut net = Network::new();
+    let s = net.add_node("s", [(CPU, 30.0)]);
+    let a = net.add_node("a", [(CPU, 30.0)]);
+    let b = net.add_node("b", [(CPU, 30.0)]);
+    let k = net.add_node("k", [(CPU, 30.0)]);
+    net.add_link(s, a, LinkClass::Lan, [(LBW, 150.0)]);
+    net.add_link(a, k, LinkClass::Wan, [(LBW, bw_via_a)]);
+    net.add_link(s, b, LinkClass::Lan, [(LBW, 150.0)]);
+    net.add_link(b, k, LinkClass::Wan, [(LBW, 70.0)]);
+    let d = media_domain(LevelScenario::C);
+    CppProblem {
+        network: net,
+        resources: d.resources,
+        interfaces: d.interfaces,
+        components: d.components,
+        sources: vec![StreamSource::up_to("M", s, "ibw", 200.0)],
+        pre_placed: vec![],
+        goals: vec![Goal { component: "Client".into(), node: k }],
+    }
+}
+
+#[test]
+fn adaptation_reuses_components_and_beats_fresh_replanning() {
+    let planner = Planner::default();
+    let healthy = diamond(70.0);
+    let initial = planner.plan(&healthy).unwrap().plan.expect("healthy solvable");
+
+    let degraded = diamond(40.0);
+    let fresh = planner.plan(&degraded).unwrap().plan.expect("degraded solvable");
+
+    let existing = existing_from_plan(&healthy, &initial);
+    assert!(!existing.is_empty());
+    let adapted_p = adapt_problem(&degraded, &existing, &AdaptConfig::default());
+    let outcome = planner.plan(&adapted_p).unwrap();
+    let adapted = outcome.plan.expect("adaptation solvable");
+
+    assert!(adapted.cost_lower_bound < fresh.cost_lower_bound);
+    // all previously running components kept in place
+    for e in &existing.placements {
+        let node_name = &adapted_p.network.node(e.node).name;
+        assert!(
+            adapted
+                .steps
+                .iter()
+                .any(|s| s.name.starts_with(&format!("place({},{node_name})", e.component))),
+            "{} not kept at {node_name}:\n{adapted}",
+            e.component
+        );
+    }
+    let report = validate_plan(&adapted_p, &outcome.task, &adapted);
+    assert!(report.ok, "{:?}", report.violations);
+}
+
+#[test]
+fn migration_happens_when_keeping_is_infeasible() {
+    // degrade the CPU of the node hosting the Splitter to zero: the
+    // component *must* move, paying the migration tariff
+    let planner = Planner::default();
+    let healthy = diamond(70.0);
+    let initial = planner.plan(&healthy).unwrap().plan.expect("solvable");
+    let existing = existing_from_plan(&healthy, &initial);
+    let splitter_home = existing
+        .placements
+        .iter()
+        .find(|e| e.component == "Splitter")
+        .expect("initial plan has a splitter")
+        .node;
+
+    // rebuild the diamond with that node's CPU gone
+    let mut degraded = diamond(70.0);
+    let mut net = Network::new();
+    for (id, n) in degraded.network.nodes() {
+        let cpu = if id == splitter_home { 0.0 } else { n.resources[CPU] };
+        net.add_node(n.name.clone(), [(CPU, cpu)]);
+    }
+    for (_, l) in degraded.network.links() {
+        net.add_link(l.a, l.b, l.class, l.resources.clone().into_iter().collect::<Vec<_>>());
+    }
+    degraded.network = net;
+
+    let adapted_p = adapt_problem(&degraded, &existing, &AdaptConfig::default());
+    let outcome = planner.plan(&adapted_p).unwrap();
+    let adapted = outcome.plan.expect("migration makes it solvable");
+    let home_name = &adapted_p.network.node(splitter_home).name;
+    let moved = adapted
+        .steps
+        .iter()
+        .any(|s| s.name.starts_with("place(Splitter,") && !s.name.contains(home_name.as_str()));
+    assert!(moved, "splitter must migrate off the dead node:\n{adapted}");
+    let report = validate_plan(&adapted_p, &outcome.task, &adapted);
+    assert!(report.ok, "{:?}", report.violations);
+}
+
+#[test]
+fn keep_cost_monotone_in_config() {
+    // a pricier keep narrows the gap to fresh replanning
+    let planner = Planner::default();
+    let healthy = diamond(70.0);
+    let initial = planner.plan(&healthy).unwrap().plan.unwrap();
+    let existing = existing_from_plan(&healthy, &initial);
+    let degraded = diamond(40.0);
+    let mut costs = Vec::new();
+    for keep in [0.1, 2.0, 8.0] {
+        let p = adapt_problem(
+            &degraded,
+            &existing,
+            &AdaptConfig { keep_cost: keep, migration_factor: 1.5 },
+        );
+        let plan = planner.plan(&p).unwrap().plan.expect("solvable");
+        costs.push(plan.cost_lower_bound);
+    }
+    assert!(costs[0] < costs[1] && costs[1] < costs[2], "{costs:?}");
+}
+
+#[test]
+fn adaptation_with_existing_streams_shortens_plans() {
+    // a long-lived compressed stream already staged at the client's side
+    // lets the planner skip the whole upstream pipeline
+    let planner = Planner::default();
+    let p = sekitei::scenarios::tiny(LevelScenario::C);
+    let existing = sekitei::model::ExistingDeployment {
+        placements: vec![],
+        streams: vec![
+            StreamSource::up_to("T", sekitei::model::NodeId(1), "ibw", 70.0),
+            StreamSource::up_to("I", sekitei::model::NodeId(1), "ibw", 30.0),
+        ],
+    };
+    let q = adapt_problem(&p, &existing, &AdaptConfig::default());
+    let plan = planner.plan(&q).unwrap().plan.expect("solvable");
+    // Merger + Client only: the T/I streams are already on n1
+    assert_eq!(plan.len(), 2, "{plan}");
+}

@@ -1,0 +1,67 @@
+//! End-to-end tests for the automatic level advisor: problems the greedy
+//! (unleveled) planner cannot solve become solvable — with near-optimal
+//! quality — once demand-derived cutpoints are installed.
+
+use sekitei::model::{apply_suggestions, suggest_levels, LevelScenario};
+use sekitei::planner::{plan_metrics, Planner};
+use sekitei::scenarios;
+use sekitei::sim::validate_plan;
+
+#[test]
+fn advisor_rescues_the_unleveled_tiny_problem() {
+    let planner = Planner::default();
+    let mut p = scenarios::tiny(LevelScenario::A);
+    assert!(planner.plan(&p).unwrap().plan.is_none(), "A fails without levels");
+
+    let suggestions = suggest_levels(&p, 1.0 / 9.0); // cap at 90·10/9 = 100
+    assert_eq!(apply_suggestions(&mut p, &suggestions), 4);
+
+    let outcome = planner.plan(&p).unwrap();
+    let plan = outcome.plan.expect("advisor levels make Tiny solvable");
+    assert_eq!(plan.len(), 7, "{plan}");
+    let report = validate_plan(&p, &outcome.task, &plan);
+    assert!(report.ok, "{:?}", report.violations);
+}
+
+#[test]
+fn advisor_levels_reach_scenario_c_quality_on_small() {
+    let planner = Planner::default();
+    let mut p = scenarios::small(LevelScenario::A);
+    assert!(planner.plan(&p).unwrap().plan.is_none());
+
+    let suggestions = suggest_levels(&p, 1.0 / 9.0);
+    apply_suggestions(&mut p, &suggestions);
+
+    let outcome = planner.plan(&p).unwrap();
+    let plan = outcome.plan.expect("solvable with suggested levels");
+    // same structure as the hand-crafted scenario C: 13 actions,
+    // split-at-server, 65 units of LAN reservation
+    assert_eq!(plan.len(), 13, "{plan}");
+    let m = plan_metrics(&p, &outcome.task, &plan);
+    assert!(
+        (m.reserved_lan_bw - 65.0).abs() < 1e-6,
+        "advisor quality should match scenario C: {m:?}"
+    );
+}
+
+#[test]
+fn advisor_is_idempotent_and_respects_experts() {
+    // applying to an already-leveled (scenario C) problem changes nothing
+    let mut p = scenarios::small(LevelScenario::C);
+    let before: Vec<_> = p.interfaces.iter().map(|i| i.levels_of("ibw")).collect();
+    let suggestions = suggest_levels(&p, 0.2);
+    assert_eq!(apply_suggestions(&mut p, &suggestions), 0);
+    let after: Vec<_> = p.interfaces.iter().map(|i| i.levels_of("ibw")).collect();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn advisor_on_text_domain() {
+    // the tradeoff's TClient demand (63) seeds T and, through Zip, Z
+    let p = scenarios::tradeoff(1.0);
+    let suggestions = suggest_levels(&p, 0.1);
+    let t = suggestions.iter().find(|s| s.iface == "T").expect("T seeded");
+    assert!((t.cutpoints[0] - 63.0).abs() < 1e-9);
+    let z = suggestions.iter().find(|s| s.iface == "Z").expect("Z derived via Zip");
+    assert!((z.cutpoints[0] - 31.5).abs() < 1e-9);
+}

@@ -1,0 +1,209 @@
+//! End-to-end pipeline tests: spec text → parse → compile → plan →
+//! simulate, plus the binary wire path, across the canonical scenarios.
+
+use sekitei::model::LevelScenario;
+use sekitei::planner::Planner;
+use sekitei::scenarios;
+use sekitei::sim::validate_plan;
+use sekitei::spec::{decode, encode, parse_problem, print_problem};
+
+#[test]
+fn text_roundtrip_preserves_plans() {
+    for sc in LevelScenario::ALL {
+        let original = scenarios::tiny(sc);
+        let text = print_problem(&original);
+        let reparsed = parse_problem(&text).expect("reparse");
+        let planner = Planner::default();
+        let a = planner.plan(&original).unwrap();
+        let b = planner.plan(&reparsed).unwrap();
+        match (&a.plan, &b.plan) {
+            (Some(x), Some(y)) => {
+                assert_eq!(x.len(), y.len(), "{sc:?}");
+                assert!((x.cost_lower_bound - y.cost_lower_bound).abs() < 1e-9);
+            }
+            (None, None) => {}
+            other => panic!("{sc:?}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn wire_roundtrip_preserves_plans() {
+    for problem in [
+        scenarios::small(LevelScenario::C),
+        scenarios::tradeoff(1.2),
+        scenarios::large(LevelScenario::B),
+    ] {
+        let decoded = decode(&encode(&problem)).expect("decode");
+        let planner = Planner::default();
+        let a = planner.plan(&problem).unwrap().plan.expect("solvable");
+        let b = planner.plan(&decoded).unwrap().plan.expect("solvable");
+        assert_eq!(a.len(), b.len());
+        assert!((a.cost_lower_bound - b.cost_lower_bound).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn parsed_plan_simulates() {
+    // the full loop: emit the Small/C spec as text, parse it back, plan,
+    // and execute the plan in the simulator
+    let text = print_problem(&scenarios::small(LevelScenario::C));
+    let problem = parse_problem(&text).unwrap();
+    let outcome = Planner::default().plan(&problem).unwrap();
+    let plan = outcome.plan.expect("solvable");
+    let report = validate_plan(&problem, &outcome.task, &plan);
+    assert!(report.ok, "{:?}", report.violations);
+    // delivered at least the demanded 90 units of M at the client
+    let goal = problem.goals[0].node;
+    let delivered = report
+        .delivered
+        .iter()
+        .find(|(i, n, p, _)| i == "M" && *n == goal && p == "ibw")
+        .map(|(_, _, _, v)| *v)
+        .expect("M delivered at client");
+    assert!(delivered >= 90.0);
+}
+
+#[test]
+fn spec_language_handles_the_large_network() {
+    let p = scenarios::large(LevelScenario::D);
+    let text = print_problem(&p);
+    // 93 nodes / ~150 links print and reparse
+    let q = parse_problem(&text).unwrap();
+    assert_eq!(q.network.num_nodes(), 93);
+    assert_eq!(q.network.num_links(), p.network.num_links());
+}
+
+#[test]
+fn pre_placed_components_skip_planning() {
+    let mut p = scenarios::tiny(LevelScenario::C);
+    p.pre_placed.push(sekitei::model::PrePlacement {
+        component: "Client".into(),
+        node: p.goals[0].node,
+    });
+    let o = Planner::default().plan(&p).unwrap();
+    let plan = o.plan.expect("goal already satisfied");
+    assert!(plan.is_empty(), "{plan}");
+    assert_eq!(plan.cost_lower_bound, 0.0);
+}
+
+#[test]
+fn multiple_goals_compose() {
+    // demand the client AND a splitter deployment on the server node
+    let mut p = scenarios::tiny(LevelScenario::C);
+    p.goals.push(sekitei::model::Goal {
+        component: "Splitter".into(),
+        node: sekitei::model::NodeId(0),
+    });
+    let o = Planner::default().plan(&p).unwrap();
+    let plan = o.plan.expect("both goals achievable");
+    assert_eq!(plan.len(), 7, "the splitter is already part of the plan:\n{plan}");
+    let report = validate_plan(&p, &o.task, &plan);
+    assert!(report.ok, "{:?}", report.violations);
+}
+
+#[test]
+fn unsatisfiable_demand_yields_no_plan() {
+    // demand more than the server can produce
+    let cfg = sekitei::model::MediaConfig {
+        client_demand: 250.0,
+        ..sekitei::model::MediaConfig::default()
+    };
+    let p = scenarios::tiny_with(cfg, LevelScenario::D);
+    let o = Planner::default().plan(&p).unwrap();
+    assert!(o.plan.is_none());
+}
+
+#[test]
+fn deadlines_discard_partial_plans_in_replay() {
+    // paper §3.2.3: accumulated-latency QoS limits prune plan tails early.
+    // Cheap bandwidth makes the 3-hop raw path cost-optimal, but its
+    // 36-unit latency only fits the loose deadline.
+    let planner = Planner::default();
+
+    let loose = scenarios::tradeoff_deadline(0.3, 100.0);
+    let o = planner.plan(&loose).unwrap();
+    let plan = o.plan.expect("loose deadline solvable");
+    assert!(
+        plan.steps.iter().all(|s| !s.name.contains("Zip")),
+        "loose deadline should keep the cheap raw path:\n{plan}"
+    );
+    let report = validate_plan(&loose, &o.task, &plan);
+    assert!(report.ok, "{:?}", report.violations);
+
+    let tight = scenarios::tradeoff_deadline(0.3, 25.0);
+    let o = planner.plan(&tight).unwrap();
+    let plan = o.plan.expect("tight deadline still solvable via the fast path");
+    assert!(
+        plan.steps.iter().any(|s| s.name.contains("Zip")),
+        "tight deadline must force the low-latency compressed path:\n{plan}"
+    );
+    let report = validate_plan(&tight, &o.task, &plan);
+    assert!(report.ok, "{:?}", report.violations);
+    // delivered latency respects the deadline in the simulator
+    let goal = tight.goals[0].node;
+    let lat = report
+        .delivered
+        .iter()
+        .find(|(i, n, p, _)| i == "T" && *n == goal && p == "lat")
+        .map(|(_, _, _, v)| *v)
+        .expect("latency tracked");
+    assert!(lat <= 25.0, "delivered latency {lat}");
+
+    let impossible = scenarios::tradeoff_deadline(0.3, 10.0);
+    let o = planner.plan(&impossible).unwrap();
+    assert!(o.plan.is_none(), "no path meets a 10-unit deadline");
+    assert!(o.stats.replay_prunes > 0, "replay must have pruned late tails");
+}
+
+#[test]
+fn two_clients_share_the_upstream_pipeline() {
+    // one server, two clients on different nodes of the diamond — the
+    // planner serves both, reusing the single Splitter/Zip stage
+    use sekitei::model::resource::names::{CPU, LBW};
+    use sekitei::model::{media_domain, CppProblem, Goal, LinkClass, Network, StreamSource};
+    let mut net = Network::new();
+    let s = net.add_node("s", [(CPU, 30.0)]);
+    let a = net.add_node("a", [(CPU, 30.0)]);
+    let b = net.add_node("b", [(CPU, 30.0)]);
+    let k1 = net.add_node("k1", [(CPU, 30.0)]);
+    let k2 = net.add_node("k2", [(CPU, 30.0)]);
+    net.add_link(s, a, LinkClass::Lan, [(LBW, 150.0)]);
+    net.add_link(s, b, LinkClass::Lan, [(LBW, 150.0)]);
+    net.add_link(a, k1, LinkClass::Wan, [(LBW, 70.0)]);
+    net.add_link(b, k2, LinkClass::Wan, [(LBW, 70.0)]);
+    let d = media_domain(LevelScenario::C);
+    let p = CppProblem {
+        network: net,
+        resources: d.resources,
+        interfaces: d.interfaces,
+        components: d.components,
+        sources: vec![StreamSource::up_to("M", s, "ibw", 200.0)],
+        pre_placed: vec![],
+        goals: vec![
+            Goal { component: "Client".into(), node: k1 },
+            Goal { component: "Client".into(), node: k2 },
+        ],
+    };
+    p.validate().unwrap();
+    let o = Planner::default().plan(&p).unwrap();
+    let plan = o.plan.expect("both clients servable");
+    // exactly one Splitter for both branches
+    let splitters =
+        plan.steps.iter().filter(|s| s.name.starts_with("place(Splitter")).count();
+    assert_eq!(splitters, 1, "{plan}");
+    let clients = plan.steps.iter().filter(|s| s.name.starts_with("place(Client")).count();
+    assert_eq!(clients, 2, "{plan}");
+    let report = validate_plan(&p, &o.task, &plan);
+    assert!(report.ok, "{:?}", report.violations);
+    // both endpoints got their ≥90 units
+    for goal in &p.goals {
+        let v = report
+            .delivered
+            .iter()
+            .find(|(i, n, pr, _)| i == "M" && *n == goal.node && pr == "ibw")
+            .map(|(_, _, _, v)| *v)
+            .unwrap();
+        assert!(v >= 90.0, "client at {} got {v}", goal.node);
+    }
+}

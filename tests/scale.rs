@@ -1,0 +1,53 @@
+//! Beyond-the-paper scalability: the paper tops out at 93 nodes; the Rust
+//! implementation handles a ~500-node transit-stub network (≈60k ground
+//! actions) in well under a second in release mode.
+//!
+//! Ignored in debug builds (grounding alone would dominate CI time);
+//! run with `cargo test --release --test scale -- --ignored --include-ignored`
+//! or just `cargo test --release` (not ignored there).
+
+use sekitei::model::{media_domain, CppProblem, Goal, LevelScenario, StreamSource};
+use sekitei::prelude::*;
+use sekitei::topology::{transit_stub, TransitStubConfig};
+
+fn huge_problem() -> CppProblem {
+    let cfg = TransitStubConfig {
+        transit_nodes: 5,
+        stubs_per_transit: 5,
+        stub_size: 20,
+        seed: 3,
+        ..TransitStubConfig::default()
+    };
+    let ts = transit_stub(&cfg);
+    assert_eq!(ts.net.num_nodes(), 5 + 5 * 5 * 20);
+    let server = ts.members[0][0][1];
+    let client = ts.members[4][4][1];
+    let d = media_domain(LevelScenario::C);
+    CppProblem {
+        network: ts.net,
+        resources: d.resources,
+        interfaces: d.interfaces,
+        components: d.components,
+        sources: vec![StreamSource::up_to("M", server, "ibw", 200.0)],
+        pre_placed: vec![],
+        goals: vec![Goal { component: "Client".into(), node: client }],
+    }
+}
+
+#[cfg_attr(debug_assertions, ignore = "release-only scale test")]
+#[test]
+fn five_hundred_node_network_plans_quickly() {
+    let p = huge_problem();
+    let t0 = std::time::Instant::now();
+    let outcome = Planner::new(PlannerConfig::default()).plan(&p).unwrap();
+    let elapsed = t0.elapsed();
+    let plan = outcome.plan.expect("solvable");
+    // 5 placements + compressed pair over the 5-hop path
+    assert_eq!(plan.len(), 15, "{plan}");
+    assert!(outcome.stats.total_actions > 30_000, "{}", outcome.stats.total_actions);
+    // generous bound: ~360ms measured; fail loudly on order-of-magnitude
+    // regressions without being flaky on slow machines
+    assert!(elapsed.as_secs() < 30, "took {elapsed:?}");
+    let report = validate_plan(&p, &outcome.task, &plan);
+    assert!(report.ok, "{:?}", report.violations);
+}

@@ -1,0 +1,145 @@
+//! Integration assertions for the paper's Table 2: the qualitative shape
+//! of the scalability evaluation must hold — who finds plans, how long
+//! they are, what they reserve, and how the work grows with levels.
+
+use sekitei::model::LevelScenario;
+use sekitei::planner::{plan_metrics, Plan, Planner, PlannerConfig, PlannerStats};
+use sekitei::scenarios::{self, NetSize};
+
+fn solve(size: NetSize, sc: LevelScenario) -> (Option<Plan>, PlannerStats, f64) {
+    let p = scenarios::problem(size, sc);
+    let planner = Planner::new(PlannerConfig {
+        // keep the unsolvable scenario-A searches snappy in CI
+        max_rg_nodes: 300_000,
+        max_candidate_rejects: 2_000,
+        ..PlannerConfig::default()
+    });
+    let o = planner.plan(&p).unwrap();
+    let lan = o
+        .plan
+        .as_ref()
+        .map(|plan| plan_metrics(&p, &o.task, plan).reserved_lan_bw)
+        .unwrap_or(-1.0);
+    (o.plan, o.stats, lan)
+}
+
+#[test]
+fn scenario_a_fails_on_every_network() {
+    for size in NetSize::ALL {
+        let (plan, _, _) = solve(size, LevelScenario::A);
+        assert!(plan.is_none(), "{size:?}: greedy scenario A must not find a plan");
+    }
+}
+
+#[test]
+fn tiny_plans_have_seven_actions() {
+    for sc in [LevelScenario::B, LevelScenario::C, LevelScenario::D, LevelScenario::E] {
+        let (plan, _, _) = solve(NetSize::Tiny, sc);
+        let plan = plan.unwrap_or_else(|| panic!("{sc:?} must solve Tiny"));
+        assert_eq!(plan.len(), 7, "{sc:?}");
+    }
+}
+
+#[test]
+fn tiny_scenario_b_lower_bound_is_action_count() {
+    // Table 2: scenario B's bound collapses to 1 per action (7/10/11)
+    let (plan, _, _) = solve(NetSize::Tiny, LevelScenario::B);
+    assert!((plan.unwrap().cost_lower_bound - 7.0).abs() < 1e-9);
+    let (plan, _, _) = solve(NetSize::Small, LevelScenario::B);
+    assert!((plan.unwrap().cost_lower_bound - 10.0).abs() < 1e-9);
+    let (plan, _, _) = solve(NetSize::Large, LevelScenario::B);
+    assert!((plan.unwrap().cost_lower_bound - 11.0).abs() < 1e-9);
+}
+
+#[test]
+fn small_b_suboptimal_vs_c_optimal() {
+    // Figure 9: B finds the 10-action plan reserving 100 units of LAN
+    // bandwidth; C finds the 13-action plan reserving only 65.
+    let (plan_b, _, lan_b) = solve(NetSize::Small, LevelScenario::B);
+    let plan_b = plan_b.unwrap();
+    assert_eq!(plan_b.len(), 10);
+    assert!((lan_b - 100.0).abs() < 1e-6, "B reserves {lan_b}");
+
+    for sc in [LevelScenario::C, LevelScenario::D, LevelScenario::E] {
+        let (plan, _, lan) = solve(NetSize::Small, sc);
+        let plan = plan.unwrap();
+        assert_eq!(plan.len(), 13, "{sc:?}");
+        assert!((lan - 65.0).abs() < 1e-6, "{sc:?} reserves {lan}");
+    }
+}
+
+#[test]
+fn large_b_11_actions_then_13_optimal() {
+    let (plan_b, _, lan_b) = solve(NetSize::Large, LevelScenario::B);
+    let plan_b = plan_b.unwrap();
+    assert_eq!(plan_b.len(), 11);
+    assert!((lan_b - 100.0).abs() < 1e-6);
+
+    let (plan_c, _, lan_c) = solve(NetSize::Large, LevelScenario::C);
+    let plan_c = plan_c.unwrap();
+    assert_eq!(plan_c.len(), 13);
+    assert!((lan_c - 65.0).abs() < 1e-6);
+}
+
+#[test]
+fn optimal_plans_cost_less_despite_more_actions() {
+    // the heart of the paper: 13 actions can be cheaper than 10 when the
+    // cost function prices bandwidth
+    let p_b = scenarios::small(LevelScenario::B);
+    let p_c = scenarios::small(LevelScenario::C);
+    let planner = Planner::default();
+    let plan_b = planner.plan(&p_b).unwrap().plan.unwrap();
+    let plan_c = planner.plan(&p_c).unwrap().plan.unwrap();
+    // evaluate both plans under the *same* (true) cost model via the sim
+    let o_b = planner.plan(&p_b).unwrap();
+    let o_c = planner.plan(&p_c).unwrap();
+    let real_b = sekitei::sim::validate_plan(&p_b, &o_b.task, &plan_b).total_cost;
+    let real_c = sekitei::sim::validate_plan(&p_c, &o_c.task, &plan_c).total_cost;
+    assert!(plan_c.len() > plan_b.len());
+    assert!(
+        real_c < real_b,
+        "optimal plan must be really cheaper: {real_c} vs {real_b}"
+    );
+}
+
+#[test]
+fn ground_actions_grow_with_levels_and_network() {
+    let mut prev = 0usize;
+    for sc in LevelScenario::ALL {
+        let (_, stats, _) = solve(NetSize::Tiny, sc);
+        assert!(stats.total_actions >= prev, "{sc:?}");
+        prev = stats.total_actions;
+    }
+    // larger networks ground more actions at the same scenario
+    let (_, t, _) = solve(NetSize::Tiny, LevelScenario::C);
+    let (_, s, _) = solve(NetSize::Small, LevelScenario::C);
+    let (_, l, _) = solve(NetSize::Large, LevelScenario::C);
+    assert!(t.total_actions < s.total_actions);
+    assert!(s.total_actions < l.total_actions);
+}
+
+#[test]
+fn leveling_link_bandwidth_costs_work_not_quality() {
+    // paper §4.3: scenario E does not improve the solution but increases
+    // the planner's work relative to D
+    let (plan_d, stats_d, lan_d) = solve(NetSize::Small, LevelScenario::D);
+    let (plan_e, stats_e, lan_e) = solve(NetSize::Small, LevelScenario::E);
+    let (plan_d, plan_e) = (plan_d.unwrap(), plan_e.unwrap());
+    assert_eq!(plan_d.len(), plan_e.len());
+    assert!((plan_d.cost_lower_bound - plan_e.cost_lower_bound).abs() < 1e-6);
+    assert!((lan_d - lan_e).abs() < 1e-6);
+    assert!(stats_e.total_actions > stats_d.total_actions);
+}
+
+#[test]
+fn all_found_plans_validate_in_simulator() {
+    for size in NetSize::ALL {
+        for sc in [LevelScenario::B, LevelScenario::C, LevelScenario::D, LevelScenario::E] {
+            let p = scenarios::problem(size, sc);
+            let o = Planner::default().plan(&p).unwrap();
+            let plan = o.plan.unwrap_or_else(|| panic!("{size:?}/{sc:?}"));
+            let report = sekitei::sim::validate_plan(&p, &o.task, &plan);
+            assert!(report.ok, "{size:?}/{sc:?}: {:?}", report.violations);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! The spec from docs/TUTORIAL.md, verified verbatim: if this test fails,
+//! the tutorial is lying to its readers.
+
+use sekitei::planner::Planner;
+use sekitei::sim::{plan_ops, plan_sources, simulate};
+use sekitei::spec::parse_problem;
+
+const TUTORIAL_SPEC: &str = r#"
+resource node cpu;
+resource link lbw;
+resource link secure rigid static;      # tested, never consumed
+
+interface Req {
+    property ibw;
+    levels ibw [40];                    # cut at the demand
+    cross {
+        when { link.secure >= 1; }      # plaintext only on trusted links
+        effect {
+            link.lbw -= min(Req.ibw, link.lbw);
+            Req.ibw := min(Req.ibw, link.lbw);
+        }
+        cost 1 + Req.ibw / 10;
+    }
+}
+
+interface Enc {
+    property ibw;
+    levels ibw [44];                    # 10% ciphertext framing
+    cross {
+        effect {
+            link.lbw -= min(Enc.ibw, link.lbw);
+            Enc.ibw := min(Enc.ibw, link.lbw);
+        }
+        cost 1 + Enc.ibw / 10;
+    }
+}
+
+component Encryptor {
+    requires Req;
+    implements Enc;
+    when { node.cpu >= Req.ibw / 8; }
+    effect {
+        Enc.ibw := Req.ibw * 1.1;
+        node.cpu -= Req.ibw / 8;
+    }
+    cost 1 + Req.ibw / 10;
+}
+
+component Decryptor {
+    requires Enc;
+    implements Req;
+    when { node.cpu >= Enc.ibw / 8; }
+    effect {
+        Req.ibw := Enc.ibw / 1.1;
+        node.cpu -= Enc.ibw / 8;
+    }
+    cost 1 + Enc.ibw / 10;
+}
+
+component Backend {
+    requires Req;
+    when { Req.ibw >= 40; }
+    cost 1;
+}
+
+network {
+    node gw  { cpu 30; }
+    node mid { cpu 30; }
+    node dc  { cpu 30; }
+    link gw -- mid wan { lbw 100; secure 0; }
+    link mid -- dc wan { lbw 100; secure 0; }
+    link gw -- dc  wan { lbw 100; secure 0; }
+}
+
+problem {
+    source Req at gw { ibw up to 80; }
+    goal Backend at dc;
+}
+"#;
+
+#[test]
+fn tutorial_spec_parses_and_plans_with_encryption() {
+    let problem = parse_problem(TUTORIAL_SPEC).expect("tutorial spec must parse");
+    let outcome = Planner::default().plan(&problem).unwrap();
+    let plan = outcome.plan.expect("tutorial promises a 4-action plan");
+    assert_eq!(plan.len(), 4, "{plan}");
+    let names: Vec<&str> = plan.steps.iter().map(|s| s.name.as_str()).collect();
+    assert!(names.iter().any(|n| n.starts_with("place(Encryptor,gw)")), "{names:?}");
+    assert!(names.iter().any(|n| n.starts_with("place(Decryptor,dc)")), "{names:?}");
+    assert!(names.iter().any(|n| n.starts_with("place(Backend,dc)")), "{names:?}");
+
+    let report = simulate(
+        &problem,
+        &plan_sources(&problem, &outcome.task, &plan),
+        &plan_ops(&problem, &plan),
+    );
+    assert!(report.ok, "{:?}", report.violations);
+}
+
+#[test]
+fn tutorial_secure_backbone_drops_crypto() {
+    // flip the direct link to secure, as the tutorial suggests
+    let secured = TUTORIAL_SPEC.replace(
+        "link gw -- dc  wan { lbw 100; secure 0; }",
+        "link gw -- dc  wan { lbw 100; secure 1; }",
+    );
+    let problem = parse_problem(&secured).unwrap();
+    let outcome = Planner::default().plan(&problem).unwrap();
+    let plan = outcome.plan.expect("solvable over the secure link");
+    assert!(
+        plan.steps.iter().all(|s| !s.name.contains("cryptor")),
+        "plaintext should ride the secure link:\n{plan}"
+    );
+    assert_eq!(plan.len(), 2, "{plan}");
+}
+
+#[test]
+fn tutorial_doctor_flow() {
+    // tighten the source below the demand: doctor must call it logically
+    // unreachable? No — the stream exists, only too small: it is a
+    // resource-level failure caught by replay
+    let starved = TUTORIAL_SPEC.replace("ibw up to 80", "ibw up to 30");
+    let problem = parse_problem(&starved).unwrap();
+    let d = sekitei::planner::diagnose(&problem, &Default::default()).unwrap();
+    match d {
+        sekitei::planner::Diagnosis::ResourceInfeasible { .. }
+        | sekitei::planner::Diagnosis::LogicallyUnreachable { .. } => {}
+        other => panic!("expected failure diagnosis, got {other:?}"),
+    }
+}
