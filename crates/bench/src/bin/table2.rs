@@ -7,7 +7,6 @@
 //! parallel on scoped worker threads (results are deterministic either
 //! way); pass `--sequential` for clean per-row timing measurements.
 
-use parking_lot::Mutex;
 use sekitei_model::LevelScenario;
 use sekitei_planner::{plan_metrics, Planner, PlannerConfig};
 use sekitei_topology::scenarios::{self, NetSize};
@@ -75,18 +74,17 @@ fn main() {
     let rows: Vec<String> = if sequential {
         grid.iter().map(|&(size, sc)| run_row(size, sc)).collect()
     } else {
-        let results: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::with_capacity(grid.len()));
-        crossbeam::thread::scope(|scope| {
+        let results = std::sync::Mutex::new(Vec::with_capacity(grid.len()));
+        std::thread::scope(|scope| {
             for (i, &(size, sc)) in grid.iter().enumerate() {
                 let results = &results;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let row = run_row(size, sc);
-                    results.lock().push((i, row));
+                    results.lock().unwrap().push((i, row));
                 });
             }
-        })
-        .expect("worker panicked");
-        let mut collected = results.into_inner();
+        });
+        let mut collected = results.into_inner().unwrap();
         collected.sort_by_key(|(i, _)| *i);
         collected.into_iter().map(|(_, r)| r).collect()
     };

@@ -1,0 +1,242 @@
+//! Offline stand-in for the subset of `criterion` the bench targets use:
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], [`Throughput`],
+//! `criterion_group!`/`criterion_main!`, and `Bencher::iter`.
+//!
+//! Measurement is deliberately simple — a warm-up pass followed by a fixed
+//! number of timed samples, reporting the median per-iteration time. No
+//! statistics, plots, or state files; the point is that `cargo bench` runs
+//! and prints comparable numbers in an offline container.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration timer handed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Time `f`, recording per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up and calibration: aim for ~10ms per sample
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let per_sample = (Duration::from_millis(10).as_nanos() / once.as_nanos()).max(1) as u64;
+        self.iters_per_sample = per_sample;
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed() / per_sample as u32);
+        }
+    }
+
+    fn median(&self) -> Option<Duration> {
+        let mut s = self.samples.clone();
+        if s.is_empty() {
+            return None;
+        }
+        s.sort();
+        Some(s[s.len() / 2])
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput annotation (accepted and echoed, not normalized).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_count: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id.into().0, self.sample_count, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count: self.sample_count,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.clamp(2, 100);
+        self
+    }
+
+    /// Set a target measurement time (accepted for compatibility; the shim
+    /// sizes samples itself).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_one(full, self.sample_count, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_one(full, self.sample_count, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: String,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher { samples: Vec::new(), iters_per_sample: 1, sample_count };
+    f(&mut b);
+    match b.median() {
+        Some(med) => {
+            let extra = match throughput {
+                Some(Throughput::Bytes(n)) if med.as_secs_f64() > 0.0 => {
+                    format!("  ({:.1} MiB/s)", n as f64 / med.as_secs_f64() / (1 << 20) as f64)
+                }
+                Some(Throughput::Elements(n)) if med.as_secs_f64() > 0.0 => {
+                    format!("  ({:.0} elem/s)", n as f64 / med.as_secs_f64())
+                }
+                _ => String::new(),
+            };
+            println!(
+                "bench: {id:<50} {:>12.3} µs/iter  [{} samples x {} iters]{extra}",
+                med.as_secs_f64() * 1e6,
+                sample_count,
+                b.iters_per_sample,
+            );
+        }
+        None => println!("bench: {id:<50} (no samples)"),
+    }
+}
+
+/// Re-export for closures that want `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Produce `main` from benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function(BenchmarkId::from_parameter("x"), |b| {
+            b.iter(|| std::hint::black_box(2u64 + 2));
+        });
+        g.finish();
+        c.bench_function("plain", |b| b.iter(|| ()));
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for the subset of `rand` 0.10 used by the workspace:
+//! `rngs::StdRng`, [`SeedableRng::seed_from_u64`], and [`RngExt`]'s
+//! `random::<T>()` / `random_range(..)`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic
+//! for a given seed, which is all the topology generators require. Streams
+//! differ from crates-io `rand`, so seeded topologies are stable only
+//! within this workspace.
+
+/// Pseudo-random generators.
+pub mod rngs {
+    /// Deterministic xoshiro256++ generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Seedable construction (stand-in for `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        rngs::StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+/// Types samplable uniformly by [`RngExt::random`].
+pub trait Random: Sized {
+    /// Draw one value from a 64-bit word source.
+    fn sample(next: &mut impl FnMut() -> u64) -> Self;
+}
+
+impl Random for u64 {
+    fn sample(next: &mut impl FnMut() -> u64) -> Self {
+        next()
+    }
+}
+
+impl Random for u32 {
+    fn sample(next: &mut impl FnMut() -> u64) -> Self {
+        (next() >> 32) as u32
+    }
+}
+
+impl Random for bool {
+    fn sample(next: &mut impl FnMut() -> u64) -> Self {
+        next() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn sample(next: &mut impl FnMut() -> u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1)
+        (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn sample(next: &mut impl FnMut() -> u64) -> Self {
+        (next() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by [`RngExt::random_range`].
+pub trait RandomRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one value from the range.
+    fn sample(self, next: &mut impl FnMut() -> u64) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl RandomRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, next: &mut impl FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty random_range");
+                let span = (self.end - self.start) as u64;
+                self.start + (next() % span) as $t
+            }
+        }
+        impl RandomRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, next: &mut impl FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty random_range");
+                let span = (hi - lo) as u64 + 1;
+                if span == 0 {
+                    return (next() as $t).wrapping_add(lo);
+                }
+                lo + (next() % span) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize);
+
+impl RandomRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample(self, next: &mut impl FnMut() -> u64) -> f64 {
+        let u = f64::sample(next);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Sampling methods (stand-in for `rand::RngExt` / `rand::Rng`).
+pub trait RngExt {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample of `T`.
+    fn random<T: Random>(&mut self) -> T {
+        let mut next = || self.next_u64();
+        T::sample(&mut next)
+    }
+
+    /// Uniform sample from a range.
+    fn random_range<R: RandomRange>(&mut self, range: R) -> R::Output {
+        let mut next = || self.next_u64();
+        range.sample(&mut next)
+    }
+}
+
+impl RngExt for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut r = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.random_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = r.random_range(0.5..2.5f64);
+            assert!((0.5..2.5).contains(&y));
+            let z = r.random_range(1..=6u32);
+            assert!((1..=6).contains(&z));
+        }
+    }
+}

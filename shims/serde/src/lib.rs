@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model types but never
+//! drives an actual serializer (there is no `serde_json` dependency), so the
+//! traits are empty markers and the derives are no-ops. If real
+//! serialization is ever needed, swap this shim for the crates-io `serde`
+//! in the workspace `Cargo.toml`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

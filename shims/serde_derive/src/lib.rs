@@ -1,0 +1,21 @@
+//! No-op `serde_derive` stand-in for offline builds.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata
+//! (no serializer is ever instantiated), so the derives accept the usual
+//! `#[serde(...)]` attributes and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
