@@ -192,8 +192,7 @@ pub fn search(
 
         // branch on the open proposition with the largest PLRG bound
         let target = select_prop(plrg, &set);
-        let achievers = task.achievers[target.index()].clone();
-        for a in achievers {
+        for &a in &task.achievers[target.index()] {
             if !plrg.usable(a) {
                 continue;
             }

@@ -142,9 +142,10 @@ impl<'t> Slrg<'t> {
             }
 
             let target = self.select_prop(&key);
-            // clone the achiever list to release the borrow on self
-            let achievers = self.task.achievers[target.index()].clone();
-            for a in achievers {
+            // borrow the achiever slice straight off the task reference
+            // (copied out of self so the borrow is 't, not tied to &mut self)
+            let task = self.task;
+            for &a in &task.achievers[target.index()] {
                 if !self.plrg.usable(a) {
                     continue;
                 }
