@@ -1,0 +1,107 @@
+//! Per-phase performance trajectory of the planner pipeline.
+//!
+//! Runs every network size (Tiny / Small / Large) under every level
+//! scenario (A–E), timing the four pipeline phases separately:
+//!
+//! * `compile` — grounding + leveling + static pruning,
+//! * `plrg`    — per-proposition cost fixpoint,
+//! * `slrg`    — cumulative wall time of uncached set-cost A* queries,
+//! * `rg`      — main regression search minus the SLRG share.
+//!
+//! Each combination runs `REPS` times and the minimum wall per phase is
+//! kept (least scheduler noise). Results go to stdout as a table and to
+//! `BENCH_planner.json` in the current directory as machine-readable
+//! records `{phase, scenario, wall_ms, nodes}` — the file the repo's
+//! committed baselines under `crates/bench/baselines/` are snapshots of.
+
+use sekitei_compile::compile;
+use sekitei_model::LevelScenario;
+use sekitei_planner::{rg, Plrg, RgConfig, Slrg};
+use sekitei_topology::scenarios::{self, NetSize};
+use std::time::Instant;
+
+const REPS: usize = 5;
+
+#[derive(Clone, Copy)]
+struct PhaseRow {
+    wall_ms: f64,
+    nodes: usize,
+}
+
+/// One full pipeline run; returns [compile, plrg, slrg, rg] rows.
+fn run_once(size: NetSize, sc: LevelScenario) -> [PhaseRow; 4] {
+    let p = scenarios::problem(size, sc);
+
+    let t = Instant::now();
+    let task = compile(&p).expect("scenario compiles");
+    let compile_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let plrg = Plrg::build(&task);
+    let plrg_ms = t.elapsed().as_secs_f64() * 1e3;
+    let (pp, pa) = plrg.sizes();
+
+    let mut slrg = Slrg::new(&task, &plrg, 50_000);
+    let cfg = RgConfig::default();
+    let t = Instant::now();
+    let r = rg::search(&task, &plrg, &mut slrg, &cfg);
+    let search_ms = t.elapsed().as_secs_f64() * 1e3;
+    let slrg_ms = slrg.stats().time.as_secs_f64() * 1e3;
+    let rg_ms = (search_ms - slrg_ms).max(0.0);
+
+    [
+        PhaseRow { wall_ms: compile_ms, nodes: task.num_actions() },
+        PhaseRow { wall_ms: plrg_ms, nodes: pp + pa },
+        PhaseRow { wall_ms: slrg_ms, nodes: slrg.stats().nodes },
+        PhaseRow { wall_ms: rg_ms, nodes: r.nodes_created },
+    ]
+}
+
+fn main() {
+    const PHASES: [&str; 4] = ["compile", "plrg", "slrg", "rg"];
+    let mut records: Vec<(String, &'static str, PhaseRow)> = Vec::new();
+
+    println!(
+        "{:<10}{:<9}{:>12}{:>10}   (min of {REPS} reps)",
+        "scenario", "phase", "wall_ms", "nodes"
+    );
+    for size in NetSize::ALL {
+        for sc in LevelScenario::ALL {
+            let mut best: Option<[PhaseRow; 4]> = None;
+            for _ in 0..REPS {
+                let rows = run_once(size, sc);
+                best = Some(match best {
+                    None => rows,
+                    Some(mut b) => {
+                        for (bi, ri) in b.iter_mut().zip(rows) {
+                            if ri.wall_ms < bi.wall_ms {
+                                *bi = ri;
+                            }
+                        }
+                        b
+                    }
+                });
+            }
+            let label = format!("{}/{}", size.label(), sc.label());
+            for (phase, row) in PHASES.iter().zip(best.unwrap()) {
+                println!("{:<10}{:<9}{:>12.3}{:>10}", label, phase, row.wall_ms, row.nodes);
+                records.push((label.clone(), phase, row));
+            }
+        }
+    }
+
+    let mut json = String::from("[\n");
+    for (i, (scenario, phase, row)) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"phase\": \"{}\", \"scenario\": \"{}\", \"wall_ms\": {:.3}, \"nodes\": {}}}{}\n",
+            phase,
+            scenario,
+            row.wall_ms,
+            row.nodes,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write("BENCH_planner.json", &json).expect("write BENCH_planner.json");
+    eprintln!("wrote BENCH_planner.json ({} records)", records.len());
+}

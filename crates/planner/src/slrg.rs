@@ -42,6 +42,9 @@ pub struct SlrgStats {
     pub cache_hits: usize,
     /// Queries that exhausted their expansion budget.
     pub budget_exhausted: usize,
+    /// Wall time spent inside uncached A* queries (lets callers split the
+    /// search phase into SLRG vs RG time).
+    pub time: std::time::Duration,
 }
 
 /// The SLRG: a memoizing set-cost oracle.
@@ -105,7 +108,9 @@ impl<'t> Slrg<'t> {
             return c;
         }
 
+        let t = std::time::Instant::now();
         let result = self.astar(set);
+        self.stats.time += t.elapsed();
         self.cache.insert(set.clone(), result);
         result
     }
