@@ -16,11 +16,9 @@ fn bench_heuristic(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_heuristic");
     g.sample_size(10);
     let p = scenarios::small(LevelScenario::C);
-    for (label, h) in [
-        ("slrg", Heuristic::Slrg),
-        ("plrg_max", Heuristic::PlrgMax),
-        ("blind", Heuristic::Blind),
-    ] {
+    for (label, h) in
+        [("slrg", Heuristic::Slrg), ("plrg_max", Heuristic::PlrgMax), ("blind", Heuristic::Blind)]
+    {
         let planner = Planner::new(PlannerConfig { heuristic: h, ..PlannerConfig::default() });
         g.bench_with_input(BenchmarkId::from_parameter(label), &p, |b, p| {
             b.iter(|| {

@@ -6,17 +6,27 @@ fn main() {
     let ts = transit_stub(&TransitStubConfig::default());
     let s = network_stats(&ts.net);
     println!("GT-ITM-style transit-stub network (paper Figure 10):");
-    println!("  nodes: {} ({} transit, {} stub)", s.nodes, ts.transit.len(), s.nodes - ts.transit.len());
+    println!(
+        "  nodes: {} ({} transit, {} stub)",
+        s.nodes,
+        ts.transit.len(),
+        s.nodes - ts.transit.len()
+    );
     println!("  links: {} ({} LAN, {} WAN)", s.links, s.lan_links, s.wan_links);
     println!("  degree: min {}, mean {:.2}, max {}", s.min_degree, s.mean_degree, s.max_degree);
     println!("  diameter: {} hops", s.diameter.unwrap());
-    println!("  stub domains: {} × {} nodes", ts.gateways.iter().map(Vec::len).sum::<usize>(),
-             ts.members[0][0].len());
+    println!(
+        "  stub domains: {} × {} nodes",
+        ts.gateways.iter().map(Vec::len).sum::<usize>(),
+        ts.members[0][0].len()
+    );
 
     let p = scenarios::large(LevelScenario::C);
     let path = shortest_path(&p.network, p.sources[0].node, p.goals[0].node).unwrap();
     let names: Vec<_> = path.nodes.iter().map(|&n| p.network.node(n).name.clone()).collect();
     println!("\nserver-to-client data path ({} hops): {}", path.len(), names.join(" → "));
-    println!("most of the {} nodes never participate in a plan but cannot be statically pruned.",
-             s.nodes);
+    println!(
+        "most of the {} nodes never participate in a plan but cannot be statically pruned.",
+        s.nodes
+    );
 }

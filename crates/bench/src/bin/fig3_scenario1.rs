@@ -13,8 +13,14 @@ fn main() {
 
     let greedy = scenarios::tiny(LevelScenario::A);
     let o = planner.plan(&greedy).unwrap();
-    println!("original greedy Sekitei (scenario A): {}",
-        if o.plan.is_some() { "PLAN FOUND (unexpected!)" } else { "no plan — processing all 200 units needs 40 CPU" });
+    println!(
+        "original greedy Sekitei (scenario A): {}",
+        if o.plan.is_some() {
+            "PLAN FOUND (unexpected!)"
+        } else {
+            "no plan — processing all 200 units needs 40 CPU"
+        }
+    );
 
     let leveled = scenarios::tiny(LevelScenario::C);
     let o = planner.plan(&leveled).unwrap();

@@ -7,7 +7,10 @@ use sekitei_planner::{Planner, PlannerConfig};
 use sekitei_topology::scenarios;
 
 fn main() {
-    println!("{:>8}  {:>8}  {:>10}  {:>12}  plan shape", "w_link", "actions", "cost LB", "crossings");
+    println!(
+        "{:>8}  {:>8}  {:>10}  {:>12}  plan shape",
+        "w_link", "actions", "cost LB", "crossings"
+    );
     for w in [0.1, 0.3, 0.5, 0.7, 0.83, 1.0, 1.5, 2.0, 3.0] {
         let p = scenarios::tradeoff(w);
         let o = Planner::new(PlannerConfig::default()).plan(&p).unwrap();
@@ -15,7 +18,14 @@ fn main() {
             Some(plan) => {
                 let zips = plan.steps.iter().filter(|s| s.name.contains("Zip")).count();
                 let shape = if zips > 0 { "compress (2-link path)" } else { "raw (3-link path)" };
-                println!("{:>8.2}  {:>8}  {:>10.2}  {:>12}  {}", w, plan.len(), plan.cost_lower_bound, plan.crossings(), shape);
+                println!(
+                    "{:>8.2}  {:>8}  {:>10.2}  {:>12}  {}",
+                    w,
+                    plan.len(),
+                    plan.cost_lower_bound,
+                    plan.crossings(),
+                    shape
+                );
             }
             None => println!("{w:>8.2}  no plan"),
         }

@@ -12,7 +12,9 @@ fn main() {
     let task = compile(&p).unwrap();
     let plrg = Plrg::build(&task);
     let (np, na) = plrg.sizes();
-    println!("PLRG for the Figure 3 problem (scenario C): {np} proposition nodes, {na} action nodes\n");
+    println!(
+        "PLRG for the Figure 3 problem (scenario C): {np} proposition nodes, {na} action nodes\n"
+    );
 
     println!("{:<28}{:>10}  supported by", "proposition", "cost ≥");
     let mut rows: Vec<(f64, PropId)> = (0..task.num_props())
@@ -23,12 +25,11 @@ fn main() {
     rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
     for (cost, pr) in rows {
         // cheapest supporting action (the PLRG edge Figure 7 draws)
-        let best = task.achievers[pr.index()]
-            .iter()
-            .filter(|&&a| plrg.relevant_actions[a.index()])
-            .min_by(|&&a, &&b| {
+        let best = task.achievers(pr).iter().filter(|&&a| plrg.relevant_actions[a.index()]).min_by(
+            |&&a, &&b| {
                 plrg.action_value[a.index()].partial_cmp(&plrg.action_value[b.index()]).unwrap()
-            });
+            },
+        );
         let support = match best {
             Some(&a) => task.action(a).name.clone(),
             None => "(initial state)".to_string(),

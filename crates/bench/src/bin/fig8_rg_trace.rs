@@ -19,16 +19,20 @@ fn main() {
             })
             .expect("action")
     };
-    let tail = [pick("place(Splitter,n0)", "[M=1"),
+    let tail = [
+        pick("place(Splitter,n0)", "[M=1"),
         pick("place(Zip,n0)", "[T=1"),
         pick("cross(Z,n0→n1)", "in=1,out=1"),
         pick("cross(I,n0→n1)", "in=1,out=1"),
         pick("place(Unzip,n1)", "[Z=1"),
         pick("place(Merger,n1)", "[T=1,I=1"),
-        pick("place(Client,n1)", "[M=1]")];
+        pick("place(Client,n1)", "[M=1]"),
+    ];
 
-    for (mode, init) in [("optimistic maps only (mid-search)", None),
-                         ("from the initial state (terminal check)", Some(task.init_values.as_slice()))] {
+    for (mode, init) in [
+        ("optimistic maps only (mid-search)", None),
+        ("from the initial state (terminal check)", Some(task.init_values.as_slice())),
+    ] {
         println!("=== replay {mode} ===");
         for k in 1..=tail.len() {
             let map = replay_tail(&task, &tail[..k], init).expect("the Figure 4 tail is feasible");

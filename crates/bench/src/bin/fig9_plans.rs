@@ -6,16 +6,20 @@ use sekitei_topology::scenarios;
 
 fn main() {
     let planner = Planner::new(PlannerConfig::default());
-    for (label, sc) in [("suboptimal (scenario B)", LevelScenario::B),
-                        ("optimal (scenario C)", LevelScenario::C)] {
+    for (label, sc) in
+        [("suboptimal (scenario B)", LevelScenario::B), ("optimal (scenario C)", LevelScenario::C)]
+    {
         let p = scenarios::small(sc);
         let o = planner.plan(&p).unwrap();
         let plan = o.plan.expect("Small is solvable");
         let m = plan_metrics(&p, &o.task, &plan);
         println!("=== {label}: {} actions ===", plan.len());
         print!("{plan}");
-        println!("reserved LAN bandwidth: {:.1} units per link (paper: {})",
-                 m.reserved_lan_bw, if sc == LevelScenario::B { 100 } else { 65 });
+        println!(
+            "reserved LAN bandwidth: {:.1} units per link (paper: {})",
+            m.reserved_lan_bw,
+            if sc == LevelScenario::B { 100 } else { 65 }
+        );
         println!();
     }
 }

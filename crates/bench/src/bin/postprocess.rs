@@ -37,8 +37,13 @@ fn lan_reservation(
 fn main() {
     let planner = Planner::new(PlannerConfig::default());
 
-    println!("{:<26}{:>9}{:>12}{:>14}{:>16}", "plan", "actions", "processed", "LAN reserved", "after trimming");
-    for (label, sc) in [("Small / scenario B", LevelScenario::B), ("Small / scenario C", LevelScenario::C)] {
+    println!(
+        "{:<26}{:>9}{:>12}{:>14}{:>16}",
+        "plan", "actions", "processed", "LAN reserved", "after trimming"
+    );
+    for (label, sc) in
+        [("Small / scenario B", LevelScenario::B), ("Small / scenario C", LevelScenario::C)]
+    {
         let p = scenarios::small(sc);
         let o = planner.plan(&p).unwrap();
         let plan = o.plan.expect("solvable");

@@ -12,4 +12,6 @@ pub mod ground;
 pub mod task;
 
 pub use ground::{compile, CompileError};
-pub use task::{ActionKind, CompileStats, GVarData, GroundAction, PlanningTask, PropData};
+pub use task::{
+    AchieverIndex, ActionKind, CompileStats, GVarData, GroundAction, PlanningTask, PropData,
+};

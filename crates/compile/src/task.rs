@@ -134,6 +134,58 @@ pub struct CompileStats {
     pub compile_time: std::time::Duration,
 }
 
+/// Flattened (CSR) achiever index: one contiguous array of action ids plus
+/// per-proposition offsets. Search loops iterate borrowed `&[ActionId]`
+/// slices straight out of the arena — no per-proposition `Vec` headers, no
+/// pointer chasing, cache-friendly sequential reads.
+#[derive(Debug, Clone, Default)]
+pub struct AchieverIndex {
+    /// All achiever lists back to back, grouped by proposition, each group
+    /// in ascending action order.
+    flat: Vec<ActionId>,
+    /// `offsets[p]..offsets[p+1]` bounds proposition `p`'s group.
+    offsets: Vec<u32>,
+}
+
+impl AchieverIndex {
+    /// Build the index by counting-sort over every action's add list.
+    pub fn build(num_props: usize, actions: &[GroundAction]) -> Self {
+        let mut offsets = vec![0u32; num_props + 1];
+        for a in actions {
+            for &p in &a.adds {
+                offsets[p.index() + 1] += 1;
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut flat = vec![ActionId::from_index(0); offsets[num_props] as usize];
+        let mut cursor: Vec<u32> = offsets[..num_props].to_vec();
+        for (i, a) in actions.iter().enumerate() {
+            for &p in &a.adds {
+                flat[cursor[p.index()] as usize] = ActionId::from_index(i);
+                cursor[p.index()] += 1;
+            }
+        }
+        AchieverIndex { flat, offsets }
+    }
+
+    /// Actions adding proposition `p`, in ascending action order.
+    pub fn of(&self, p: PropId) -> &[ActionId] {
+        &self.flat[self.offsets[p.index()] as usize..self.offsets[p.index() + 1] as usize]
+    }
+
+    /// Number of indexed propositions.
+    pub fn num_props(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total achiever entries across all propositions.
+    pub fn num_entries(&self) -> usize {
+        self.flat.len()
+    }
+}
+
 /// The compiled planning task.
 #[derive(Debug, Clone, Default)]
 pub struct PlanningTask {
@@ -157,8 +209,8 @@ pub struct PlanningTask {
     pub init_values: Vec<Option<Interval>>,
     /// Goal propositions (sorted).
     pub goal_props: Vec<PropId>,
-    /// `achievers[p]` = actions adding proposition `p`.
-    pub achievers: Vec<Vec<ActionId>>,
+    /// Achievers of every proposition, in one flat CSR arena.
+    pub achievers: AchieverIndex,
     /// Compilation statistics.
     pub stats: CompileStats,
     pub(crate) prop_index: HashMap<PropData, PropId>,
@@ -199,6 +251,12 @@ impl PlanningTask {
     /// True iff `p` holds initially.
     pub fn initially(&self, p: PropId) -> bool {
         self.init_mask[p.index()]
+    }
+
+    /// Actions adding proposition `p` (borrowed straight from the CSR
+    /// arena, ascending action order).
+    pub fn achievers(&self, p: PropId) -> &[ActionId] {
+        self.achievers.of(p)
     }
 
     /// Render a proposition for diagnostics.

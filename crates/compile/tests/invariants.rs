@@ -74,12 +74,10 @@ fn check_invariants(_p: &CppProblem, task: &PlanningTask) -> Result<(), TestCase
     }
 
     // achievers index is exactly inverse of adds
-    for (pi, achievers) in task.achievers.iter().enumerate() {
-        for &a in achievers {
-            prop_assert!(task
-                .action(a)
-                .adds
-                .contains(&sekitei_model::PropId(pi as u32)));
+    for pi in 0..task.num_props() {
+        let p = sekitei_model::PropId(pi as u32);
+        for &a in task.achievers(p) {
+            prop_assert!(task.action(a).adds.contains(&p));
         }
     }
 
@@ -174,8 +172,8 @@ fn combo_explosion_guarded() {
     // would ground to 5^8 ≈ 390k level combinations — the compiler must
     // refuse instead of hanging
     use sekitei_model::{
-        ComponentSpec, CppProblem, Goal, InterfaceSpec, LevelSpec, LinkClass, Network,
-        ResourceDef, StreamSource,
+        ComponentSpec, CppProblem, Goal, InterfaceSpec, LevelSpec, LinkClass, Network, ResourceDef,
+        StreamSource,
     };
     let mut net = Network::new();
     let a = net.add_node("a", [("cpu", 10.0)]);
@@ -189,8 +187,7 @@ fn combo_explosion_guarded() {
     for i in 0..8 {
         let name = format!("S{i}");
         interfaces.push(
-            InterfaceSpec::bandwidth_stream(&name, "ibw", "lbw")
-                .with_levels("ibw", levels.clone()),
+            InterfaceSpec::bandwidth_stream(&name, "ibw", "lbw").with_levels("ibw", levels.clone()),
         );
         omnivore = omnivore.requires(&name);
         sources.push(StreamSource::up_to(&name, a, "ibw", 50.0));
@@ -242,7 +239,9 @@ fn rigid_interfaces_skip_degradable_closure() {
         a.name.starts_with("place(Merger")
             && a.adds
                 .iter()
-                .filter(|&&pr| matches!(task2.prop(pr), PropData::Avail { iface, .. } if iface == m))
+                .filter(
+                    |&&pr| matches!(task2.prop(pr), PropData::Avail { iface, .. } if iface == m),
+                )
                 .count()
                 > 1
     });

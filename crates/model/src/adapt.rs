@@ -153,12 +153,8 @@ pub fn adapt_problem(
         p.resources.push(def);
 
         // stamp the marker onto hosting nodes (absent ⇒ capacity 0)
-        let hosts: Vec<NodeId> = existing
-            .placements
-            .iter()
-            .filter(|e| e.component == name)
-            .map(|e| e.node)
-            .collect();
+        let hosts: Vec<NodeId> =
+            existing.placements.iter().filter(|e| e.component == name).map(|e| e.node).collect();
         for node in hosts {
             // Network stores resources per node; reach in via rebuild
             set_node_resource(&mut p, node, &marker, 1.0);

@@ -157,9 +157,8 @@ pub fn suggest_levels(problem: &CppProblem, headroom: f64) -> Vec<LevelSuggestio
 }
 
 fn push_unique(seeds: &mut Vec<((String, String), f64)>, item: ((String, String), f64)) -> bool {
-    let exists = seeds
-        .iter()
-        .any(|(k, v)| *k == item.0 && (v - item.1).abs() <= EPS.max(1e-9 * item.1));
+    let exists =
+        seeds.iter().any(|(k, v)| *k == item.0 && (v - item.1).abs() <= EPS.max(1e-9 * item.1));
     if exists {
         false
     } else {

@@ -66,11 +66,7 @@ impl LevelSpec {
     pub fn interval(&self, idx: usize) -> Interval {
         assert!(idx < self.num_levels(), "level index {idx} out of range");
         let lo = if idx == 0 { 0.0 } else { self.cutpoints[idx - 1] };
-        let hi = if idx == self.cutpoints.len() {
-            f64::INFINITY
-        } else {
-            self.cutpoints[idx]
-        };
+        let hi = if idx == self.cutpoints.len() { f64::INFINITY } else { self.cutpoints[idx] };
         Interval::new(lo, hi)
     }
 
@@ -248,7 +244,7 @@ mod tests {
     #[test]
     fn half_open_intersection_excludes_touching_top() {
         let t = scenario_d().scaled(0.7); // cutpoints 21, 49, 63, 70
-        // 0.7 · [90, 100) = [63, 70): only level 3
+                                          // 0.7 · [90, 100) = [63, 70): only level 3
         assert_eq!(t.intersecting_half_open(&Interval::new(63.0, 70.0)), vec![3]);
         // closed query would include level 4 too
         assert_eq!(t.intersecting(&Interval::new(63.0, 70.0)), vec![3, 4]);

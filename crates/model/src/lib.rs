@@ -39,7 +39,9 @@ pub use advisor::{apply_suggestions, suggest_levels, LevelSuggestion};
 pub use component::{ComponentSpec, InterfaceSpec, Placement, SCond, SEffect, SExpr, SpecVar};
 pub use error::ModelError;
 pub use expr::{AssignOp, CmpOp, Cond, Effect, Expr, Mono};
-pub use ids::{ActionId, CompId, DirLink, GVarId, IfaceId, LevelIdx, LinkId, NodeId, PropId, ResId};
+pub use ids::{
+    ActionId, CompId, DirLink, GVarId, IfaceId, LevelIdx, LinkId, NodeId, PropId, ResId,
+};
 pub use interval::{Interval, EPS};
 pub use levels::LevelSpec;
 pub use media::{

@@ -140,10 +140,8 @@ pub fn media_domain_with(cfg: MediaConfig, scenario: LevelScenario) -> MediaDoma
     let link_levels = LevelSpec::new(scenario.link_cutpoints()).expect("static cutpoints");
     let split_i = 1.0 - cfg.split_t;
 
-    let resources = vec![
-        ResourceDef::node(names::CPU),
-        ResourceDef::link(names::LBW).with_levels(link_levels),
-    ];
+    let resources =
+        vec![ResourceDef::node(names::CPU), ResourceDef::link(names::LBW).with_levels(link_levels)];
 
     // Interface bandwidth levels proportional to M's (Table 1 note).
     let stream = |name: &str, factor: f64| {
@@ -177,7 +175,11 @@ pub fn media_domain_with(cfg: MediaConfig, scenario: LevelScenario) -> MediaDoma
         .implements("T")
         .implements("I")
         .condition(Cond::new(cpu(), CmpOp::Ge, ibw("M") / Expr::c(cfg.cpu_heavy_div)))
-        .effect(Effect::new(SpecVar::iface("T", "ibw"), AssignOp::Set, ibw("M") * Expr::c(cfg.split_t)))
+        .effect(Effect::new(
+            SpecVar::iface("T", "ibw"),
+            AssignOp::Set,
+            ibw("M") * Expr::c(cfg.split_t),
+        ))
         .effect(Effect::new(SpecVar::iface("I", "ibw"), AssignOp::Set, ibw("M") * Expr::c(split_i)))
         .effect(consume_cpu(ibw("M") / Expr::c(cfg.cpu_heavy_div)))
         .with_cost(place_cost(ibw("M")));
@@ -186,7 +188,11 @@ pub fn media_domain_with(cfg: MediaConfig, scenario: LevelScenario) -> MediaDoma
         .requires("T")
         .implements("Z")
         .condition(Cond::new(cpu(), CmpOp::Ge, ibw("T") / Expr::c(cfg.cpu_light_div)))
-        .effect(Effect::new(SpecVar::iface("Z", "ibw"), AssignOp::Set, ibw("T") * Expr::c(cfg.zip_ratio)))
+        .effect(Effect::new(
+            SpecVar::iface("Z", "ibw"),
+            AssignOp::Set,
+            ibw("T") * Expr::c(cfg.zip_ratio),
+        ))
         .effect(consume_cpu(ibw("T") / Expr::c(cfg.cpu_light_div)))
         .with_cost(place_cost(ibw("T")));
 
@@ -198,7 +204,11 @@ pub fn media_domain_with(cfg: MediaConfig, scenario: LevelScenario) -> MediaDoma
             CmpOp::Ge,
             ibw("Z") / Expr::c(cfg.cpu_light_div * cfg.zip_ratio),
         ))
-        .effect(Effect::new(SpecVar::iface("T", "ibw"), AssignOp::Set, ibw("Z") / Expr::c(cfg.zip_ratio)))
+        .effect(Effect::new(
+            SpecVar::iface("T", "ibw"),
+            AssignOp::Set,
+            ibw("Z") / Expr::c(cfg.zip_ratio),
+        ))
         .effect(consume_cpu(ibw("Z") / Expr::c(cfg.cpu_light_div * cfg.zip_ratio)))
         .with_cost(place_cost(ibw("Z")));
 
@@ -208,11 +218,7 @@ pub fn media_domain_with(cfg: MediaConfig, scenario: LevelScenario) -> MediaDoma
         .requires("T")
         .requires("I")
         .implements("M")
-        .condition(Cond::new(
-            cpu(),
-            CmpOp::Ge,
-            (ibw("T") + ibw("I")) / Expr::c(cfg.cpu_heavy_div),
-        ))
+        .condition(Cond::new(cpu(), CmpOp::Ge, (ibw("T") + ibw("I")) / Expr::c(cfg.cpu_heavy_div)))
         .condition(Cond::new(
             ibw("T") * Expr::c((split_i * 10.0).round()),
             CmpOp::Eq,
@@ -293,7 +299,11 @@ pub fn add_latency(domain: &mut MediaDomain, cfg: LatencyConfig, clients: &[&str
         }
         let stamped = acc + Expr::c(cfg.proc_delay);
         for out in comp.implements.clone() {
-            comp.effects.push(Effect::new(SpecVar::iface(out, "lat"), AssignOp::Set, stamped.clone()));
+            comp.effects.push(Effect::new(
+                SpecVar::iface(out, "lat"),
+                AssignOp::Set,
+                stamped.clone(),
+            ));
         }
     }
 }

@@ -166,19 +166,13 @@ impl Network {
     /// All directed traversals (two per undirected link).
     pub fn directed_links(&self) -> impl Iterator<Item = DirLink> + '_ {
         self.links().flat_map(|(id, l)| {
-            [
-                DirLink { link: id, from: l.a, to: l.b },
-                DirLink { link: id, from: l.b, to: l.a },
-            ]
+            [DirLink { link: id, from: l.a, to: l.b }, DirLink { link: id, from: l.b, to: l.a }]
         })
     }
 
     /// The undirected link between two nodes, if any.
     pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
-        self.adjacency[a.index()]
-            .iter()
-            .copied()
-            .find(|&l| self.opposite(l, a) == Some(b))
+        self.adjacency[a.index()].iter().copied().find(|&l| self.opposite(l, a) == Some(b))
     }
 
     /// Capacity of a node resource (0 when absent, matching "no resource

@@ -149,8 +149,7 @@ impl CppProblem {
                     SpecVar::Iface { iface, prop } => {
                         if !in_scope.contains(iface.as_str()) {
                             err = Some(ModelError::VarOutOfScope(format!("{iface}.{prop}")));
-                        } else if let Some(spec) =
-                            self.interfaces.iter().find(|i| &i.name == iface)
+                        } else if let Some(spec) = self.interfaces.iter().find(|i| &i.name == iface)
                         {
                             if !spec.properties.contains(prop) {
                                 err = Some(ModelError::VarOutOfScope(format!("{iface}.{prop}")));

@@ -6,8 +6,7 @@ use proptest::prelude::*;
 use sekitei_model::{CmpOp, Cond, Expr, Interval, LevelSpec, Mono};
 
 fn finite_interval() -> impl Strategy<Value = Interval> {
-    (0.0..1000.0f64, 0.0..1000.0f64)
-        .prop_map(|(a, b)| Interval::new(a.min(b), a.max(b)))
+    (0.0..1000.0f64, 0.0..1000.0f64).prop_map(|(a, b)| Interval::new(a.min(b), a.max(b)))
 }
 
 proptest! {

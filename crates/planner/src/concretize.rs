@@ -97,11 +97,7 @@ pub fn concretize(
     }
 }
 
-fn source_choices(
-    task: &PlanningTask,
-    final_map: &ResourceMap,
-    snap: bool,
-) -> Vec<(GVarId, f64)> {
+fn source_choices(task: &PlanningTask, final_map: &ResourceMap, snap: bool) -> Vec<(GVarId, f64)> {
     let mut out = Vec::new();
     for (i, init) in task.init_values.iter().enumerate() {
         let Some(init) = init else { continue };
@@ -303,9 +299,8 @@ mod tests {
             .unwrap();
         assert!((exec.final_state[&v] - 100.0).abs() < 1e-9);
         // CPU books balance: n0 used 100/5 + 70/10 = 27 of 30
-        let cpu0 = task
-            .gvar_id(&GVarData::NodeRes { res: 0, node: sekitei_model::NodeId(0) })
-            .unwrap();
+        let cpu0 =
+            task.gvar_id(&GVarData::NodeRes { res: 0, node: sekitei_model::NodeId(0) }).unwrap();
         assert!((exec.final_state[&cpu0] - 3.0).abs() < 1e-9);
     }
 
@@ -372,9 +367,8 @@ mod tests {
         let s = minimized.source_values[0].1;
         assert!((s - 90.0).abs() < 1e-4, "minimized source = {s}");
         // link usage drops to I(27) + Z(31.5) = 58.5
-        let lbw = task
-            .gvar_id(&GVarData::LinkRes { res: 1, link: sekitei_model::LinkId(0) })
-            .unwrap();
+        let lbw =
+            task.gvar_id(&GVarData::LinkRes { res: 1, link: sekitei_model::LinkId(0) }).unwrap();
         let remaining = minimized.final_state[&lbw];
         assert!((70.0 - remaining - 58.5).abs() < 1e-3, "used {}", 70.0 - remaining);
     }

@@ -191,10 +191,7 @@ mod tests {
         let a = plan_for(&loose);
         let b = plan_for(&tight);
         let d = plan_diff(&a, &b);
-        assert!(
-            d.added.iter().any(|(c, _)| tight.component(*c).name == "Zip"),
-            "{d:?}"
-        );
+        assert!(d.added.iter().any(|(c, _)| tight.component(*c).name == "Zip"), "{d:?}");
         let rev = plan_diff(&b, &a);
         assert!(rev.removed.iter().any(|(c, _)| tight.component(*c).name == "Zip"));
     }

@@ -115,8 +115,7 @@ pub fn plan_metrics(problem: &CppProblem, task: &PlanningTask, plan: &Plan) -> P
             }
             GVarData::LinkRes { res, link } => {
                 let def = &problem.resources[*res as usize];
-                let used =
-                    (problem.network.link_capacity(*link, &def.name) - fin).max(0.0);
+                let used = (problem.network.link_capacity(*link, &def.name) - fin).max(0.0);
                 if def.name == sekitei_model::resource::names::LBW {
                     m.total_bw += used;
                     match problem.network.link(*link).class {

@@ -59,10 +59,10 @@ impl Plrg {
         }
         // actions with no propositional preconditions fire immediately
         let fire = |a: ActionId,
-                        maxpre: f64,
-                        value: &mut Vec<f64>,
-                        action_value: &mut Vec<f64>,
-                        heap: &mut BinaryHeap<(Reverse<u64>, PropId)>| {
+                    maxpre: f64,
+                    value: &mut Vec<f64>,
+                    action_value: &mut Vec<f64>,
+                    heap: &mut BinaryHeap<(Reverse<u64>, PropId)>| {
             let av = maxpre + task.action(a).cost;
             if av < action_value[a.index()] {
                 action_value[a.index()] = av;
@@ -106,7 +106,7 @@ impl Plrg {
             }
         }
         while let Some(p) = stack.pop() {
-            for &a in &task.achievers[p.index()] {
+            for &a in task.achievers(p) {
                 if !action_value[a.index()].is_finite() || relevant_actions[a.index()] {
                     continue;
                 }

@@ -31,15 +31,12 @@ fn render(problem: &CppProblem, plan: Option<&Plan>) -> String {
     if let Some(plan) = plan {
         for step in &plan.steps {
             match &step.kind {
-                ActionKind::Place { comp, node } => placements
-                    .entry(*node)
-                    .or_default()
-                    .push(problem.component(*comp).name.clone()),
-                ActionKind::Cross { iface, dir } => crossings.push((
-                    dir.from,
-                    dir.to,
-                    problem.iface(*iface).name.clone(),
-                )),
+                ActionKind::Place { comp, node } => {
+                    placements.entry(*node).or_default().push(problem.component(*comp).name.clone())
+                }
+                ActionKind::Cross { iface, dir } => {
+                    crossings.push((dir.from, dir.to, problem.iface(*iface).name.clone()))
+                }
             }
         }
     }
@@ -89,12 +86,7 @@ fn render(problem: &CppProblem, plan: Option<&Plan>) -> String {
         } else {
             format!(", label=\"{}\", color=\"#c04000\", penwidth=2", escape(&labels.join(" ")))
         };
-        let _ = writeln!(
-            out,
-            "    n{} -- n{} [style={style}{label}];",
-            l.a.index(),
-            l.b.index()
-        );
+        let _ = writeln!(out, "    n{} -- n{} [style={style}{label}];", l.a.index(), l.b.index());
     }
     out.push_str("}\n");
     out

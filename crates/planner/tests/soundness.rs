@@ -136,12 +136,10 @@ fn replay_pruning_only_affects_work_not_result() {
     for sc in [LevelScenario::B, LevelScenario::C] {
         let p = scenarios::tiny(sc);
         let with = Planner::default().plan(&p).unwrap();
-        let without = Planner::new(PlannerConfig {
-            replay_pruning: false,
-            ..PlannerConfig::default()
-        })
-        .plan(&p)
-        .unwrap();
+        let without =
+            Planner::new(PlannerConfig { replay_pruning: false, ..PlannerConfig::default() })
+                .plan(&p)
+                .unwrap();
         let (pw, pwo) = (with.plan.unwrap(), without.plan.unwrap());
         assert!((pw.cost_lower_bound - pwo.cost_lower_bound).abs() < 1e-6);
         assert_eq!(pw.len(), pwo.len());

@@ -11,10 +11,9 @@ pub fn plan_ops(problem: &CppProblem, plan: &Plan) -> Vec<DeployOp> {
     plan.steps
         .iter()
         .map(|s| match &s.kind {
-            ActionKind::Place { comp, node } => DeployOp::Place {
-                component: problem.component(*comp).name.clone(),
-                node: *node,
-            },
+            ActionKind::Place { comp, node } => {
+                DeployOp::Place { component: problem.component(*comp).name.clone(), node: *node }
+            }
             ActionKind::Cross { iface, dir } => {
                 DeployOp::Cross { iface: problem.iface(*iface).name.clone(), dir: *dir }
             }
@@ -47,10 +46,7 @@ pub fn plan_sources(problem: &CppProblem, task: &PlanningTask, plan: &Plan) -> V
 
 /// Extract the deployment state a plan leaves behind — input for
 /// [`sekitei_model::adapt_problem`] when the environment later changes.
-pub fn existing_from_plan(
-    problem: &CppProblem,
-    plan: &Plan,
-) -> sekitei_model::ExistingDeployment {
+pub fn existing_from_plan(problem: &CppProblem, plan: &Plan) -> sekitei_model::ExistingDeployment {
     let placements = plan
         .steps
         .iter()
@@ -139,8 +135,7 @@ pub fn flow_report(problem: &CppProblem, report: &crate::engine::DeploymentRepor
         let l = problem.network.link(sekitei_model::LinkId(link));
         let total: f64 = flows.iter().map(|(_, a)| a).sum();
         let cap = problem.network.link_capacity(sekitei_model::LinkId(link), res);
-        let parts: Vec<String> =
-            flows.iter().map(|(i, a)| format!("{i}={a:.1}")).collect();
+        let parts: Vec<String> = flows.iter().map(|(i, a)| format!("{i}={a:.1}")).collect();
         let _ = writeln!(
             out,
             "{}-{} {res}: {:.1}/{:.1} ({})",
@@ -169,11 +164,8 @@ mod flow_tests {
         let report = validate_plan(&p, &o.task, &plan);
         assert!(report.ok);
         // the single WAN link carries exactly Z (35) and I (30)
-        let mut flows: Vec<(&str, f64)> = report
-            .link_flows
-            .iter()
-            .map(|(_, _, i, a)| (i.as_str(), *a))
-            .collect();
+        let mut flows: Vec<(&str, f64)> =
+            report.link_flows.iter().map(|(_, _, i, a)| (i.as_str(), *a)).collect();
         flows.sort_by(|a, b| a.0.cmp(b.0));
         assert_eq!(flows.len(), 2, "{flows:?}");
         assert_eq!(flows[0].0, "I");
@@ -199,9 +191,6 @@ mod flow_tests {
             assert!(!t.op.is_empty());
         }
         // crossings record link bandwidth writes
-        assert!(report
-            .trace
-            .iter()
-            .any(|t| t.op.starts_with("cross") && !t.writes.is_empty()));
+        assert!(report.trace.iter().any(|t| t.op.starts_with("cross") && !t.writes.is_empty()));
     }
 }

@@ -13,9 +13,7 @@
 //! engine instantiates components, wires streams, charges CPU and link
 //! bandwidth, and reports delivered QoS.
 
-use sekitei_model::{
-    AssignOp, CppProblem, DirLink, LinkId, NodeId, Placement, SpecVar,
-};
+use sekitei_model::{AssignOp, CppProblem, DirLink, LinkId, NodeId, Placement, SpecVar};
 use std::collections::{BTreeMap, HashMap};
 
 /// A deployment operation (the engine's own vocabulary — deliberately not
@@ -227,10 +225,9 @@ pub fn simulate(
         match op {
             DeployOp::Place { component, node } => {
                 let Some(cid) = problem.comp_id(component) else {
-                    report.violations.push(Violation::UnknownName {
-                        step,
-                        name: component.clone(),
-                    });
+                    report
+                        .violations
+                        .push(Violation::UnknownName { step, name: component.clone() });
                     continue;
                 };
                 let spec = problem.component(cid);
@@ -246,9 +243,7 @@ pub fn simulate(
                 let mut missing = false;
                 for r in &spec.requires {
                     if !streams.contains_key(&(r.clone(), *node)) {
-                        report
-                            .violations
-                            .push(Violation::MissingInput { step, iface: r.clone() });
+                        report.violations.push(Violation::MissingInput { step, iface: r.clone() });
                         missing = true;
                     }
                 }
@@ -280,7 +275,8 @@ pub fn simulate(
                 report.total_cost += spec.cost.eval(&mut env);
                 let mut writes: Vec<(String, f64)> = Vec::new();
                 // effects read the pre-state
-                let values: Vec<f64> = spec.effects.iter().map(|e| e.value.eval(&mut env)).collect();
+                let values: Vec<f64> =
+                    spec.effects.iter().map(|e| e.value.eval(&mut env)).collect();
                 for (e, val) in spec.effects.iter().zip(values) {
                     match (&e.target, e.op) {
                         (SpecVar::Iface { iface, prop }, AssignOp::Set) => {
@@ -334,23 +330,17 @@ pub fn simulate(
             }
             DeployOp::Cross { iface, dir } => {
                 let Some(iid) = problem.iface_id(iface) else {
-                    report
-                        .violations
-                        .push(Violation::UnknownName { step, name: iface.clone() });
+                    report.violations.push(Violation::UnknownName { step, name: iface.clone() });
                     continue;
                 };
                 let spec = problem.iface(iid);
                 let Some(input) = streams.get(&(iface.clone(), dir.from)).cloned() else {
-                    report
-                        .violations
-                        .push(Violation::MissingInput { step, iface: iface.clone() });
+                    report.violations.push(Violation::MissingInput { step, iface: iface.clone() });
                     continue;
                 };
                 let mut env = |v: &SpecVar| -> f64 {
                     match v {
-                        SpecVar::Iface { prop, .. } => {
-                            input.get(prop).copied().unwrap_or(0.0)
-                        }
+                        SpecVar::Iface { prop, .. } => input.get(prop).copied().unwrap_or(0.0),
                         SpecVar::Link { res } => {
                             link_res.get(&(dir.link, res.clone())).copied().unwrap_or(0.0)
                         }
@@ -417,7 +407,8 @@ pub fn simulate(
                     }
                 }
                 for (k, v) in &out_props {
-                    writes.push((format!("{k}({iface})@{}", problem.network.node(dir.to).name), *v));
+                    writes
+                        .push((format!("{k}({iface})@{}", problem.network.node(dir.to).name), *v));
                 }
                 report.trace.push(StepTrace { step, op: op.to_string(), writes });
                 streams.insert((iface.clone(), dir.to), out_props);
@@ -428,10 +419,7 @@ pub fn simulate(
     // goals
     for g in &problem.goals {
         let hit = placed.iter().any(|(c, n)| c == &g.component && *n == g.node)
-            || problem
-                .pre_placed
-                .iter()
-                .any(|p| p.component == g.component && p.node == g.node);
+            || problem.pre_placed.iter().any(|p| p.component == g.component && p.node == g.node);
         if !hit {
             report
                 .violations
@@ -502,10 +490,10 @@ mod tests {
         let r = simulate(&p, &src, &ops);
         assert!(r.ok, "{:?}", r.violations);
         // M delivered at 100 units on n1
-        assert!(r
-            .delivered
-            .iter()
-            .any(|(i, n, p, v)| i == "M" && *n == NodeId(1) && p == "ibw" && (*v - 100.0).abs() < 1e-9));
+        assert!(r.delivered.iter().any(|(i, n, p, v)| i == "M"
+            && *n == NodeId(1)
+            && p == "ibw"
+            && (*v - 100.0).abs() < 1e-9));
         // link carries Z(35) + I(30)
         let bw: f64 = r.link_usage.iter().map(|(_, _, u)| u).sum();
         assert!((bw - 65.0).abs() < 1e-9, "{bw}");
@@ -521,10 +509,11 @@ mod tests {
         let r = simulate(&p, &src, &ops);
         assert!(!r.ok);
         // Splitter CPU condition violated (paper §2.3: needs 40 of 30)
-        assert!(r
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::ConditionViolated { step: 0, .. })), "{:?}", r.violations);
+        assert!(
+            r.violations.iter().any(|v| matches!(v, Violation::ConditionViolated { step: 0, .. })),
+            "{:?}",
+            r.violations
+        );
     }
 
     #[test]
@@ -590,10 +579,8 @@ mod tests {
     #[test]
     fn pre_placed_goal_counts() {
         let mut p = scenarios::tiny(LevelScenario::C);
-        p.pre_placed.push(sekitei_model::PrePlacement {
-            component: "Client".into(),
-            node: NodeId(1),
-        });
+        p.pre_placed
+            .push(sekitei_model::PrePlacement { component: "Client".into(), node: NodeId(1) });
         let r = simulate(&p, &[], &[]);
         // goal met via pre-placement; no ops, no usage
         assert!(r.ok, "{:?}", r.violations);

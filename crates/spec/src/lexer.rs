@@ -226,16 +226,16 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, SpecError> {
             c if c.is_ascii_digit() => {
                 let start = i;
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
                         || bytes[i] == b'E'
                         || ((bytes[i] == b'+' || bytes[i] == b'-')
                             && i > start
                             && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
                 {
                     // don't swallow a `.` that isn't followed by a digit
-                    if bytes[i] == b'.'
-                        && !(i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
-                    {
+                    if bytes[i] == b'.' && !(i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) {
                         break;
                     }
                     i += 1;
@@ -328,13 +328,10 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("31.5 100 0.7 1e3 2.5e-2"), vec![
-            Tok::Num(31.5),
-            Tok::Num(100.0),
-            Tok::Num(0.7),
-            Tok::Num(1000.0),
-            Tok::Num(0.025),
-        ]);
+        assert_eq!(
+            toks("31.5 100 0.7 1e3 2.5e-2"),
+            vec![Tok::Num(31.5), Tok::Num(100.0), Tok::Num(0.7), Tok::Num(1000.0), Tok::Num(0.025),]
+        );
     }
 
     #[test]
@@ -349,10 +346,7 @@ mod tests {
     #[test]
     fn dot_not_swallowed_by_number() {
         // `5.x` must lex as Num(5), Dot, Ident(x) — not a bad number
-        assert_eq!(
-            toks("5.x"),
-            vec![Tok::Num(5.0), Tok::Dot, Tok::Ident("x".into())]
-        );
+        assert_eq!(toks("5.x"), vec![Tok::Num(5.0), Tok::Dot, Tok::Ident("x".into())]);
     }
 
     #[test]

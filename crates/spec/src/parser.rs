@@ -40,12 +40,12 @@
 
 use crate::error::SpecError;
 use crate::lexer::{lex, Spanned, Tok};
+use sekitei_model::resource::{Elasticity, Locus};
 use sekitei_model::{
     AssignOp, CmpOp, ComponentSpec, Cond, CppProblem, Effect, Expr, Goal, InterfaceSpec, Interval,
     LevelSpec, LinkClass, Network, Placement, PrePlacement, ResourceDef, SEffect, SExpr, SpecVar,
     StreamSource,
 };
-use sekitei_model::resource::{Elasticity, Locus};
 use std::collections::BTreeMap;
 
 /// Parse a complete specification into a validated [`CppProblem`].
@@ -102,9 +102,7 @@ impl Parser {
         let line = self.line();
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            Some(got) => {
-                Err(SpecError::parse(line, format!("expected identifier, found `{got}`")))
-            }
+            Some(got) => Err(SpecError::parse(line, format!("expected identifier, found `{got}`"))),
             None => Err(SpecError::parse(0, "expected identifier")),
         }
     }
@@ -423,9 +421,10 @@ impl Parser {
                 let iface = self.ident()?;
                 self.expect_kw("at")?;
                 let node_name = self.ident()?;
-                let node = problem.network.node_by_name(&node_name).ok_or_else(|| {
-                    SpecError::parse(line, format!("unknown node `{node_name}`"))
-                })?;
+                let node = problem
+                    .network
+                    .node_by_name(&node_name)
+                    .ok_or_else(|| SpecError::parse(line, format!("unknown node `{node_name}`")))?;
                 self.expect(&Tok::LBrace)?;
                 let mut properties = BTreeMap::new();
                 while self.peek() != Some(&Tok::RBrace) {
@@ -452,18 +451,20 @@ impl Parser {
                 let component = self.ident()?;
                 self.expect_kw("at")?;
                 let node_name = self.ident()?;
-                let node = problem.network.node_by_name(&node_name).ok_or_else(|| {
-                    SpecError::parse(line, format!("unknown node `{node_name}`"))
-                })?;
+                let node = problem
+                    .network
+                    .node_by_name(&node_name)
+                    .ok_or_else(|| SpecError::parse(line, format!("unknown node `{node_name}`")))?;
                 self.expect(&Tok::Semi)?;
                 problem.pre_placed.push(PrePlacement { component, node });
             } else if self.eat_ident("goal") {
                 let component = self.ident()?;
                 self.expect_kw("at")?;
                 let node_name = self.ident()?;
-                let node = problem.network.node_by_name(&node_name).ok_or_else(|| {
-                    SpecError::parse(line, format!("unknown node `{node_name}`"))
-                })?;
+                let node = problem
+                    .network
+                    .node_by_name(&node_name)
+                    .ok_or_else(|| SpecError::parse(line, format!("unknown node `{node_name}`")))?;
                 self.expect(&Tok::Semi)?;
                 problem.goals.push(Goal { component, node });
             } else {

@@ -8,12 +8,12 @@
 use crate::error::SpecError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sekitei_model::resource::Elasticity;
+use sekitei_model::resource::Locus;
 use sekitei_model::{
     AssignOp, CmpOp, ComponentSpec, Cond, CppProblem, Effect, Expr, Goal, InterfaceSpec, Interval,
     LevelSpec, LinkClass, Network, NodeId, Placement, PrePlacement, ResourceDef, SpecVar,
     StreamSource,
 };
-use sekitei_model::resource::Locus;
 
 const MAGIC: &[u8; 4] = b"SKT1";
 

@@ -206,8 +206,7 @@ mod tests {
         let heavy = net.add_link(a, b, LinkClass::Wan, [("lbw", 1.0)]);
         net.add_link(a, c, LinkClass::Lan, [("lbw", 1.0)]);
         net.add_link(c, b, LinkClass::Lan, [("lbw", 1.0)]);
-        let (p, cost) =
-            dijkstra(&net, a, b, |l| if l == heavy { 10.0 } else { 1.0 }).unwrap();
+        let (p, cost) = dijkstra(&net, a, b, |l| if l == heavy { 10.0 } else { 1.0 }).unwrap();
         assert_eq!(cost, 2.0);
         assert_eq!(p.nodes, vec![a, c, b]);
     }

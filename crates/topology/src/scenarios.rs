@@ -48,12 +48,7 @@ impl NetSize {
     }
 }
 
-fn assemble(
-    net: Network,
-    domain: MediaDomain,
-    server: NodeId,
-    client: NodeId,
-) -> CppProblem {
+fn assemble(net: Network, domain: MediaDomain, server: NodeId, client: NodeId) -> CppProblem {
     let p = CppProblem {
         network: net,
         resources: domain.resources,
@@ -95,10 +90,8 @@ pub fn small(sc: LevelScenario) -> CppProblem {
 /// [`small`] with explicit domain constants.
 pub fn small_with(cfg: MediaConfig, sc: LevelScenario) -> CppProblem {
     let caps = Capacities::default();
-    let mut net = generators::line(
-        &[LinkClass::Lan, LinkClass::Lan, LinkClass::Wan, LinkClass::Lan],
-        &caps,
-    );
+    let mut net =
+        generators::line(&[LinkClass::Lan, LinkClass::Lan, LinkClass::Wan, LinkClass::Lan], &caps);
     // distractor node hanging off the path (present in Figure 9's network,
     // absent from every sensible plan)
     let a = net.node_by_name("n1").unwrap();
@@ -124,10 +117,7 @@ pub fn large_with(cfg: MediaConfig, sc: LevelScenario) -> CppProblem {
     // stub tree construction always links member 1 to the gateway
     let server = ts.members[0][0][1];
     let client = ts.members[0][1][1];
-    debug_assert_eq!(
-        crate::algo::shortest_path(&ts.net, server, client).map(|p| p.len()),
-        Some(4)
-    );
+    debug_assert_eq!(crate::algo::shortest_path(&ts.net, server, client).map(|p| p.len()), Some(4));
     assemble(ts.net, media_domain_with(cfg, sc), server, client)
 }
 
@@ -187,8 +177,9 @@ pub fn text_domain(link_cost_weight: f64, demand: f64) -> MediaDomain {
             .with_cross_cost(cost)
             .with_levels("ibw", t_levels.scaled(factor))
     };
-    let place_cost =
-        |processed: Expr<SpecVar>| Expr::c(cfg.action_cost_weight) + processed / Expr::c(cfg.cost_div);
+    let place_cost = |processed: Expr<SpecVar>| {
+        Expr::c(cfg.action_cost_weight) + processed / Expr::c(cfg.cost_div)
+    };
 
     let tclient = ComponentSpec::new("TClient")
         .requires("T")
@@ -396,12 +387,8 @@ mod tests {
         p.validate().unwrap();
         let path = algo::shortest_path(&p.network, p.sources[0].node, p.goals[0].node).unwrap();
         assert_eq!(path.len(), 4);
-        let classes: Vec<_> =
-            path.links.iter().map(|&l| p.network.link(l).class).collect();
-        assert_eq!(
-            classes,
-            vec![LinkClass::Lan, LinkClass::Lan, LinkClass::Wan, LinkClass::Lan]
-        );
+        let classes: Vec<_> = path.links.iter().map(|&l| p.network.link(l).class).collect();
+        assert_eq!(classes, vec![LinkClass::Lan, LinkClass::Lan, LinkClass::Wan, LinkClass::Lan]);
     }
 
     #[test]
@@ -411,12 +398,8 @@ mod tests {
         p.validate().unwrap();
         let path = algo::shortest_path(&p.network, p.sources[0].node, p.goals[0].node).unwrap();
         assert_eq!(path.len(), 4);
-        let classes: Vec<_> =
-            path.links.iter().map(|&l| p.network.link(l).class).collect();
-        assert_eq!(
-            classes,
-            vec![LinkClass::Lan, LinkClass::Wan, LinkClass::Wan, LinkClass::Lan]
-        );
+        let classes: Vec<_> = path.links.iter().map(|&l| p.network.link(l).class).collect();
+        assert_eq!(classes, vec![LinkClass::Lan, LinkClass::Wan, LinkClass::Wan, LinkClass::Lan]);
     }
 
     #[test]
@@ -458,10 +441,7 @@ mod tests {
         // the delay resource is registered and carried by every link
         assert!(p.resource(sekitei_model::media::DELAY).is_some());
         for (l, d) in p.network.links() {
-            assert!(
-                p.network.link_capacity(l, sekitei_model::media::DELAY) > 0.0,
-                "{d:?}"
-            );
+            assert!(p.network.link_capacity(l, sekitei_model::media::DELAY) > 0.0, "{d:?}");
         }
         let tc = p.components.iter().find(|c| c.name == "TClient").unwrap();
         assert_eq!(tc.conditions.len(), 2);
@@ -471,11 +451,7 @@ mod tests {
     fn text_domain_cost_scales_with_link_weight() {
         let cheap = text_domain(0.1, TRADEOFF_DEMAND);
         let pricey = text_domain(3.0, TRADEOFF_DEMAND);
-        let eval = |d: &MediaDomain| {
-            d.interfaces[0]
-                .cross_cost
-                .eval(&mut |_: &SpecVar| 63.0)
-        };
+        let eval = |d: &MediaDomain| d.interfaces[0].cross_cost.eval(&mut |_: &SpecVar| 63.0);
         assert!(eval(&cheap) < eval(&pricey));
     }
 

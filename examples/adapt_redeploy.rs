@@ -66,7 +66,11 @@ fn main() {
     let adapted_problem = adapt_problem(&degraded, &existing, &AdaptConfig::default());
     let outcome = planner.plan(&adapted_problem).unwrap();
     let adapted = outcome.plan.expect("adaptation solvable");
-    println!("adaptive replan:     {} actions, cost ≥ {:.2}", adapted.len(), adapted.cost_lower_bound);
+    println!(
+        "adaptive replan:     {} actions, cost ≥ {:.2}",
+        adapted.len(),
+        adapted.cost_lower_bound
+    );
     println!("\n=== adapted deployment ===");
     print!("{adapted}");
 
@@ -77,8 +81,11 @@ fn main() {
     // every previously running component stays on its node
     for e in &existing.placements {
         let kept = adapted.steps.iter().any(|st| {
-            st.name.starts_with(&format!("place({},{})", e.component,
-                adapted_problem.network.node(e.node).name))
+            st.name.starts_with(&format!(
+                "place({},{})",
+                e.component,
+                adapted_problem.network.node(e.node).name
+            ))
         });
         assert!(kept, "{} should be kept at {}", e.component, e.node);
     }

@@ -14,8 +14,8 @@
 
 use sekitei::model::resource::names::{CPU, LBW};
 use sekitei::model::{
-    AssignOp, CmpOp, ComponentSpec, Cond, CppProblem, Effect, Expr, Goal, InterfaceSpec,
-    LevelSpec, LinkClass, Network, ResourceDef, SpecVar, StreamSource,
+    AssignOp, CmpOp, ComponentSpec, Cond, CppProblem, Effect, Expr, Goal, InterfaceSpec, LevelSpec,
+    LinkClass, Network, ResourceDef, SpecVar, StreamSource,
 };
 use sekitei::planner::plan_metrics;
 use sekitei::prelude::*;
@@ -38,13 +38,7 @@ fn file_stream(name: &str, factor: f64, raw_levels: &LevelSpec) -> InterfaceSpec
 
 /// A 1-in/1-out processing task: `out.rate := ratio · in.rate`,
 /// `cpu -= in.rate / cpu_div`.
-fn task(
-    name: &str,
-    input: &str,
-    output: &str,
-    ratio: f64,
-    cpu_div: f64,
-) -> ComponentSpec {
+fn task(name: &str, input: &str, output: &str, ratio: f64, cpu_div: f64) -> ComponentSpec {
     ComponentSpec::new(name)
         .requires(input)
         .implements(output)

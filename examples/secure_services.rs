@@ -11,8 +11,8 @@
 use sekitei::model::resource::names::{CPU, LBW};
 use sekitei::model::resource::{Elasticity, ResourceDef};
 use sekitei::model::{
-    AssignOp, CmpOp, ComponentSpec, Cond, CppProblem, Effect, Expr, Goal, InterfaceSpec,
-    LevelSpec, LinkClass, Network, SpecVar, StreamSource,
+    AssignOp, CmpOp, ComponentSpec, Cond, CppProblem, Effect, Expr, Goal, InterfaceSpec, LevelSpec,
+    LinkClass, Network, SpecVar, StreamSource,
 };
 use sekitei::prelude::*;
 

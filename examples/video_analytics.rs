@@ -15,8 +15,8 @@
 
 use sekitei::model::resource::names::{CPU, LBW};
 use sekitei::model::{
-    AssignOp, CmpOp, ComponentSpec, Cond, CppProblem, Effect, Expr, Goal, InterfaceSpec,
-    LevelSpec, LinkClass, Network, ResourceDef, SpecVar, StreamSource,
+    AssignOp, CmpOp, ComponentSpec, Cond, CppProblem, Effect, Expr, Goal, InterfaceSpec, LevelSpec,
+    LinkClass, Network, ResourceDef, SpecVar, StreamSource,
 };
 use sekitei::prelude::*;
 
@@ -126,8 +126,7 @@ fn main() {
         );
     }
     // greedy-within-level binds both cameras at their level caps
-    let mut sources: Vec<f64> =
-        plan.execution.source_values.iter().map(|(_, v)| *v).collect();
+    let mut sources: Vec<f64> = plan.execution.source_values.iter().map(|(_, v)| *v).collect();
     sources.sort_by(|a, b| a.partial_cmp(b).unwrap());
     assert_eq!(sources, vec![40.0, 60.0], "level caps bind both cameras");
 

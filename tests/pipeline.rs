@@ -77,10 +77,8 @@ fn spec_language_handles_the_large_network() {
 #[test]
 fn pre_placed_components_skip_planning() {
     let mut p = scenarios::tiny(LevelScenario::C);
-    p.pre_placed.push(sekitei::model::PrePlacement {
-        component: "Client".into(),
-        node: p.goals[0].node,
-    });
+    p.pre_placed
+        .push(sekitei::model::PrePlacement { component: "Client".into(), node: p.goals[0].node });
     let o = Planner::default().plan(&p).unwrap();
     let plan = o.plan.expect("goal already satisfied");
     assert!(plan.is_empty(), "{plan}");
@@ -189,8 +187,7 @@ fn two_clients_share_the_upstream_pipeline() {
     let o = Planner::default().plan(&p).unwrap();
     let plan = o.plan.expect("both clients servable");
     // exactly one Splitter for both branches
-    let splitters =
-        plan.steps.iter().filter(|s| s.name.starts_with("place(Splitter")).count();
+    let splitters = plan.steps.iter().filter(|s| s.name.starts_with("place(Splitter")).count();
     assert_eq!(splitters, 1, "{plan}");
     let clients = plan.steps.iter().filter(|s| s.name.starts_with("place(Client")).count();
     assert_eq!(clients, 2, "{plan}");

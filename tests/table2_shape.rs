@@ -15,11 +15,8 @@ fn solve(size: NetSize, sc: LevelScenario) -> (Option<Plan>, PlannerStats, f64) 
         ..PlannerConfig::default()
     });
     let o = planner.plan(&p).unwrap();
-    let lan = o
-        .plan
-        .as_ref()
-        .map(|plan| plan_metrics(&p, &o.task, plan).reserved_lan_bw)
-        .unwrap_or(-1.0);
+    let lan =
+        o.plan.as_ref().map(|plan| plan_metrics(&p, &o.task, plan).reserved_lan_bw).unwrap_or(-1.0);
     (o.plan, o.stats, lan)
 }
 
@@ -96,10 +93,7 @@ fn optimal_plans_cost_less_despite_more_actions() {
     let real_b = sekitei::sim::validate_plan(&p_b, &o_b.task, &plan_b).total_cost;
     let real_c = sekitei::sim::validate_plan(&p_c, &o_c.task, &plan_c).total_cost;
     assert!(plan_c.len() > plan_b.len());
-    assert!(
-        real_c < real_b,
-        "optimal plan must be really cheaper: {real_c} vs {real_b}"
-    );
+    assert!(real_c < real_b, "optimal plan must be really cheaper: {real_c} vs {real_b}");
 }
 
 #[test]
