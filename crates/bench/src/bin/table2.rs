@@ -3,18 +3,16 @@
 //! bound, its action count, the reserved LAN bandwidth, and the planner's
 //! work (ground actions, PLRG/SLRG/RG sizes, wall time).
 //!
-//! Rows are independent planning runs, so by default they execute in
-//! parallel on scoped worker threads (results are deterministic either
-//! way); pass `--sequential` for clean per-row timing measurements.
+//! Rows are independent planning runs, so by default they execute through
+//! [`Planner::plan_batch`] on scoped worker threads (results are
+//! deterministic either way); pass `--sequential` for clean per-row timing
+//! measurements.
 
-use sekitei_model::LevelScenario;
-use sekitei_planner::{plan_metrics, Planner, PlannerConfig};
+use sekitei_model::{CppProblem, LevelScenario};
+use sekitei_planner::{plan_metrics, PlanOutcome, Planner, PlannerConfig};
 use sekitei_topology::scenarios::{self, NetSize};
 
-fn run_row(size: NetSize, sc: LevelScenario) -> String {
-    let p = scenarios::problem(size, sc);
-    let planner = Planner::new(PlannerConfig::default());
-    let o = planner.plan(&p).unwrap();
+fn format_row(size: NetSize, sc: LevelScenario, p: &CppProblem, o: &PlanOutcome) -> String {
     let s = &o.stats;
     let work = format!(
         "{:>9}{:>8}/{:<6}{:>8}{:>9}/{:<7}{:>7.0}/{:<7.0}",
@@ -29,7 +27,7 @@ fn run_row(size: NetSize, sc: LevelScenario) -> String {
     );
     match &o.plan {
         Some(plan) => {
-            let m = plan_metrics(&p, &o.task, plan);
+            let m = plan_metrics(p, &o.task, plan);
             let lan = if m.reserved_lan_bw > 0.0 {
                 format!("{:.1}", m.reserved_lan_bw)
             } else {
@@ -67,31 +65,37 @@ fn main() {
 
     println!(
         "{:<7}{:<4}{:>12}{:>9}{:>10}{:>9}{:>15}{:>8}{:>17}{:>15}",
-        "Net", "Sc", "lower-bound", "actions", "LAN bw", "#acts", "PLRG p/a", "SLRG",
-        "RG created/open", "time tot/search"
+        "Net",
+        "Sc",
+        "lower-bound",
+        "actions",
+        "LAN bw",
+        "#acts",
+        "PLRG p/a",
+        "SLRG",
+        "RG created/open",
+        "time tot/search"
     );
 
-    let rows: Vec<String> = if sequential {
-        grid.iter().map(|&(size, sc)| run_row(size, sc)).collect()
+    let problems: Vec<CppProblem> =
+        grid.iter().map(|&(size, sc)| scenarios::problem(size, sc)).collect();
+    let planner = Planner::new(PlannerConfig::default());
+    let t0 = std::time::Instant::now();
+    let outcomes = if sequential {
+        planner.plan_batch_with(&problems, 1)
     } else {
-        let results = std::sync::Mutex::new(Vec::with_capacity(grid.len()));
-        std::thread::scope(|scope| {
-            for (i, &(size, sc)) in grid.iter().enumerate() {
-                let results = &results;
-                scope.spawn(move || {
-                    let row = run_row(size, sc);
-                    results.lock().unwrap().push((i, row));
-                });
-            }
-        });
-        let mut collected = results.into_inner().unwrap();
-        collected.sort_by_key(|(i, _)| *i);
-        collected.into_iter().map(|(_, r)| r).collect()
+        planner.plan_batch(&problems)
     };
+    let wall = t0.elapsed();
 
-    for row in rows {
-        println!("{row}");
+    for ((&(size, sc), p), o) in grid.iter().zip(&problems).zip(&outcomes) {
+        println!("{}", format_row(size, sc, p, o.as_ref().expect("scenario grids compile")));
     }
+    println!(
+        "\ngrid wall time: {:.0} ms ({})",
+        wall.as_secs_f64() * 1e3,
+        if sequential { "sequential".to_string() } else { "parallel batch".to_string() }
+    );
     println!(
         "\nPaper reference (Table 2): B finds shortest plans (bounds 7/10/11 = action\n\
          counts, LAN reservation 100); C-E find the cost-optimal 13-action plans\n\

@@ -9,6 +9,7 @@ use sekitei_topology::scenarios::{self, NetSize};
 const USAGE: &str = "usage:
   sekitei plan <spec-file> [--plrg-heuristic] [--no-replay-pruning]
                [--max-nodes N] [--validate] [--quiet]
+  sekitei batch <spec-file>... [--threads N] [--validate] [--quiet]
   sekitei check <spec-file>
   sekitei compile <spec-file> [--dump]
   sekitei scenario <tiny|small|large> <A|B|C|D|E> [--emit] [--validate]
@@ -25,6 +26,7 @@ const USAGE: &str = "usage:
 pub fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("plan") => cmd_plan(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("scenario") => cmd_scenario(&args[1..]),
@@ -62,8 +64,7 @@ fn parse_config(flags: &[String]) -> Result<(PlannerConfig, bool, bool), String>
             "--max-nodes" => {
                 i += 1;
                 let v = flags.get(i).ok_or("--max-nodes needs a value")?;
-                cfg.max_rg_nodes =
-                    v.parse().map_err(|_| format!("bad --max-nodes value `{v}`"))?;
+                cfg.max_rg_nodes = v.parse().map_err(|_| format!("bad --max-nodes value `{v}`"))?;
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -123,6 +124,58 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
     report_outcome(&problem, &outcome, validate, quiet)
 }
 
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let mut files: Vec<String> = Vec::new();
+    let mut threads: Option<usize> = None;
+    let mut quiet = false;
+    let mut validate = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                let v = args.get(i).ok_or("--threads needs a value")?;
+                threads = Some(v.parse().map_err(|_| format!("bad --threads value `{v}`"))?);
+            }
+            "--quiet" => quiet = true,
+            "--validate" => validate = true,
+            f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
+            f => files.push(f.to_string()),
+        }
+        i += 1;
+    }
+    if files.is_empty() {
+        return Err(format!("batch needs at least one spec file\n{USAGE}"));
+    }
+    let problems = files.iter().map(|f| load(f)).collect::<Result<Vec<_>, String>>()?;
+    let planner = Planner::default();
+    let outcomes = match threads {
+        Some(t) => planner.plan_batch_with(&problems, t),
+        None => planner.plan_batch(&problems),
+    };
+    let mut failures = 0usize;
+    for ((file, problem), outcome) in files.iter().zip(&problems).zip(outcomes) {
+        println!("=== {file} ===");
+        match outcome {
+            Ok(o) => {
+                if let Err(e) = report_outcome(problem, &o, validate, quiet) {
+                    eprintln!("{e}");
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        Err(format!("{failures} of {} instances failed", files.len()))
+    } else {
+        Ok(())
+    }
+}
+
 fn cmd_check(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or(USAGE)?;
     let p = load(path)?;
@@ -145,7 +198,10 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     let task = compile(&p).map_err(|e| e.to_string())?;
     println!(
         "{} ground actions ({} level combinations pruned), {} propositions, {} variables, {:?}",
-        task.stats.actions, task.stats.pruned, task.stats.props, task.stats.gvars,
+        task.stats.actions,
+        task.stats.pruned,
+        task.stats.props,
+        task.stats.gvars,
         task.stats.compile_time
     );
     if dump {
@@ -181,8 +237,7 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let validate = args.iter().any(|a| a == "--validate");
-    let outcome =
-        Planner::default().plan(&problem).map_err(|e| e.to_string())?;
+    let outcome = Planner::default().plan(&problem).map_err(|e| e.to_string())?;
     report_outcome(&problem, &outcome, validate, false)
 }
 
@@ -283,9 +338,7 @@ fn cmd_adapt(args: &[String]) -> Result<(), String> {
                 if problem.comp_id(comp).is_none() {
                     return Err(format!("unknown component `{comp}`"));
                 }
-                existing
-                    .placements
-                    .push(ExistingPlacement { component: comp.to_string(), node });
+                existing.placements.push(ExistingPlacement { component: comp.to_string(), node });
             }
             "--keep-cost" => {
                 i += 1;
@@ -396,8 +449,10 @@ mod tests {
         std::fs::write(&spec_path, sekitei_spec::print_problem(&p)).unwrap();
         let sp = spec_path.to_str().unwrap().to_string();
         dispatch(&[s(&["suggest"]), vec![sp.clone()]].concat()).unwrap();
-        dispatch(&[s(&["suggest"]), vec![sp.clone()], s(&["--headroom", "0.2", "--apply"])].concat())
-            .unwrap();
+        dispatch(
+            &[s(&["suggest"]), vec![sp.clone()], s(&["--headroom", "0.2", "--apply"])].concat(),
+        )
+        .unwrap();
         assert!(dispatch(&[s(&["suggest"]), vec![sp], s(&["--headroom", "x"])].concat()).is_err());
     }
 
@@ -456,10 +511,28 @@ mod tests {
             &[s(&["adapt"]), vec![sp.clone()], s(&["--existing", "Ghost@n0"])].concat()
         )
         .is_err());
-        assert!(dispatch(
-            &[s(&["adapt"]), vec![sp], s(&["--existing", "Splitter@mars"])].concat()
-        )
-        .is_err());
+        assert!(dispatch(&[s(&["adapt"]), vec![sp], s(&["--existing", "Splitter@mars"])].concat())
+            .is_err());
+    }
+
+    #[test]
+    fn batch_command() {
+        let dir = std::env::temp_dir();
+        let mut sps = Vec::new();
+        for (i, sc) in [LevelScenario::B, LevelScenario::C, LevelScenario::A].iter().enumerate() {
+            let spec_path = dir.join(format!("sekitei_cli_batch_{i}.spec"));
+            let p = scenarios::tiny(*sc);
+            std::fs::write(&spec_path, sekitei_spec::print_problem(&p)).unwrap();
+            sps.push(spec_path.to_str().unwrap().to_string());
+        }
+        // A finds no plan but that is a reported outcome, not a failure
+        dispatch(&[s(&["batch"]), sps.clone(), s(&["--quiet"])].concat()).unwrap();
+        dispatch(&[s(&["batch"]), sps.clone(), s(&["--threads", "2", "--quiet"])].concat())
+            .unwrap();
+        assert!(dispatch(&s(&["batch"])).is_err());
+        assert!(dispatch(&[s(&["batch"]), sps.clone(), s(&["--threads"])].concat()).is_err());
+        assert!(dispatch(&[s(&["batch"]), sps, s(&["--frob"])].concat()).is_err());
+        assert!(dispatch(&s(&["batch", "/nonexistent/x.spec"])).is_err());
     }
 
     #[test]

@@ -13,8 +13,8 @@
 
 use crate::task::{ActionKind, GVarData, GroundAction, PlanningTask, PropData};
 use sekitei_model::{
-    ActionId, AssignOp, CompId, CppProblem, DirLink, GVarId, IfaceId, Interval, LevelSpec, Locus,
-    ModelError, NodeId, Placement, PropId, SpecVar,
+    AssignOp, CompId, CppProblem, DirLink, GVarId, IfaceId, Interval, LevelSpec, Locus, ModelError,
+    NodeId, Placement, PropId, SpecVar,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -265,10 +265,8 @@ impl<'p> Ctx<'p> {
         spec.cost.for_each_var(&mut collect);
 
         // ground the formulas once per (comp, node)
-        let iface_in_scope: HashMap<&str, IfaceId> = spec
-            .scope()
-            .map(|n| (n, self.p.iface_id(n).expect("validated")))
-            .collect();
+        let iface_in_scope: HashMap<&str, IfaceId> =
+            spec.scope().map(|n| (n, self.p.iface_id(n).expect("validated"))).collect();
         let gv = |ctx: &mut Self, v: &SpecVar| -> GVarId {
             match v {
                 SpecVar::Iface { iface, prop } => {
@@ -290,8 +288,7 @@ impl<'p> Ctx<'p> {
             spec.effects.iter().map(|e| e.map_vars(&mut |v| gv(self, v))).collect();
         let cost_expr = spec.cost.map_vars(&mut |v| gv(self, v));
 
-        let in_vars: Vec<Option<GVarId>> =
-            req.iter().map(|&r| self.primary_var(r, node)).collect();
+        let in_vars: Vec<Option<GVarId>> = req.iter().map(|&r| self.primary_var(r, node)).collect();
         let in_specs: Vec<LevelSpec> = req.iter().map(|&r| self.primary_levels(r)).collect();
         let res_vars: Vec<GVarId> = node_res
             .iter()
@@ -377,8 +374,7 @@ impl<'p> Ctx<'p> {
             let mut produced: HashMap<GVarId, Interval> = HashMap::new();
             for eff in &effects {
                 let val = {
-                    let mut env =
-                        |v: &GVarId| map.get(v).copied().unwrap_or_else(Interval::nonneg);
+                    let mut env = |v: &GVarId| map.get(v).copied().unwrap_or_else(Interval::nonneg);
                     eff.value.eval_interval(&mut env)
                 };
                 match eff.op {
@@ -406,8 +402,7 @@ impl<'p> Ctx<'p> {
             for (k, ov) in out_vars.iter().enumerate() {
                 match ov {
                     Some(v) => {
-                        let computed =
-                            produced.get(v).copied().unwrap_or_else(Interval::nonneg);
+                        let computed = produced.get(v).copied().unwrap_or_else(Interval::nonneg);
                         let opts = out_specs[k].intersecting_half_open(&computed);
                         if opts.is_empty() {
                             feasible = false;
@@ -434,8 +429,7 @@ impl<'p> Ctx<'p> {
                 for (k, ov) in out_vars.iter().enumerate() {
                     if let Some(v) = ov {
                         let claimed = out_specs[k].requirement(out_levels[k]);
-                        let computed =
-                            produced.get(v).copied().unwrap_or_else(Interval::nonneg);
+                        let computed = produced.get(v).copied().unwrap_or_else(Interval::nonneg);
                         full.insert(*v, computed.intersect(&claimed));
                         post.push((*v, claimed));
                     }
@@ -486,7 +480,8 @@ impl<'p> Ctx<'p> {
                 });
                 // stash the level choices for pre/add construction
                 let idx = emitted.len() - 1;
-                emitted[idx].preconds = in_levels.to_vec().iter().map(|&l| PropId(l as u32)).collect();
+                emitted[idx].preconds =
+                    in_levels.to_vec().iter().map(|&l| PropId(l as u32)).collect();
                 emitted[idx].adds = out_levels.iter().map(|&l| PropId(l as u32)).collect();
             });
         });
@@ -556,8 +551,7 @@ impl<'p> Ctx<'p> {
             match v {
                 SpecVar::Iface { prop, .. } => {
                     let pidx =
-                        ctx.p.iface(iface).properties.iter().position(|p| p == prop).unwrap()
-                            as u8;
+                        ctx.p.iface(iface).properties.iter().position(|p| p == prop).unwrap() as u8;
                     let node = if write { dir.to } else { dir.from };
                     ctx.intern_gvar(GVarData::IfaceProp { iface, prop: pidx, node })
                 }
@@ -568,11 +562,8 @@ impl<'p> Ctx<'p> {
                 SpecVar::Node { .. } => unreachable!("validated: no node vars in cross formulas"),
             }
         };
-        let conditions: Vec<_> = spec
-            .cross_conditions
-            .iter()
-            .map(|c| c.map_vars(&mut |v| gv(self, v, false)))
-            .collect();
+        let conditions: Vec<_> =
+            spec.cross_conditions.iter().map(|c| c.map_vars(&mut |v| gv(self, v, false))).collect();
         let effects: Vec<_> = spec
             .cross_effects
             .iter()
@@ -680,8 +671,7 @@ impl<'p> Ctx<'p> {
             let mut delivered = Interval::nonneg();
             for eff in &effects {
                 let val = {
-                    let mut env =
-                        |v: &GVarId| map.get(v).copied().unwrap_or_else(Interval::nonneg);
+                    let mut env = |v: &GVarId| map.get(v).copied().unwrap_or_else(Interval::nonneg);
                     eff.value.eval_interval(&mut env)
                 };
                 match eff.op {
@@ -741,11 +731,8 @@ impl<'p> Ctx<'p> {
         });
 
         for pend in emitted {
-            let pre = self.intern_prop(PropData::Avail {
-                iface,
-                node: dir.from,
-                level: pend.l_in as u8,
-            });
+            let pre =
+                self.intern_prop(PropData::Avail { iface, node: dir.from, level: pend.l_in as u8 });
             let mut adds = self.avail_adds(iface, dir.to, pend.l_out);
             adds.sort_unstable();
             adds.dedup();
@@ -755,10 +742,7 @@ impl<'p> Ctx<'p> {
             }
             for (k, &l) in pend.link_levels.iter().enumerate() {
                 if !res_specs[k].is_trivial() {
-                    lv_str.push(format!(
-                        "{}={l}",
-                        self.p.resources[link_res[k] as usize].name
-                    ));
+                    lv_str.push(format!("{}={l}", self.p.resources[link_res[k] as usize].name));
                 }
             }
             let name = if lv_str.is_empty() {
@@ -806,11 +790,13 @@ impl<'p> Ctx<'p> {
                         prop: pi as u8,
                         node: s.node,
                     });
-                    let value = s
-                        .properties
-                        .get(pname)
-                        .copied()
-                        .unwrap_or_else(|| if pi == 0 { Interval::nonneg() } else { Interval::point(0.0) });
+                    let value = s.properties.get(pname).copied().unwrap_or_else(|| {
+                        if pi == 0 {
+                            Interval::nonneg()
+                        } else {
+                            Interval::point(0.0)
+                        }
+                    });
                     while self.task.init_values.len() < self.task.gvars.len() {
                         self.task.init_values.push(None);
                     }
@@ -851,29 +837,20 @@ impl<'p> Ctx<'p> {
         for (i, gv) in self.task.gvars.iter().enumerate() {
             match gv {
                 GVarData::NodeRes { res, node } => {
-                    let cap = self
-                        .p
-                        .network
-                        .node_capacity(*node, &self.p.resources[*res as usize].name);
+                    let cap =
+                        self.p.network.node_capacity(*node, &self.p.resources[*res as usize].name);
                     self.task.init_values[i] = Some(Interval::point(cap));
                 }
                 GVarData::LinkRes { res, link } => {
-                    let cap = self
-                        .p
-                        .network
-                        .link_capacity(*link, &self.p.resources[*res as usize].name);
+                    let cap =
+                        self.p.network.link_capacity(*link, &self.p.resources[*res as usize].name);
                     self.task.init_values[i] = Some(Interval::point(cap));
                 }
                 GVarData::IfaceProp { .. } => {} // sources already set
             }
         }
-        // achievers index
-        self.task.achievers = vec![Vec::new(); np];
-        for (i, a) in self.task.actions.iter().enumerate() {
-            for &p in &a.adds {
-                self.task.achievers[p.index()].push(ActionId::from_index(i));
-            }
-        }
+        // achievers index (flat CSR)
+        self.task.achievers = crate::task::AchieverIndex::build(np, &self.task.actions);
         self.task.stats = crate::task::CompileStats {
             actions: self.task.actions.len(),
             pruned: self.pruned,
@@ -887,7 +864,7 @@ impl<'p> Ctx<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sekitei_model::LevelScenario;
+    use sekitei_model::{ActionId, LevelScenario};
     use sekitei_topology::scenarios;
 
     #[test]
@@ -898,11 +875,8 @@ mod tests {
         assert!(!t.goal_props.is_empty());
         assert!(!t.init_props.is_empty());
         // without levels there is exactly one place action per (comp, node)
-        let places = t
-            .actions
-            .iter()
-            .filter(|a| matches!(a.kind, ActionKind::Place { .. }))
-            .count();
+        let places =
+            t.actions.iter().filter(|a| matches!(a.kind, ActionKind::Place { .. })).count();
         assert_eq!(places, 5 * 2); // 5 components × 2 nodes
     }
 
@@ -1013,7 +987,7 @@ mod tests {
         let t = compile(&p).unwrap();
         for (i, a) in t.actions.iter().enumerate() {
             for &pr in &a.adds {
-                assert!(t.achievers[pr.index()].contains(&ActionId::from_index(i)));
+                assert!(t.achievers(pr).contains(&ActionId::from_index(i)));
             }
         }
     }

@@ -25,22 +25,28 @@ pub mod diagnose;
 pub mod diff;
 pub mod plan;
 pub mod plrg;
+pub mod pool;
+pub mod reference;
 pub mod replay;
 pub mod rg;
 pub mod setkey;
 pub mod slrg;
 pub mod viz;
 
-pub use concretize::{concretize, greedy_source_value, minimize_sources, ConcreteExecution, ConcretizeFail};
+pub use concretize::{
+    concretize, greedy_source_value, minimize_sources, ConcreteExecution, ConcretizeFail,
+};
 pub use diagnose::{diagnose, Diagnosis};
 pub use diff::{plan_diff, PlanDiff};
 pub use plan::{plan_metrics, Plan, PlanMetrics, PlanStep};
 pub use plrg::Plrg;
-pub use replay::{replay_tail, ReplayFail, ResourceMap};
+pub use pool::{SetId, SetPool};
+pub use reference::{search_reference, ReferenceOutcome};
+pub use replay::{replay_tail, ReplayFail, ReplayScratch, ResourceMap};
 pub use rg::{Heuristic, RgConfig, RgResult};
 pub use setkey::SetKey;
-pub use viz::{network_dot, plan_dot};
 pub use slrg::{SetCost, Slrg, SlrgStats};
+pub use viz::{network_dot, plan_dot};
 
 use sekitei_compile::{compile, CompileError, CompileStats, PlanningTask};
 use sekitei_model::CppProblem;
@@ -183,6 +189,50 @@ impl Planner {
         Ok(self.plan_task(task, t0))
     }
 
+    /// Solve several independent instances concurrently on scoped worker
+    /// threads (one per available core, capped by the batch size). Results
+    /// come back in input order and are identical to calling
+    /// [`Planner::plan`] sequentially — instances share nothing.
+    pub fn plan_batch(&self, problems: &[CppProblem]) -> Vec<Result<PlanOutcome, PlanError>> {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.plan_batch_with(problems, threads)
+    }
+
+    /// [`Planner::plan_batch`] with an explicit worker-thread count
+    /// (`1` degenerates to a plain sequential loop).
+    pub fn plan_batch_with(
+        &self,
+        problems: &[CppProblem],
+        threads: usize,
+    ) -> Vec<Result<PlanOutcome, PlanError>> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let threads = threads.clamp(1, problems.len().max(1));
+        if threads == 1 {
+            return problems.iter().map(|p| self.plan(p)).collect();
+        }
+        // work-stealing by atomic index: long rows (Large/A) don't hold up
+        // workers that finish their early picks
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<PlanOutcome, PlanError>>>> =
+            problems.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= problems.len() {
+                        break;
+                    }
+                    *slots[i].lock().unwrap() = Some(self.plan(&problems[i]));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("every index claimed by exactly one worker"))
+            .collect()
+    }
+
     /// Solve an already-compiled task (`t0` anchors total-time reporting).
     pub fn plan_task(&self, task: PlanningTask, t0: Instant) -> PlanOutcome {
         let t_search = Instant::now();
@@ -261,5 +311,51 @@ mod tests {
         let mut p = scenarios::tiny(LevelScenario::B);
         p.goals.clear();
         assert!(matches!(Planner::default().plan(&p), Err(PlanError::Compile(_))));
+    }
+
+    #[test]
+    fn plan_batch_matches_sequential_in_order() {
+        let planner = Planner::default();
+        let problems: Vec<_> = LevelScenario::ALL.iter().map(|&sc| scenarios::tiny(sc)).collect();
+        let parallel = planner.plan_batch(&problems);
+        let sequential = planner.plan_batch_with(&problems, 1);
+        assert_eq!(parallel.len(), problems.len());
+        for (sc, (par, seq)) in LevelScenario::ALL.iter().zip(parallel.iter().zip(&sequential)) {
+            let (par, seq) = (par.as_ref().unwrap(), seq.as_ref().unwrap());
+            match (&par.plan, &seq.plan) {
+                (None, None) => assert!(matches!(sc, LevelScenario::A)),
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.len(), b.len(), "{sc:?}");
+                    assert_eq!(
+                        a.cost_lower_bound.to_bits(),
+                        b.cost_lower_bound.to_bits(),
+                        "{sc:?}"
+                    );
+                }
+                _ => panic!("{sc:?}: batch and sequential disagree on solvability"),
+            }
+            assert_eq!(par.stats.rg_nodes, seq.stats.rg_nodes, "{sc:?}");
+        }
+    }
+
+    #[test]
+    fn plan_batch_reports_per_item_errors() {
+        let planner = Planner::default();
+        let good = scenarios::tiny(LevelScenario::C);
+        let mut bad = scenarios::tiny(LevelScenario::C);
+        bad.goals.clear();
+        let results = planner.plan_batch(&[good, bad]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(PlanError::Compile(_))));
+    }
+
+    #[test]
+    fn plan_batch_empty_and_oversubscribed() {
+        let planner = Planner::default();
+        assert!(planner.plan_batch(&[]).is_empty());
+        // more threads than work is fine
+        let one = planner.plan_batch_with(&[scenarios::tiny(LevelScenario::B)], 64);
+        assert_eq!(one.len(), 1);
+        assert!(one[0].as_ref().unwrap().plan.is_some());
     }
 }

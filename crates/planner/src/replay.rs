@@ -71,6 +71,24 @@ impl std::fmt::Display for ReplayFail {
 /// The interval state threaded through a replay.
 pub type ResourceMap = HashMap<GVarId, Interval>;
 
+/// Interval-state storage a replay steps through. Two implementations: the
+/// public [`ResourceMap`] (callers inspect the final map) and the dense
+/// epoch-stamped store inside [`ReplayScratch`] (the RG hot path, which
+/// only cares whether the replay fails).
+trait IvStore {
+    fn read(&self, v: GVarId) -> Option<Interval>;
+    fn write(&mut self, v: GVarId, iv: Interval);
+}
+
+impl IvStore for ResourceMap {
+    fn read(&self, v: GVarId) -> Option<Interval> {
+        self.get(&v).copied()
+    }
+    fn write(&mut self, v: GVarId, iv: Interval) {
+        self.insert(v, iv);
+    }
+}
+
 /// Replay a tail starting from an explicit initial numeric state (used for
 /// the terminal check: resource capacities as point intervals, stream
 /// sources as their producible ranges). Pass `None` for the mid-search
@@ -89,29 +107,31 @@ pub fn replay_tail(
         }
     }
     let from_init = init.is_some();
+    let mut vals = Vec::new();
     for (step, &aid) in tail.iter().enumerate() {
-        step_action(task.action(aid), step, &mut map, from_init)?;
+        step_action(task.action(aid), step, &mut map, from_init, &mut vals)?;
     }
     Ok(map)
 }
 
-fn step_action(
+fn step_action<S: IvStore>(
     act: &GroundAction,
     step: usize,
-    map: &mut ResourceMap,
+    map: &mut S,
     from_init: bool,
+    vals: &mut Vec<Interval>,
 ) -> Result<(), ReplayFail> {
     // 1. intersect requirements (adding fresh optimistic intervals only in
     //    mid-tail mode; from the initial state every resource is known and
     //    stream variables must have been produced upstream)
     for &(v, iv) in &act.optimistic {
-        match map.get_mut(&v) {
+        match map.read(v) {
             Some(cur) => {
                 let x = cur.intersect(&iv);
                 if x.is_empty() {
                     return Err(ReplayFail::EmptyRequirement { step, var: v });
                 }
-                *cur = x;
+                map.write(v, x);
             }
             None => {
                 if from_init {
@@ -124,58 +144,212 @@ fn step_action(
                         act.name
                     );
                 }
-                map.insert(v, iv);
+                map.write(v, iv);
             }
         }
     }
 
     // 2. conditions must be possibly satisfiable
     for (ci, cond) in act.conditions.iter().enumerate() {
-        let mut env = |v: &GVarId| map.get(v).copied().unwrap_or_else(Interval::nonneg);
+        let mut env = |v: &GVarId| map.read(*v).unwrap_or_else(Interval::nonneg);
         if !cond.possibly(&mut env) {
             return Err(ReplayFail::ImpossibleCondition { step, cond: ci });
         }
     }
 
     // 3. effects: evaluate every value against the pre-state, then apply
-    let values: Vec<Interval> = act
-        .effects
-        .iter()
-        .map(|e| {
-            let mut env = |v: &GVarId| map.get(v).copied().unwrap_or_else(Interval::nonneg);
-            e.value.eval_interval(&mut env)
-        })
-        .collect();
-    for (e, val) in act.effects.iter().zip(values) {
+    vals.clear();
+    for e in &act.effects {
+        let mut env = |v: &GVarId| map.read(*v).unwrap_or_else(Interval::nonneg);
+        vals.push(e.value.eval_interval(&mut env));
+    }
+    for (e, &val) in act.effects.iter().zip(vals.iter()) {
         match e.op {
             AssignOp::Set => {
-                map.insert(e.target, val);
+                map.write(e.target, val);
             }
             AssignOp::Sub => {
-                let pre = map.get(&e.target).copied().unwrap_or_else(Interval::nonneg);
+                let pre = map.read(e.target).unwrap_or_else(Interval::nonneg);
                 let post = pre.sub(&val).clamp_nonneg();
                 if post.is_empty() {
                     return Err(ReplayFail::Overconsumption { step, var: e.target });
                 }
-                map.insert(e.target, post);
+                map.write(e.target, post);
             }
             AssignOp::Add => {
-                let pre = map.get(&e.target).copied().unwrap_or_else(Interval::nonneg);
-                map.insert(e.target, pre.add(&val));
+                let pre = map.read(e.target).unwrap_or_else(Interval::nonneg);
+                map.write(e.target, pre.add(&val));
             }
         }
     }
 
     // 4. produced values must land in the declared output levels
     for &(v, iv) in &act.post {
-        let cur = map.get(&v).copied().unwrap_or_else(Interval::nonneg);
+        let cur = map.read(v).unwrap_or_else(Interval::nonneg);
         let x = cur.intersect(&iv);
         if x.is_empty() {
             return Err(ReplayFail::OutputLevelMiss { step, var: v });
         }
-        map.insert(v, x);
+        map.write(v, x);
     }
     Ok(())
+}
+
+/// Dense epoch-stamped interval store: `reset` is O(1), absent variables
+/// are recognized by a stale stamp.
+struct DenseStore {
+    val: Vec<Interval>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl DenseStore {
+    fn new(num_vars: usize) -> Self {
+        DenseStore { val: vec![Interval::nonneg(); num_vars], stamp: vec![0; num_vars], epoch: 0 }
+    }
+
+    fn reset(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // epoch wrapped: old stamps could alias, wipe them once
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+}
+
+impl IvStore for DenseStore {
+    fn read(&self, v: GVarId) -> Option<Interval> {
+        if self.stamp[v.index()] == self.epoch {
+            Some(self.val[v.index()])
+        } else {
+            None
+        }
+    }
+    fn write(&mut self, v: GVarId, iv: Interval) {
+        self.val[v.index()] = iv;
+        self.stamp[v.index()] = self.epoch;
+    }
+}
+
+/// Allocation-free incremental tail replay for the RG hot path.
+///
+/// Per expanded node the RG calls [`ReplayScratch::begin_expansion`] once
+/// with the node's tail, then [`ReplayScratch::child_tail_fails`] per
+/// generated child. The scheme exploits two facts:
+///
+/// 1. A child's tail is `[a] ++ parent_tail` and the parent's own tail
+///    already replayed successfully from the empty optimistic map when the
+///    parent was created — otherwise it would have been pruned.
+/// 2. Each replay step reads and writes only the variables syntactically
+///    mentioned by its action (optimistic, conditions, effect targets and
+///    value expressions, post levels).
+///
+/// So after stepping `a` from the empty store, if `vars(a)` is disjoint
+/// from the union of the tail actions' variables, the remaining steps
+/// evolve exactly as the parent's successful replay did and cannot fail —
+/// the check short-circuits. Otherwise the parent tail is re-stepped from
+/// the post-`a` store, which *is* the full replay, just through a dense
+/// store with O(1) reset instead of a freshly allocated `HashMap`. Either
+/// way the accept/prune outcome is identical to
+/// `replay_tail(task, &child_tail, None).is_err()`.
+pub struct ReplayScratch {
+    /// Per-action touched-variable lists (CSR: `var_off[a]..var_off[a+1]`
+    /// bounds action `a`'s slice of `var_flat`).
+    var_flat: Vec<GVarId>,
+    var_off: Vec<u32>,
+    store: DenseStore,
+    /// `tail_stamp[v] == tail_epoch` ⇔ `v` is touched by the current
+    /// expansion's parent tail.
+    tail_stamp: Vec<u32>,
+    tail_epoch: u32,
+    /// Effect-value buffer shared across steps.
+    vals: Vec<Interval>,
+}
+
+impl ReplayScratch {
+    /// Precompute the touched-variable index for a task.
+    pub fn new(task: &PlanningTask) -> Self {
+        let num_vars = task.gvars.len();
+        let mut var_flat = Vec::new();
+        let mut var_off = Vec::with_capacity(task.num_actions() + 1);
+        var_off.push(0u32);
+        let mut buf: Vec<GVarId> = Vec::new();
+        for act in &task.actions {
+            buf.clear();
+            for &(v, _) in &act.optimistic {
+                buf.push(v);
+            }
+            for c in &act.conditions {
+                c.for_each_var(&mut |v| buf.push(*v));
+            }
+            for e in &act.effects {
+                e.for_each_var(&mut |v| buf.push(*v));
+            }
+            for &(v, _) in &act.post {
+                buf.push(v);
+            }
+            buf.sort_unstable();
+            buf.dedup();
+            var_flat.extend_from_slice(&buf);
+            var_off.push(var_flat.len() as u32);
+        }
+        ReplayScratch {
+            var_flat,
+            var_off,
+            store: DenseStore::new(num_vars),
+            tail_stamp: vec![0; num_vars],
+            tail_epoch: 0,
+            vals: Vec::new(),
+        }
+    }
+
+    fn var_range(&self, a: ActionId) -> std::ops::Range<usize> {
+        self.var_off[a.index()] as usize..self.var_off[a.index() + 1] as usize
+    }
+
+    /// Mark the variables touched by the parent tail of the node about to
+    /// be expanded.
+    pub fn begin_expansion(&mut self, parent_tail: &[ActionId]) {
+        self.tail_epoch = self.tail_epoch.wrapping_add(1);
+        if self.tail_epoch == 0 {
+            self.tail_stamp.fill(0);
+            self.tail_epoch = 1;
+        }
+        for &aid in parent_tail {
+            for i in self.var_off[aid.index()] as usize..self.var_off[aid.index() + 1] as usize {
+                let v = self.var_flat[i];
+                self.tail_stamp[v.index()] = self.tail_epoch;
+            }
+        }
+    }
+
+    /// Exact replacement for `replay_tail(task, &[a] ++ parent_tail,
+    /// None).is_err()` given a preceding
+    /// [`begin_expansion`](Self::begin_expansion)`(parent_tail)`.
+    pub fn child_tail_fails(
+        &mut self,
+        task: &PlanningTask,
+        a: ActionId,
+        parent_tail: &[ActionId],
+    ) -> bool {
+        self.store.reset();
+        if step_action(task.action(a), 0, &mut self.store, false, &mut self.vals).is_err() {
+            return true;
+        }
+        let disjoint =
+            self.var_range(a).all(|i| self.tail_stamp[self.var_flat[i].index()] != self.tail_epoch);
+        if disjoint {
+            return false;
+        }
+        for (i, &aid) in parent_tail.iter().enumerate() {
+            if step_action(task.action(aid), i + 1, &mut self.store, false, &mut self.vals).is_err()
+            {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -225,10 +399,7 @@ mod tests {
     }
 
     /// Assemble the Figure 4 action sequence at the M=[90,100) level.
-    fn figure4_tail(
-        p: &sekitei_model::CppProblem,
-        task: &PlanningTask,
-    ) -> Vec<ActionId> {
+    fn figure4_tail(p: &sekitei_model::CppProblem, task: &PlanningTask) -> Vec<ActionId> {
         let pick = |pat: &str, lvl_frag: &str| {
             task.action_ids()
                 .find(|&a| {
@@ -292,8 +463,11 @@ mod tests {
         // two certainly overconsume: remaining [0,10] minus [20,40] < 0
         let r = replay_tail(&task, &[sp, sp], Some(&task.init_values));
         assert!(
-            matches!(r, Err(ReplayFail::ImpossibleCondition { .. })
-                | Err(ReplayFail::Overconsumption { .. })),
+            matches!(
+                r,
+                Err(ReplayFail::ImpossibleCondition { .. })
+                    | Err(ReplayFail::Overconsumption { .. })
+            ),
             "{r:?}"
         );
     }
@@ -309,10 +483,6 @@ mod tests {
         for (k, v) in &a {
             assert_eq!(b[k], *v);
         }
-        let _ = task
-            .actions
-            .iter()
-            .filter(|a| matches!(a.kind, ActionKind::Cross { .. }))
-            .count();
+        let _ = task.actions.iter().filter(|a| matches!(a.kind, ActionKind::Cross { .. })).count();
     }
 }

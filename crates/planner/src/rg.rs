@@ -16,11 +16,20 @@
 //! candidates simply leave the search running — this is how the planner
 //! walks past plausible-but-infeasible configurations (e.g. sending raw
 //! T+I through a link that can only fit the compressed pair).
+//!
+//! Hot-path engineering (behavior-identical to
+//! [`crate::reference::search_reference`], enforced by
+//! `tests/search_equivalence.rs`): node sets are interned [`SetId`]s in the
+//! SLRG's shared [`crate::pool::SetPool`], the per-node mid-search replay
+//! runs through the incremental [`ReplayScratch`] instead of collecting and
+//! re-replaying the whole tail per child, and the full
+//! [`replay_tail`]-from-init check is reserved for terminal candidate
+//! validation.
 
 use crate::concretize::{concretize, ConcreteExecution};
 use crate::plrg::Plrg;
-use crate::replay::replay_tail;
-use crate::setkey::SetKey;
+use crate::pool::SetId;
+use crate::replay::{replay_tail, ReplayScratch};
 use crate::slrg::Slrg;
 use sekitei_compile::PlanningTask;
 use sekitei_model::{ActionId, PropId};
@@ -91,19 +100,14 @@ pub struct RgResult {
 struct RgNode {
     action: ActionId,
     parent: u32, // u32::MAX = root
-    set: SetKey,
+    set: SetId,
     g: f64,
 }
 
 const ROOT: u32 = u32::MAX;
 
 /// Run the RG search.
-pub fn search(
-    task: &PlanningTask,
-    plrg: &Plrg,
-    slrg: &mut Slrg<'_>,
-    cfg: &RgConfig,
-) -> RgResult {
+pub fn search(task: &PlanningTask, plrg: &Plrg, slrg: &mut Slrg<'_>, cfg: &RgConfig) -> RgResult {
     let mut result = RgResult {
         plan: None,
         nodes_created: 0,
@@ -114,22 +118,31 @@ pub fn search(
         budget_exhausted: false,
     };
 
-    let goal = SetKey::new(
-        task.goal_props.iter().copied().filter(|&p| !task.initially(p)).collect(),
-    );
+    let goal_props: Vec<PropId> =
+        task.goal_props.iter().copied().filter(|&p| !task.initially(p)).collect();
+
+    // the virtual root: nothing executed yet, the goal set open
+    if goal_props.is_empty() {
+        // goals already satisfied: the empty plan, executed trivially
+        let exec = concretize(task, &[], &std::collections::HashMap::new())
+            .expect("empty plan always executes");
+        result.plan = Some((Vec::new(), 0.0, exec));
+        return result;
+    }
+    let goal = slrg.pool_mut().intern(goal_props);
 
     let mut nodes: Vec<RgNode> = Vec::new();
     // (Reverse(f), g_bits: deeper-first tie-break, Reverse(counter), idx)
     let mut open: BinaryHeap<(Reverse<u64>, u64, Reverse<u64>, u32)> = BinaryHeap::new();
     let mut counter = 0u64;
 
-    let h_of = |slrg: &mut Slrg<'_>, set: &SetKey| -> f64 {
+    let h_of = |slrg: &mut Slrg<'_>, set: SetId| -> f64 {
         match cfg.heuristic {
-            Heuristic::Slrg => slrg.achievement_cost(set).bound,
-            Heuristic::PlrgMax => plrg.set_cost(set.props()),
+            Heuristic::Slrg => slrg.achievement_cost_id(set).bound,
+            Heuristic::PlrgMax => plrg.set_cost(slrg.pool().props_of(set)),
             // even blind search must skip logically-dead sets
             Heuristic::Blind => {
-                if plrg.set_cost(set.props()).is_finite() {
+                if plrg.set_cost(slrg.pool().props_of(set)).is_finite() {
                     0.0
                 } else {
                     f64::INFINITY
@@ -138,21 +151,16 @@ pub fn search(
         }
     };
 
-    // the virtual root: nothing executed yet, the goal set open
-    if goal.is_empty() {
-        // goals already satisfied: the empty plan, executed trivially
-        let exec = concretize(task, &[], &std::collections::HashMap::new())
-            .expect("empty plan always executes");
-        result.plan = Some((Vec::new(), 0.0, exec));
-        return result;
-    }
-    let h0 = h_of(slrg, &goal);
+    let h0 = h_of(slrg, goal);
     if !h0.is_finite() {
         return result; // logically unsolvable
     }
     nodes.push(RgNode { action: ActionId(0), parent: ROOT, set: goal, g: 0.0 });
     result.nodes_created += 1;
     open.push((Reverse(h0.to_bits()), 0f64.to_bits(), Reverse(counter), 0));
+
+    let mut scratch = ReplayScratch::new(task);
+    let mut parent_tail: Vec<ActionId> = Vec::new();
 
     while let Some((_, _, _, idx)) = open.pop() {
         if result.nodes_created >= cfg.max_nodes {
@@ -162,10 +170,10 @@ pub fn search(
         result.expansions += 1;
         let (set, g) = {
             let n = &nodes[idx as usize];
-            (n.set.clone(), n.g)
+            (n.set, n.g)
         };
 
-        if set.is_empty() {
+        if set == SetId::EMPTY {
             // candidate plan: validate from the initial state
             let tail = collect_tail(&nodes, idx);
             match replay_tail(task, &tail, Some(&task.init_values)) {
@@ -190,9 +198,16 @@ pub fn search(
             continue;
         }
 
+        // collected once per expansion: serves the duplicate-action check
+        // and seeds the incremental replay for every child
+        collect_tail_into(&nodes, idx, &mut parent_tail);
+        if cfg.replay_pruning {
+            scratch.begin_expansion(&parent_tail);
+        }
+
         // branch on the open proposition with the largest PLRG bound
-        let target = select_prop(plrg, &set);
-        for &a in &task.achievers[target.index()] {
+        let target = select_prop(plrg, slrg.pool().props_of(set));
+        for &a in task.achievers(target) {
             if !plrg.usable(a) {
                 continue;
             }
@@ -203,27 +218,23 @@ pub fn search(
             // repeats bounds tail depth by the action count and kills the
             // cross-ping-pong regression ladders that would otherwise make
             // unsolvable instances (scenario A) run forever.
-            if tail_contains(&nodes, idx, a) {
+            if parent_tail.contains(&a) {
                 continue;
             }
             let act = task.action(a);
-            let child_set = set.regress(&act.adds, &act.preconds, |p| task.initially(p));
+            let child_set =
+                slrg.pool_mut().regress(set, &act.adds, &act.preconds, |p| task.initially(p));
             let g2 = g + act.cost;
-            let h = h_of(slrg, &child_set);
+            let h = h_of(slrg, child_set);
             if !h.is_finite() {
+                continue;
+            }
+            if cfg.replay_pruning && scratch.child_tail_fails(task, a, &parent_tail) {
+                result.replay_prunes += 1;
                 continue;
             }
             let child_idx = nodes.len() as u32;
             nodes.push(RgNode { action: a, parent: idx, set: child_set, g: g2 });
-
-            if cfg.replay_pruning {
-                let tail = collect_tail(&nodes, child_idx);
-                if replay_tail(task, &tail, None).is_err() {
-                    result.replay_prunes += 1;
-                    nodes.pop();
-                    continue;
-                }
-            }
             result.nodes_created += 1;
             counter += 1;
             open.push((Reverse((g2 + h).to_bits()), g2.to_bits(), Reverse(counter), child_idx));
@@ -238,25 +249,16 @@ pub fn search(
     result
 }
 
-/// True iff action `a` already occurs in the tail rooted at `idx`.
-fn tail_contains(nodes: &[RgNode], mut idx: u32, a: ActionId) -> bool {
-    while idx != ROOT {
-        let n = &nodes[idx as usize];
-        if n.parent == ROOT {
-            break;
-        }
-        if n.action == a {
-            return true;
-        }
-        idx = n.parent;
-    }
-    false
-}
-
 /// Plan tail of a node in execution order: the node's own action runs
 /// first, the root's child's action runs last.
-fn collect_tail(nodes: &[RgNode], mut idx: u32) -> Vec<ActionId> {
+fn collect_tail(nodes: &[RgNode], idx: u32) -> Vec<ActionId> {
     let mut tail = Vec::new();
+    collect_tail_into(nodes, idx, &mut tail);
+    tail
+}
+
+fn collect_tail_into(nodes: &[RgNode], mut idx: u32, tail: &mut Vec<ActionId>) {
+    tail.clear();
     loop {
         let n = &nodes[idx as usize];
         if n.parent == ROOT {
@@ -265,11 +267,10 @@ fn collect_tail(nodes: &[RgNode], mut idx: u32) -> Vec<ActionId> {
         tail.push(n.action);
         idx = n.parent;
     }
-    tail
 }
 
-fn select_prop(plrg: &Plrg, set: &SetKey) -> PropId {
-    *set.props()
+fn select_prop(plrg: &Plrg, props: &[PropId]) -> PropId {
+    *props
         .iter()
         .max_by(|&&a, &&b| {
             plrg.prop_cost(a).partial_cmp(&plrg.prop_cost(b)).unwrap().then(a.cmp(&b))
@@ -355,10 +356,7 @@ mod tests {
         let task = compile(&p).unwrap();
         let plrg = Plrg::build(&task);
         let mut slrg = Slrg::new(&task, &plrg, 50_000);
-        let slrg_cost = search(&task, &plrg, &mut slrg, &RgConfig::default())
-            .plan
-            .unwrap()
-            .1;
+        let slrg_cost = search(&task, &plrg, &mut slrg, &RgConfig::default()).plan.unwrap().1;
         let mut slrg2 = Slrg::new(&task, &plrg, 50_000);
         let cfg = RgConfig { heuristic: Heuristic::PlrgMax, ..RgConfig::default() };
         let plrg_cost = search(&task, &plrg, &mut slrg2, &cfg).plan.unwrap().1;

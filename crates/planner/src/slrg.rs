@@ -15,14 +15,20 @@
 //! memoized; a per-query expansion budget degrades gracefully to the best
 //! admissible lower bound discovered (the minimum f-value left in the open
 //! list) instead of blowing up.
+//!
+//! The oracle owns the search core's [`SetPool`]: every set is interned
+//! once and addressed by a copyable [`SetId`], so the memo table is a
+//! dense `Vec` lookup, heap entries are `Copy`, and the per-query `best_g`
+//! map is an epoch-stamped array — no hashing of boxed slices anywhere on
+//! the hot path (see DESIGN.md, "Search-core performance").
 
 use crate::plrg::Plrg;
+use crate::pool::{SetId, SetPool};
 use crate::setkey::SetKey;
 use sekitei_compile::PlanningTask;
 use sekitei_model::PropId;
 use std::cmp::Reverse;
-use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// A memoized cost (exact or lower bound).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,20 +53,38 @@ pub struct SlrgStats {
     pub time: std::time::Duration,
 }
 
-/// The SLRG: a memoizing set-cost oracle.
+/// The SLRG: a memoizing set-cost oracle over interned proposition sets.
 pub struct Slrg<'t> {
     task: &'t PlanningTask,
     plrg: &'t Plrg,
     /// Expansion budget per query.
     budget: usize,
-    cache: HashMap<SetKey, SetCost>,
+    /// The shared set arena (also used by the RG, which borrows it through
+    /// [`Slrg::pool`]/[`Slrg::pool_mut`]).
+    pool: SetPool,
+    /// Memoized query results, indexed by [`SetId`].
+    cache: Vec<Option<SetCost>>,
+    /// Epoch-stamped per-query `best_g`, indexed by [`SetId`].
+    gval: Vec<f64>,
+    gstamp: Vec<u32>,
+    gepoch: u32,
     stats: SlrgStats,
 }
 
 impl<'t> Slrg<'t> {
     /// Create an oracle with the given per-query expansion budget.
     pub fn new(task: &'t PlanningTask, plrg: &'t Plrg, budget: usize) -> Self {
-        Slrg { task, plrg, budget, cache: HashMap::new(), stats: SlrgStats::default() }
+        Slrg {
+            task,
+            plrg,
+            budget,
+            pool: SetPool::new(),
+            cache: Vec::new(),
+            gval: Vec::new(),
+            gstamp: Vec::new(),
+            gepoch: 0,
+            stats: SlrgStats::default(),
+        }
     }
 
     /// Statistics so far.
@@ -68,74 +92,122 @@ impl<'t> Slrg<'t> {
         self.stats
     }
 
+    /// The shared set arena.
+    pub fn pool(&self) -> &SetPool {
+        &self.pool
+    }
+
+    /// Mutable access to the shared set arena (the RG interns and
+    /// regresses sets through this).
+    pub fn pool_mut(&mut self) -> &mut SetPool {
+        &mut self.pool
+    }
+
     /// In-search heuristic. Deliberately the plain PLRG max (not cached
     /// query results): h_max is *consistent* on the regression graph, which
     /// guarantees the first goal pop is optimal; mixing in memoized values
     /// would keep admissibility but lose consistency.
-    fn h(&self, key: &SetKey) -> f64 {
-        self.plrg.set_cost(key.props())
+    fn h(&self, id: SetId) -> f64 {
+        self.plrg.set_cost(self.pool.props_of(id))
     }
 
     /// Pick the open proposition to branch on: the one with the largest
     /// PLRG bound (most constrained first), ties broken by id for
     /// determinism.
-    fn select_prop(&self, key: &SetKey) -> PropId {
-        *key.props()
+    fn select_prop(&self, id: SetId) -> PropId {
+        *self
+            .pool
+            .props_of(id)
             .iter()
             .max_by(|&&a, &&b| {
-                self.plrg
-                    .prop_cost(a)
-                    .partial_cmp(&self.plrg.prop_cost(b))
-                    .unwrap()
-                    .then(a.cmp(&b))
+                self.plrg.prop_cost(a).partial_cmp(&self.plrg.prop_cost(b)).unwrap().then(a.cmp(&b))
             })
             .expect("non-empty set")
     }
 
-    /// Minimum logical cost of achieving `set` from the initial state.
+    /// Minimum logical cost of achieving `set` from the initial state
+    /// (compatibility wrapper: interns the key and delegates).
     pub fn achievement_cost(&mut self, set: &SetKey) -> SetCost {
-        if set.is_empty() {
+        let id = self.pool.intern_sorted(set.props());
+        self.achievement_cost_id(id)
+    }
+
+    /// Minimum logical cost of achieving an interned set.
+    pub fn achievement_cost_id(&mut self, id: SetId) -> SetCost {
+        if id == SetId::EMPTY {
             return SetCost { bound: 0.0, exact: true };
         }
-        if let Some(&c) = self.cache.get(set) {
+        if let Some(Some(c)) = self.cache.get(id.index()) {
             self.stats.cache_hits += 1;
-            return c;
+            return *c;
         }
         // fast infeasibility check
-        if set.props().iter().any(|&p| !self.plrg.prop_cost(p).is_finite()) {
+        if self.pool.props_of(id).iter().any(|&p| !self.plrg.prop_cost(p).is_finite()) {
             let c = SetCost { bound: f64::INFINITY, exact: true };
-            self.cache.insert(set.clone(), c);
+            self.cache_put(id, c);
             return c;
         }
 
         let t = std::time::Instant::now();
-        let result = self.astar(set);
+        let result = self.astar(id);
         self.stats.time += t.elapsed();
-        self.cache.insert(set.clone(), result);
+        self.cache_put(id, result);
         result
     }
 
-    fn astar(&mut self, start: &SetKey) -> SetCost {
-        // open: (f, counter, g, key) — counter gives FIFO tie-breaking and
-        // a total order without comparing keys; g detects stale entries
-        let mut open: BinaryHeap<(Reverse<u64>, Reverse<u64>, u64, SetKey)> = BinaryHeap::new();
-        let mut best_g: HashMap<SetKey, f64> = HashMap::new();
+    fn cache_put(&mut self, id: SetId, c: SetCost) {
+        if self.cache.len() <= id.index() {
+            self.cache.resize(id.index() + 1, None);
+        }
+        self.cache[id.index()] = Some(c);
+    }
+
+    /// `best_g` lookup for the current query epoch.
+    fn bg_get(&self, id: SetId) -> Option<f64> {
+        match self.gstamp.get(id.index()) {
+            Some(&s) if s == self.gepoch => Some(self.gval[id.index()]),
+            _ => None,
+        }
+    }
+
+    /// `best_g` store for the current query epoch (grows the arrays to the
+    /// pool's current size on demand).
+    fn bg_set(&mut self, id: SetId, g: f64) {
+        if self.gval.len() <= id.index() {
+            let n = self.pool.len().max(id.index() + 1);
+            self.gval.resize(n, 0.0);
+            self.gstamp.resize(n, 0);
+        }
+        self.gval[id.index()] = g;
+        self.gstamp[id.index()] = self.gepoch;
+    }
+
+    fn astar(&mut self, start: SetId) -> SetCost {
+        // open: (f, counter, g, id) — counter gives FIFO tie-breaking and a
+        // total order without comparing keys; g detects stale entries
+        let mut open: BinaryHeap<(Reverse<u64>, Reverse<u64>, u64, SetId)> = BinaryHeap::new();
         let mut counter = 0u64;
+        self.gepoch = self.gepoch.wrapping_add(1);
+        if self.gepoch == 0 {
+            // epoch wrapped: old stamps could alias, wipe them once
+            self.gstamp.fill(0);
+            self.gepoch = 1;
+        }
 
         let h0 = self.h(start);
-        open.push((Reverse(h0.to_bits()), Reverse(counter), 0f64.to_bits(), start.clone()));
-        best_g.insert(start.clone(), 0.0);
+        open.push((Reverse(h0.to_bits()), Reverse(counter), 0f64.to_bits(), start));
+        self.bg_set(start, 0.0);
         self.stats.nodes += 1;
 
         let mut expansions = 0usize;
         while let Some((Reverse(fbits), _, gbits, key)) = open.pop() {
             let f = f64::from_bits(fbits);
             let g = f64::from_bits(gbits);
-            match best_g.get(&key) {
-                Some(&bg) if g <= bg + 1e-12 => {}
+            match self.bg_get(key) {
+                Some(bg) if g <= bg + 1e-12 => {}
                 _ => continue, // a cheaper path to this set superseded us
             }
-            if key.is_empty() {
+            if key == SetId::EMPTY {
                 return SetCost { bound: g, exact: true };
             }
             expansions += 1;
@@ -146,26 +218,24 @@ impl<'t> Slrg<'t> {
                 return SetCost { bound: lb, exact: false };
             }
 
-            let target = self.select_prop(&key);
-            // borrow the achiever slice straight off the task reference
-            // (copied out of self so the borrow is 't, not tied to &mut self)
+            let target = self.select_prop(key);
+            // the achiever slice borrows the task (lifetime 't), not self
             let task = self.task;
-            for &a in &task.achievers[target.index()] {
+            for &a in task.achievers(target) {
                 if !self.plrg.usable(a) {
                     continue;
                 }
-                let act = self.task.action(a);
-                let child =
-                    key.regress(&act.adds, &act.preconds, |p| self.task.initially(p));
+                let act = task.action(a);
+                let child = self.pool.regress(key, &act.adds, &act.preconds, |p| task.initially(p));
                 let g2 = g + act.cost;
-                let hc = self.h(&child);
+                let hc = self.h(child);
                 if !hc.is_finite() {
                     continue;
                 }
-                match best_g.entry(child.clone()) {
-                    Entry::Occupied(mut e) => {
-                        if g2 + 1e-12 < *e.get() {
-                            e.insert(g2);
+                match self.bg_get(child) {
+                    Some(bg) => {
+                        if g2 + 1e-12 < bg {
+                            self.bg_set(child, g2);
                             counter += 1;
                             open.push((
                                 Reverse((g2 + hc).to_bits()),
@@ -175,8 +245,8 @@ impl<'t> Slrg<'t> {
                             ));
                         }
                     }
-                    Entry::Vacant(e) => {
-                        e.insert(g2);
+                    None => {
+                        self.bg_set(child, g2);
                         self.stats.nodes += 1;
                         counter += 1;
                         open.push((

@@ -2,6 +2,7 @@
 //! codec: [`Bytes`], [`BytesMut`], big-endian [`Buf`]/[`BufMut`] primitive
 //! accessors, and slice readers.
 
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 use std::ops::Deref;
 
 /// Immutable byte buffer (stand-in for `bytes::Bytes`).

@@ -7,6 +7,7 @@
 //! statistics, plots, or state files; the point is that `cargo bench` runs
 //! and prints comparable numbers in an offline container.
 
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 use std::time::{Duration, Instant};
 
 /// Per-iteration timer handed to bench closures.

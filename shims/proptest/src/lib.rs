@@ -8,6 +8,7 @@
 //! seeded from the test's name and case index, so failures reproduce
 //! exactly on rerun; set `PROPTEST_SEED` to shift the whole stream.
 
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 use std::rc::Rc;
 
 /// Deterministic per-case random source.
@@ -24,10 +25,8 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x100000001b3);
         }
-        let env = std::env::var("PROPTEST_SEED")
-            .ok()
-            .and_then(|s| s.parse::<u64>().ok())
-            .unwrap_or(0);
+        let env =
+            std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse::<u64>().ok()).unwrap_or(0);
         TestRng { state: h ^ case.wrapping_mul(0x9E3779B97F4A7C15) ^ env }
     }
 

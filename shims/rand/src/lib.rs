@@ -7,6 +7,7 @@
 //! differ from crates-io `rand`, so seeded topologies are stable only
 //! within this workspace.
 
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 /// Pseudo-random generators.
 pub mod rngs {
     /// Deterministic xoshiro256++ generator.
@@ -18,10 +19,7 @@ pub mod rngs {
     impl StdRng {
         pub(crate) fn next_u64_impl(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -52,12 +50,7 @@ impl SeedableRng for rngs::StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
         rngs::StdRng {
-            s: [
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-            ],
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
         }
     }
 }

@@ -6,6 +6,7 @@
 //! serialization is ever needed, swap this shim for the crates-io `serde`
 //! in the workspace `Cargo.toml`.
 
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 /// Marker stand-in for `serde::Serialize`.
 pub trait Serialize {}
 

@@ -4,6 +4,7 @@
 //! (no serializer is ever instantiated), so the derives accept the usual
 //! `#[serde(...)]` attributes and expand to nothing.
 
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 use proc_macro::TokenStream;
 
 /// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
