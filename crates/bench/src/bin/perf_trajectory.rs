@@ -13,6 +13,14 @@
 //! `BENCH_planner.json` in the current directory as machine-readable
 //! records `{phase, scenario, wall_ms, nodes}` — the file the repo's
 //! committed baselines under `crates/bench/baselines/` are snapshots of.
+//!
+//! A fifth pair of phases times the serving path end to end over a real
+//! socket (Tiny and Small scenarios only):
+//!
+//! * `serve-cold` — first request against a freshly started server: the
+//!   full decode + compile + search pipeline plus framing,
+//! * `serve-warm` — the identical repeat request: an outcome-cache hit,
+//!   so just hashing plus framing.
 
 use sekitei_compile::compile;
 use sekitei_model::LevelScenario;
@@ -57,6 +65,43 @@ fn run_once(size: NetSize, sc: LevelScenario) -> [PhaseRow; 4] {
     ]
 }
 
+/// One cold/warm serving measurement: fresh server (so the caches really
+/// are cold), one connection, one cold request, then the warm repeat.
+fn serve_once(size: NetSize, sc: LevelScenario) -> [PhaseRow; 2] {
+    use sekitei_server::{Connection, Server, ServerConfig};
+
+    let server = Server::bind("127.0.0.1:0", ServerConfig { workers: 2, ..Default::default() })
+        .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let p = scenarios::problem(size, sc);
+    let mut conn = Connection::connect(addr).expect("connect");
+
+    let t = Instant::now();
+    let (cold, hit) = conn.plan(&p).expect("cold request");
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(!hit, "fresh server cannot have the outcome cached");
+
+    let t = Instant::now();
+    let (_, hit) = conn.plan(&p).expect("warm request");
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    // budget-exhausted outcomes are deliberately uncacheable (their result
+    // depends on wall-clock luck), so only completed runs must hit
+    assert!(
+        hit || cold.stats.budget_exhausted,
+        "identical repeat of a completed run must hit the outcome cache"
+    );
+
+    drop(conn);
+    handle.shutdown();
+    join.join().expect("server thread").expect("clean shutdown");
+
+    let nodes = cold.stats.rg_nodes as usize;
+    [PhaseRow { wall_ms: cold_ms, nodes }, PhaseRow { wall_ms: warm_ms, nodes }]
+}
+
 fn main() {
     const PHASES: [&str; 4] = ["compile", "plrg", "slrg", "rg"];
     let mut records: Vec<(String, &'static str, PhaseRow)> = Vec::new();
@@ -85,6 +130,32 @@ fn main() {
             let label = format!("{}/{}", size.label(), sc.label());
             for (phase, row) in PHASES.iter().zip(best.unwrap()) {
                 println!("{:<10}{:<9}{:>12.3}{:>10}", label, phase, row.wall_ms, row.nodes);
+                records.push((label.clone(), phase, row));
+            }
+        }
+    }
+
+    const SERVE_PHASES: [&str; 2] = ["serve-cold", "serve-warm"];
+    for size in [NetSize::Tiny, NetSize::Small] {
+        for sc in LevelScenario::ALL {
+            let mut best: Option<[PhaseRow; 2]> = None;
+            for _ in 0..REPS {
+                let rows = serve_once(size, sc);
+                best = Some(match best {
+                    None => rows,
+                    Some(mut b) => {
+                        for (bi, ri) in b.iter_mut().zip(rows) {
+                            if ri.wall_ms < bi.wall_ms {
+                                *bi = ri;
+                            }
+                        }
+                        b
+                    }
+                });
+            }
+            let label = format!("{}/{}", size.label(), sc.label());
+            for (phase, row) in SERVE_PHASES.iter().zip(best.unwrap()) {
+                println!("{:<10}{:<11}{:>10.3}{:>10}", label, phase, row.wall_ms, row.nodes);
                 records.push((label.clone(), phase, row));
             }
         }

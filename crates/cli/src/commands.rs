@@ -8,8 +8,12 @@ use sekitei_topology::scenarios::{self, NetSize};
 
 const USAGE: &str = "usage:
   sekitei plan <spec-file> [--plrg-heuristic] [--no-replay-pruning]
-               [--max-nodes N] [--validate] [--quiet]
+               [--max-nodes N] [--deadline-ms N] [--degrade]
+               [--validate] [--quiet]
   sekitei batch <spec-file>... [--threads N] [--validate] [--quiet]
+  sekitei serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+               [--cache-cap N] [--deadline-ms N] [--no-degrade]
+  sekitei request (<spec-file> | --stats | --shutdown) [--addr HOST:PORT]
   sekitei check <spec-file>
   sekitei compile <spec-file> [--dump]
   sekitei scenario <tiny|small|large> <A|B|C|D|E> [--emit] [--validate]
@@ -27,6 +31,8 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("plan") => cmd_plan(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("request") => cmd_request(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("scenario") => cmd_scenario(&args[1..]),
@@ -66,6 +72,13 @@ fn parse_config(flags: &[String]) -> Result<(PlannerConfig, bool, bool), String>
                 let v = flags.get(i).ok_or("--max-nodes needs a value")?;
                 cfg.max_rg_nodes = v.parse().map_err(|_| format!("bad --max-nodes value `{v}`"))?;
             }
+            "--deadline-ms" => {
+                i += 1;
+                let v = flags.get(i).ok_or("--deadline-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --deadline-ms value `{v}`"))?;
+                cfg.deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--degrade" => cfg.degrade = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -105,6 +118,9 @@ fn report_outcome(
         }
         None => {
             println!("no plan found");
+            if let Some(b) = s.best_bound {
+                println!("(optimal cost ≥ {b:.2})");
+            }
             if s.budget_exhausted {
                 println!("(search budget exhausted — the instance may still be solvable)");
             }
@@ -174,6 +190,137 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+/// Default serving address shared by `serve` and `request`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7421";
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use sekitei_server::{Server, ServerConfig};
+
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut cfg = ServerConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |v: Option<&String>, flag: &str| {
+            v.cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = need(args.get(i), "--addr")?;
+            }
+            "--workers" => {
+                i += 1;
+                let v = need(args.get(i), "--workers")?;
+                cfg.workers = v.parse().map_err(|_| format!("bad --workers value `{v}`"))?;
+            }
+            "--queue-cap" => {
+                i += 1;
+                let v = need(args.get(i), "--queue-cap")?;
+                cfg.queue_cap = v.parse().map_err(|_| format!("bad --queue-cap value `{v}`"))?;
+            }
+            "--cache-cap" => {
+                i += 1;
+                let v = need(args.get(i), "--cache-cap")?;
+                cfg.cache_cap = v.parse().map_err(|_| format!("bad --cache-cap value `{v}`"))?;
+            }
+            "--deadline-ms" => {
+                i += 1;
+                let v = need(args.get(i), "--deadline-ms")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --deadline-ms value `{v}`"))?;
+                cfg.planner.deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--no-degrade" => cfg.planner.degrade = false,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    let server =
+        Server::bind(addr.as_str(), cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    println!("sekitei serving on {local} (stop with `sekitei request --shutdown --addr {local}`)");
+    server.run().map_err(|e| e.to_string())
+}
+
+fn cmd_request(args: &[String]) -> Result<(), String> {
+    use sekitei_server::{request_plan, request_shutdown, request_stats};
+
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut file: Option<String> = None;
+    let mut stats = false;
+    let mut shutdown = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args.get(i).cloned().ok_or("--addr needs a value")?;
+            }
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
+            f => file = Some(f.to_string()),
+        }
+        i += 1;
+    }
+    match (file, stats, shutdown) {
+        (None, true, false) => {
+            let s = request_stats(addr.as_str()).map_err(|e| e.to_string())?;
+            println!("{s}");
+            Ok(())
+        }
+        (None, false, true) => {
+            request_shutdown(addr.as_str()).map_err(|e| e.to_string())?;
+            println!("server at {addr} shut down");
+            Ok(())
+        }
+        (Some(path), false, false) => {
+            let problem = load(&path)?;
+            let (outcome, cache_hit) =
+                request_plan(addr.as_str(), &problem).map_err(|e| e.to_string())?;
+            report_wire_outcome(&outcome, cache_hit);
+            Ok(())
+        }
+        _ => Err(format!("request needs exactly one of <spec-file>, --stats, --shutdown\n{USAGE}")),
+    }
+}
+
+/// Print a served outcome; mirrors [`report_outcome`] for wire-form data.
+fn report_wire_outcome(outcome: &sekitei_spec::WireOutcome, cache_hit: bool) {
+    match &outcome.plan {
+        Some(plan) => {
+            println!(
+                "plan: {} actions, cost ≥ {:.2}{}",
+                plan.steps.len(),
+                plan.cost_lower_bound,
+                if plan.degraded { " [degraded]" } else { "" }
+            );
+            for step in &plan.steps {
+                println!("  {} (cost ≥ {:.2})", step.name, step.cost_lb);
+            }
+            for (gvar, value) in &plan.source_values {
+                println!("  source var #{gvar} = {value}");
+            }
+        }
+        None => {
+            println!("no plan found");
+            if let Some(b) = outcome.best_bound {
+                println!("(optimal cost ≥ {b:.2})");
+            }
+        }
+    }
+    let s = &outcome.stats;
+    println!(
+        "stats: rg nodes {}, rejects {}, search {} µs, total {} µs{}{}{}",
+        s.rg_nodes,
+        s.candidate_rejects,
+        s.search_time_us,
+        s.total_time_us,
+        if s.deadline_hit { " [deadline hit]" } else { "" },
+        if s.budget_exhausted && !s.deadline_hit { " [budget exhausted]" } else { "" },
+        if cache_hit { " [cache hit]" } else { "" },
+    );
 }
 
 fn cmd_check(args: &[String]) -> Result<(), String> {
@@ -533,6 +680,63 @@ mod tests {
         assert!(dispatch(&[s(&["batch"]), sps.clone(), s(&["--threads"])].concat()).is_err());
         assert!(dispatch(&[s(&["batch"]), sps, s(&["--frob"])].concat()).is_err());
         assert!(dispatch(&s(&["batch", "/nonexistent/x.spec"])).is_err());
+    }
+
+    #[test]
+    fn serve_and_request_roundtrip() {
+        use sekitei_server::{Server, ServerConfig};
+        let server =
+            Server::bind("127.0.0.1:0", ServerConfig { workers: 2, ..Default::default() }).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let join = std::thread::spawn(move || server.run());
+
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("sekitei_cli_request.spec");
+        let p = scenarios::tiny(LevelScenario::B);
+        std::fs::write(&spec_path, sekitei_spec::print_problem(&p)).unwrap();
+        let sp = spec_path.to_str().unwrap().to_string();
+        dispatch(&[s(&["request"]), vec![sp.clone()], s(&["--addr", &addr])].concat()).unwrap();
+        // warm repeat goes through the cache-hit path
+        dispatch(&[s(&["request"]), vec![sp], s(&["--addr", &addr])].concat()).unwrap();
+        dispatch(&[s(&["request", "--stats", "--addr"]), vec![addr.clone()]].concat()).unwrap();
+        // request wants exactly one mode
+        assert!(dispatch(
+            &[s(&["request", "--stats", "--shutdown", "--addr"]), vec![addr.clone()]].concat()
+        )
+        .is_err());
+        assert!(dispatch(&s(&["request"])).is_err());
+        assert!(dispatch(&s(&["request", "--frob"])).is_err());
+        dispatch(&[s(&["request", "--shutdown", "--addr"]), vec![addr]].concat()).unwrap();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn serve_flag_errors() {
+        assert!(dispatch(&s(&["serve", "--workers", "many"])).is_err());
+        assert!(dispatch(&s(&["serve", "--queue-cap", "-1"])).is_err());
+        assert!(dispatch(&s(&["serve", "--addr"])).is_err());
+        assert!(dispatch(&s(&["serve", "--frob"])).is_err());
+    }
+
+    #[test]
+    fn plan_deadline_flags() {
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("sekitei_cli_deadline.spec");
+        let p = scenarios::tiny(LevelScenario::B);
+        std::fs::write(&spec_path, sekitei_spec::print_problem(&p)).unwrap();
+        let sp = spec_path.to_str().unwrap().to_string();
+        dispatch(
+            &[
+                s(&["plan"]),
+                vec![sp.clone()],
+                s(&["--deadline-ms", "60000", "--degrade", "--quiet"]),
+            ]
+            .concat(),
+        )
+        .unwrap();
+        assert!(
+            dispatch(&[s(&["plan"]), vec![sp], s(&["--deadline-ms", "soon"])].concat()).is_err()
+        );
     }
 
     #[test]

@@ -2,7 +2,11 @@
 //!
 //! ```text
 //! sekitei plan <spec-file> [--plrg-heuristic] [--no-replay-pruning]
-//!              [--max-nodes N] [--validate] [--quiet]
+//!              [--max-nodes N] [--deadline-ms N] [--degrade]
+//!              [--validate] [--quiet]
+//! sekitei serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!              [--cache-cap N] [--deadline-ms N] [--no-degrade]
+//! sekitei request (<spec-file> | --stats | --shutdown) [--addr HOST:PORT]
 //! sekitei check <spec-file>
 //! sekitei compile <spec-file> [--dump]
 //! sekitei scenario <tiny|small|large> <A|B|C|D|E> [--emit] [--validate]

@@ -223,6 +223,49 @@ impl PlanningTask {
         self.actions.len()
     }
 
+    /// A structural content fingerprint (FNV-1a over the ground names,
+    /// initial state and goals). Compilation is deterministic, so equal
+    /// problems compile to equal fingerprints — a cheap identity for
+    /// task caches and cross-process sanity checks that doesn't require
+    /// hashing the whole struct.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h ^= 0xff; // separator so field boundaries can't alias
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        for n in &self.prop_names {
+            eat(n.as_bytes());
+        }
+        for a in &self.actions {
+            eat(a.name.as_bytes());
+            eat(&a.cost.to_bits().to_le_bytes());
+        }
+        for n in &self.gvar_names {
+            eat(n.as_bytes());
+        }
+        for p in &self.init_props {
+            eat(&(p.index() as u64).to_le_bytes());
+        }
+        for v in &self.init_values {
+            match v {
+                None => eat(&[0]),
+                Some(iv) => {
+                    eat(&iv.lo.to_bits().to_le_bytes());
+                    eat(&iv.hi.to_bits().to_le_bytes());
+                }
+            }
+        }
+        for p in &self.goal_props {
+            eat(&(p.index() as u64).to_le_bytes());
+        }
+        h
+    }
+
     /// Number of ground propositions.
     pub fn num_props(&self) -> usize {
         self.props.len()

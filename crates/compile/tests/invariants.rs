@@ -143,6 +143,7 @@ proptest! {
         let p = scenarios::small(LevelScenario::ALL[sc_idx]);
         let a = compile(&p).unwrap();
         let b = compile(&p).unwrap();
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
         prop_assert_eq!(a.num_actions(), b.num_actions());
         prop_assert_eq!(a.num_props(), b.num_props());
         for (x, y) in a.actions.iter().zip(&b.actions) {
@@ -151,6 +152,22 @@ proptest! {
             prop_assert_eq!(&x.preconds, &y.preconds);
             prop_assert_eq!(&x.adds, &y.adds);
         }
+    }
+}
+
+#[test]
+fn fingerprint_separates_distinct_problems() {
+    // the structural fingerprint is a cache identity: equal problems must
+    // collide (checked per-scenario in `grounding_is_deterministic`), and
+    // distinct scenarios must not
+    let mut seen = std::collections::HashSet::new();
+    for sc in LevelScenario::ALL {
+        let fp = compile(&scenarios::tiny(sc)).unwrap().fingerprint();
+        assert!(seen.insert(fp), "fingerprint collision for {sc:?}");
+    }
+    for sc in LevelScenario::ALL {
+        let fp = compile(&scenarios::small(sc)).unwrap().fingerprint();
+        assert!(seen.insert(fp), "fingerprint collision for small/{sc:?}");
     }
 }
 

@@ -184,6 +184,63 @@ fn execute(
     Ok(ConcreteExecution { source_values, final_state: state, per_step })
 }
 
+/// Degraded-mode concretization for the serving path: bind sources to *any*
+/// feasible value, not just the greedy maximum.
+///
+/// The paper's planner deliberately keeps the greedy-within-level choice and
+/// lets unleveled problems (scenario A) fail — that asymmetry is its central
+/// experimental result. A serving system can't return an error for a plan
+/// whose structure is fine, so when the greedy execution fails this walks a
+/// value grid per source from the interval's low end upward (the demand floor
+/// binds from below, capacity from above, so under the monotonicity
+/// assumption of §2.2 the feasible set per source is an interval and the
+/// first executing grid point is its near-minimal element). Sources are
+/// adjusted coordinate-wise over two passes; with a single stream source —
+/// every shipped scenario — one pass is exact. Returns the original greedy
+/// failure if no grid point executes.
+pub fn concretize_relaxed(
+    task: &PlanningTask,
+    plan: &[ActionId],
+    final_map: &ResourceMap,
+) -> Result<ConcreteExecution, ConcretizeFail> {
+    let greedy_err = match concretize(task, plan, final_map) {
+        Ok(exec) => return Ok(exec),
+        Err(e) => e,
+    };
+    const GRID_STEPS: usize = 64;
+    let mut choices = source_choices(task, final_map, false);
+    for _pass in 0..2 {
+        for i in 0..choices.len() {
+            if execute(task, plan, &choices).is_ok() {
+                break;
+            }
+            let v = choices[i].0;
+            let Some(init) = task.init_values[v.index()] else { continue };
+            let feasible = final_map.get(&v).copied().unwrap_or(init).intersect(&init);
+            let lo = feasible.lo.max(0.0);
+            let hi = feasible.finite_hi(init.hi);
+            let saved = choices[i].1;
+            let mut found = false;
+            for k in 0..=GRID_STEPS {
+                let x = lo + (hi - lo) * (k as f64 / GRID_STEPS as f64);
+                // demands are round numbers: snap up onto the 1e-5 grid
+                choices[i].1 = (x * 1e5).ceil() / 1e5;
+                if execute(task, plan, &choices).is_ok() {
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                choices[i].1 = saved;
+            }
+        }
+        if let Ok(exec) = execute(task, plan, &choices) {
+            return Ok(exec);
+        }
+    }
+    Err(greedy_err)
+}
+
 /// Convert the chosen source interval to the greedy concrete value without
 /// running the execution — exposed for diagnostics and tests.
 pub fn greedy_source_value(feasible: &Interval, availability: &Interval) -> f64 {
@@ -325,6 +382,40 @@ mod tests {
             matches!(r, Err(ConcretizeFail::ConditionFailed { step: 0, .. })),
             "greedy 200-unit execution must fail at the Splitter: {r:?}"
         );
+    }
+
+    #[test]
+    fn scenario_a_relaxed_binds_a_feasible_value() {
+        // the degraded serving path repairs what greedy-max cannot: the
+        // feasible source set for tiny/A is ≈ [90, 107.7] and the grid scan
+        // finds a point just above the 90-unit demand floor
+        let p = scenarios::tiny(LevelScenario::A);
+        let task = compile(&p).unwrap();
+        let plan = vec![
+            pick(&task, "place(Splitter,n0)", ""),
+            pick(&task, "place(Zip,n0)", ""),
+            pick(&task, "cross(Z,n0→n1)", ""),
+            pick(&task, "cross(I,n0→n1)", ""),
+            pick(&task, "place(Unzip,n1)", ""),
+            pick(&task, "place(Merger,n1)", ""),
+            pick(&task, "place(Client,n1)", ""),
+        ];
+        let map = replay_tail(&task, &plan, Some(&task.init_values)).unwrap();
+        let exec = concretize_relaxed(&task, &plan, &map).unwrap();
+        assert_eq!(exec.source_values.len(), 1);
+        let (_, s) = exec.source_values[0];
+        assert!((90.0..=110.0).contains(&s), "relaxed source = {s}");
+    }
+
+    #[test]
+    fn relaxed_is_greedy_when_greedy_works() {
+        let p = scenarios::tiny(LevelScenario::C);
+        let task = compile(&p).unwrap();
+        let plan = figure4(&task);
+        let map = replay_tail(&task, &plan, Some(&task.init_values)).unwrap();
+        let greedy = concretize(&task, &plan, &map).unwrap();
+        let relaxed = concretize_relaxed(&task, &plan, &map).unwrap();
+        assert_eq!(greedy, relaxed);
     }
 
     #[test]

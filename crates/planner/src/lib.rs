@@ -34,7 +34,8 @@ pub mod slrg;
 pub mod viz;
 
 pub use concretize::{
-    concretize, greedy_source_value, minimize_sources, ConcreteExecution, ConcretizeFail,
+    concretize, concretize_relaxed, greedy_source_value, minimize_sources, ConcreteExecution,
+    ConcretizeFail,
 };
 pub use diagnose::{diagnose, Diagnosis};
 pub use diff::{plan_diff, PlanDiff};
@@ -50,7 +51,7 @@ pub use viz::{network_dot, plan_dot};
 
 use sekitei_compile::{compile, CompileError, CompileStats, PlanningTask};
 use sekitei_model::CppProblem;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Planner configuration.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +66,19 @@ pub struct PlannerConfig {
     pub heuristic: Heuristic,
     /// Optimistic-map replay pruning (ablation knob; keep on).
     pub replay_pruning: bool,
+    /// Wall-clock budget for one planning run, measured from the `t0`
+    /// anchor (request arrival; includes compilation). Checked amortized in
+    /// the RG expansion loop; tripping it sets
+    /// [`PlannerStats::budget_exhausted`] and
+    /// [`PlannerStats::deadline_hit`]. `None` (the default) never reads
+    /// the clock.
+    pub deadline: Option<Duration>,
+    /// Graceful degradation: when the search exhausts a budget (nodes,
+    /// rejects or deadline) without a validated optimal plan, return the
+    /// cheapest interval-feasible candidate re-bound with
+    /// [`concretize_relaxed`], tagged [`Plan::degraded`], instead of no
+    /// plan at all.
+    pub degrade: bool,
 }
 
 impl Default for PlannerConfig {
@@ -75,6 +89,8 @@ impl Default for PlannerConfig {
             slrg_budget: 50_000,
             heuristic: Heuristic::Slrg,
             replay_pruning: true,
+            deadline: None,
+            degrade: false,
         }
     }
 }
@@ -106,6 +122,14 @@ pub struct PlannerStats {
     pub compile: CompileStats,
     /// True if a search budget was exhausted before exhausting the space.
     pub budget_exhausted: bool,
+    /// True if specifically the wall-clock deadline tripped the search
+    /// (implies `budget_exhausted`).
+    pub deadline_hit: bool,
+    /// Admissible lower bound on the optimal plan cost at search exit when
+    /// no optimal plan was returned: the minimum f over the unexplored
+    /// frontier. `None` means either a plan was found (its
+    /// `cost_lower_bound` is the bound) or infeasibility was proven.
+    pub best_bound: Option<f64>,
 }
 
 impl std::fmt::Display for PlannerStats {
@@ -125,7 +149,13 @@ impl std::fmt::Display for PlannerStats {
             self.candidate_rejects,
             self.total_time,
             self.search_time,
-            if self.budget_exhausted { " [budget exhausted]" } else { "" },
+            if self.deadline_hit {
+                " [deadline hit]"
+            } else if self.budget_exhausted {
+                " [budget exhausted]"
+            } else {
+                ""
+            },
         )
     }
 }
@@ -253,6 +283,8 @@ impl Planner {
                 max_candidate_rejects: self.config.max_candidate_rejects,
                 heuristic: self.config.heuristic,
                 replay_pruning: self.config.replay_pruning,
+                deadline: self.config.deadline.map(|d| t0 + d),
+                relaxed_fallback: self.config.degrade,
             };
             let r = rg::search(&task, &plrg, &mut slrg, &rg_cfg);
             stats.slrg_nodes = slrg.stats().nodes;
@@ -261,7 +293,22 @@ impl Planner {
             stats.replay_prunes = r.replay_prunes;
             stats.candidate_rejects = r.candidate_rejects;
             stats.budget_exhausted = r.budget_exhausted;
-            r.plan.map(|(actions, cost, exec)| Plan::from_actions(&task, &actions, cost, exec))
+            stats.deadline_hit = r.deadline_hit;
+            stats.best_bound = r.best_open_f;
+            match r.plan {
+                Some((actions, cost, exec)) => {
+                    Some(Plan::from_actions(&task, &actions, cost, exec))
+                }
+                // graceful degradation: the cheapest rejected candidate
+                // whose sources bound at relaxed (non-greedy) values,
+                // captured during the search
+                None if self.config.degrade => r.fallback.map(|(tail, g, exec)| {
+                    let mut plan = Plan::from_actions(&task, &tail, g, exec);
+                    plan.degraded = true;
+                    plan
+                }),
+                None => None,
+            }
         } else {
             None
         };
@@ -304,6 +351,59 @@ mod tests {
         assert!(b.plrg_props > 0 && b.plrg_actions > 0);
         assert!(b.slrg_nodes > 0);
         assert!(b.rg_nodes > 0);
+    }
+
+    #[test]
+    fn degrade_returns_candidate_for_tiny_a() {
+        // Tiny/A's structure is fine — only the greedy-max source binding
+        // fails. The degradation path returns it with a relaxed binding.
+        let planner = Planner::new(PlannerConfig { degrade: true, ..Default::default() });
+        let outcome = planner.plan(&scenarios::tiny(LevelScenario::A)).unwrap();
+        let plan = outcome.plan.expect("degraded plan");
+        assert!(plan.degraded);
+        assert_eq!(plan.len(), 7);
+        assert!(outcome.stats.candidate_rejects > 0);
+        // the degraded source value is feasible, not the greedy 200
+        let (_, s) = plan.execution.source_values[0];
+        assert!((90.0..=110.0).contains(&s), "source = {s}");
+    }
+
+    #[test]
+    fn degrade_off_leaves_a_unsolved() {
+        let outcome = Planner::default().plan(&scenarios::tiny(LevelScenario::A)).unwrap();
+        assert!(outcome.plan.is_none());
+    }
+
+    #[test]
+    fn deadline_bounds_adversarial_search() {
+        // Large/A otherwise burns the full 2M-node budget (~2s); a 50 ms
+        // deadline must cut it off and still report an admissible bound.
+        let planner = Planner::new(PlannerConfig {
+            deadline: Some(Duration::from_millis(50)),
+            ..Default::default()
+        });
+        let t = Instant::now();
+        let outcome = planner.plan(&scenarios::large(LevelScenario::A)).unwrap();
+        assert!(outcome.stats.deadline_hit, "{}", outcome.stats);
+        assert!(outcome.stats.budget_exhausted);
+        assert!(outcome.stats.best_bound.is_some());
+        assert!(t.elapsed() < Duration::from_secs(5), "deadline ignored: {:?}", t.elapsed());
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        // a deadline that never trips must not perturb the search result
+        let base = Planner::default().plan(&scenarios::tiny(LevelScenario::C)).unwrap();
+        let planner = Planner::new(PlannerConfig {
+            deadline: Some(Duration::from_secs(3600)),
+            ..Default::default()
+        });
+        let timed = planner.plan(&scenarios::tiny(LevelScenario::C)).unwrap();
+        assert!(!timed.stats.deadline_hit);
+        let (a, b) = (base.plan.unwrap(), timed.plan.unwrap());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.cost_lower_bound.to_bits(), b.cost_lower_bound.to_bits());
+        assert_eq!(base.stats.rg_nodes, timed.stats.rg_nodes);
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub struct Plan {
     pub cost_lower_bound: f64,
     /// The concrete greedy execution that validated the plan.
     pub execution: ConcreteExecution,
+    /// True when this plan came from the graceful-degradation path (a
+    /// budget or deadline tripped and the planner returned the cheapest
+    /// interval-feasible candidate with relaxed source binding) rather than
+    /// the optimal greedy-validated search exit.
+    pub degraded: bool,
 }
 
 impl Plan {
@@ -50,7 +55,7 @@ impl Plan {
                 }
             })
             .collect();
-        Plan { steps, cost_lower_bound: cost, execution }
+        Plan { steps, cost_lower_bound: cost, execution, degraded: false }
     }
 
     /// Number of actions (Table 2 col 3).
@@ -76,7 +81,13 @@ impl Plan {
 
 impl fmt::Display for Plan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "plan ({} actions, cost ≥ {:.2}):", self.len(), self.cost_lower_bound)?;
+        writeln!(
+            f,
+            "plan ({} actions, cost ≥ {:.2}){}:",
+            self.len(),
+            self.cost_lower_bound,
+            if self.degraded { " [degraded]" } else { "" }
+        )?;
         for (i, s) in self.steps.iter().enumerate() {
             writeln!(f, "  {:>2}. {}  (cost ≥ {:.2})", i + 1, s.name, s.cost_lb)?;
         }

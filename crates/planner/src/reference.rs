@@ -205,6 +205,11 @@ fn select_prop(plrg: &Plrg, set: &SetKey) -> PropId {
 }
 
 /// Run the original RG search (full per-child tail replay, boxed set keys).
+///
+/// The oracle deliberately ignores [`RgConfig::deadline`]: wall-clock cutoffs
+/// are nondeterministic by nature, so the differential `search_equivalence`
+/// suite only ever compares runs with `deadline: None`, where the optimized
+/// search never reads the clock either.
 pub fn search_reference(
     task: &PlanningTask,
     plrg: &Plrg,

@@ -26,7 +26,7 @@
 //! [`replay_tail`]-from-init check is reserved for terminal candidate
 //! validation.
 
-use crate::concretize::{concretize, ConcreteExecution};
+use crate::concretize::{concretize, concretize_relaxed, ConcreteExecution};
 use crate::plrg::Plrg;
 use crate::pool::SetId;
 use crate::replay::{replay_tail, ReplayScratch};
@@ -35,6 +35,7 @@ use sekitei_compile::PlanningTask;
 use sekitei_model::{ActionId, PropId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// Which remaining-cost heuristic the RG uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,7 +65,27 @@ pub struct RgConfig {
     /// Replay tails through optimistic maps and prune failures
     /// (disabling this is the ablation showing why Figure 8 matters).
     pub replay_pruning: bool,
+    /// Wall-clock cutoff. Checked amortized (every
+    /// [`DEADLINE_CHECK_STRIDE`] units of search work) in the expansion
+    /// loop; tripping it sets `budget_exhausted` and `deadline_hit` on the
+    /// result. `None` (the default) never checks the clock, so the search
+    /// stays bit-identical to the pre-deadline implementation — the
+    /// [`crate::reference`] oracle ignores this field for the same reason.
+    pub deadline: Option<Instant>,
+    /// Capture a degradation fallback: when a candidate fails greedy-max
+    /// concretization, additionally try
+    /// [`crate::concretize::concretize_relaxed`] and keep the first
+    /// candidate that binds. Purely observational — it never alters the
+    /// search state, plans or counters — but costs a bounded grid scan per
+    /// rejected candidate until one binds, so it defaults to off and the
+    /// [`crate::reference`] oracle ignores it.
+    pub relaxed_fallback: bool,
 }
+
+/// Amortization stride of the wall-clock deadline check: one `Instant::now`
+/// per this many node creations + expansions, bounding both the overshoot
+/// past the deadline and the syscall overhead when no deadline is set.
+pub const DEADLINE_CHECK_STRIDE: usize = 1024;
 
 impl Default for RgConfig {
     fn default() -> Self {
@@ -73,6 +94,8 @@ impl Default for RgConfig {
             max_candidate_rejects: 20_000,
             heuristic: Heuristic::Slrg,
             replay_pruning: true,
+            deadline: None,
+            relaxed_fallback: false,
         }
     }
 }
@@ -95,6 +118,22 @@ pub struct RgResult {
     pub expansions: usize,
     /// True when the node budget was exhausted.
     pub budget_exhausted: bool,
+    /// True when the wall-clock deadline tripped (implies
+    /// `budget_exhausted`).
+    pub deadline_hit: bool,
+    /// Minimum `f` over the open list at exit when no plan was returned —
+    /// an admissible lower bound on the cost of any plan the truncated
+    /// search could still have found. `None` when a plan was returned or
+    /// the open list drained.
+    pub best_open_f: Option<f64>,
+    /// The cheapest rejected candidate that
+    /// [`crate::concretize::concretize_relaxed`] managed to bind (tail,
+    /// cost lower bound, relaxed execution) — the degraded serving path's
+    /// answer. Candidates pop in `g` order (`h(∅) = 0`), so the first
+    /// bindable one is the cheapest. Only populated when
+    /// [`RgConfig::relaxed_fallback`] is on; interval replay is optimistic,
+    /// so many rejected tails bind at *no* concrete value and are skipped.
+    pub fallback: Option<(Vec<ActionId>, f64, ConcreteExecution)>,
 }
 
 struct RgNode {
@@ -116,6 +155,9 @@ pub fn search(task: &PlanningTask, plrg: &Plrg, slrg: &mut Slrg<'_>, cfg: &RgCon
         candidate_rejects: 0,
         expansions: 0,
         budget_exhausted: false,
+        deadline_hit: false,
+        best_open_f: None,
+        fallback: None,
     };
 
     let goal_props: Vec<PropId> =
@@ -161,11 +203,32 @@ pub fn search(task: &PlanningTask, plrg: &Plrg, slrg: &mut Slrg<'_>, cfg: &RgCon
 
     let mut scratch = ReplayScratch::new(task);
     let mut parent_tail: Vec<ActionId> = Vec::new();
+    // search-work units (expansions + node creations) since the last
+    // wall-clock check; only maintained when a deadline is set
+    let mut work_since_check = 0usize;
 
-    while let Some((_, _, _, idx)) = open.pop() {
+    'search: while let Some((Reverse(f_bits), _, _, idx)) = open.pop() {
+        // A* pops nodes in f order, so the f of the node in hand is a sound
+        // lower bound on every solution not yet returned. The cutoff breaks
+        // below consume this node without resolving it, so they must report
+        // its f — not `open.peek()`, which can be strictly larger.
+        let popped_f = f64::from_bits(f_bits);
         if result.nodes_created >= cfg.max_nodes {
             result.budget_exhausted = true;
+            result.best_open_f = Some(popped_f);
             break;
+        }
+        if let Some(deadline) = cfg.deadline {
+            work_since_check += 1;
+            if work_since_check >= DEADLINE_CHECK_STRIDE {
+                work_since_check = 0;
+                if Instant::now() >= deadline {
+                    result.budget_exhausted = true;
+                    result.deadline_hit = true;
+                    result.best_open_f = Some(popped_f);
+                    break;
+                }
+            }
         }
         result.expansions += 1;
         let (set, g) = {
@@ -180,11 +243,17 @@ pub fn search(task: &PlanningTask, plrg: &Plrg, slrg: &mut Slrg<'_>, cfg: &RgCon
                 Ok(map) => match concretize(task, &tail, &map) {
                     Ok(exec) => {
                         result.plan = Some((tail, g, exec));
-                        result.open_left = open.len();
-                        return result;
+                        break;
                     }
                     Err(_) => {
                         result.candidate_rejects += 1;
+                        // degraded serving path: keep the cheapest rejected
+                        // candidate whose sources bind at relaxed values
+                        if cfg.relaxed_fallback && result.fallback.is_none() {
+                            if let Ok(exec) = concretize_relaxed(task, &tail, &map) {
+                                result.fallback = Some((tail, g, exec));
+                            }
+                        }
                     }
                 },
                 Err(_) => {
@@ -193,6 +262,7 @@ pub fn search(task: &PlanningTask, plrg: &Plrg, slrg: &mut Slrg<'_>, cfg: &RgCon
             }
             if result.candidate_rejects >= cfg.max_candidate_rejects {
                 result.budget_exhausted = true;
+                result.best_open_f = Some(popped_f);
                 break;
             }
             continue;
@@ -236,16 +306,25 @@ pub fn search(task: &PlanningTask, plrg: &Plrg, slrg: &mut Slrg<'_>, cfg: &RgCon
             let child_idx = nodes.len() as u32;
             nodes.push(RgNode { action: a, parent: idx, set: child_set, g: g2 });
             result.nodes_created += 1;
+            if cfg.deadline.is_some() {
+                work_since_check += 1;
+            }
             counter += 1;
             open.push((Reverse((g2 + h).to_bits()), g2.to_bits(), Reverse(counter), child_idx));
             if nodes.len() >= cfg.max_nodes {
                 result.budget_exhausted = true;
-                result.open_left = open.len();
-                return result;
+                break 'search;
             }
         }
     }
     result.open_left = open.len();
+    if result.plan.is_none() && result.best_open_f.is_none() {
+        // budget tripped mid-expansion (all of the popped node's children are
+        // back in `open`) or the frontier drained naturally: `open.peek()` is
+        // the sound bound, and `None` on an empty frontier proves
+        // infeasibility.
+        result.best_open_f = open.peek().map(|&(Reverse(f_bits), ..)| f64::from_bits(f_bits));
+    }
     result
 }
 

@@ -1,0 +1,120 @@
+//! Content-addressed caches for the serving path.
+//!
+//! Two tiers, both keyed by the FNV-1a hash of the *encoded* problem bytes
+//! (the `SKT1` payload the client sent — hashing before decoding means a
+//! repeat request is recognized without any parsing work):
+//!
+//! 1. **compiled-task tier** — the decoded problem plus its compiled
+//!    [`PlanningTask`]; a hit skips grounding and leveling and goes
+//!    straight to search.
+//! 2. **outcome tier** — the fully encoded response payload of a
+//!    *completed* (non-budget-exhausted) run; a hit skips everything.
+//!    Budget- or deadline-tripped outcomes are timing-dependent and are
+//!    never cached.
+//!
+//! Both tiers are FIFO-bounded: small, predictable memory and no
+//! scan-resistance machinery a planning workload doesn't need.
+
+use std::collections::{HashMap, VecDeque};
+
+/// FNV-1a 64-bit content hash — deterministic across runs and platforms,
+/// no dependencies, and fast enough to disappear next to a TCP round-trip.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A FIFO-bounded hash map. Inserting past capacity evicts the oldest
+/// entry; re-inserting an existing key refreshes its value but not its
+/// eviction slot.
+#[derive(Debug)]
+pub struct BoundedCache<V> {
+    cap: usize,
+    map: HashMap<u64, V>,
+    order: VecDeque<u64>,
+}
+
+impl<V: Clone> BoundedCache<V> {
+    /// An empty cache holding at most `cap` entries (`cap = 0` disables
+    /// caching entirely).
+    pub fn new(cap: usize) -> Self {
+        BoundedCache { cap, map: HashMap::new(), order: VecDeque::new() }
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: u64) -> Option<V> {
+        self.map.get(&key).cloned()
+    }
+
+    /// Insert, evicting the oldest entry if full.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.insert(key, value).is_some() {
+            return; // refreshed in place; eviction order unchanged
+        }
+        self.order.push_back(key);
+        while self.map.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_hash_is_stable_and_discriminating() {
+        assert_eq!(content_hash(b""), 0xcbf29ce484222325);
+        assert_eq!(content_hash(b"sekitei"), content_hash(b"sekitei"));
+        assert_ne!(content_hash(b"sekitei"), content_hash(b"sekitej"));
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut c = BoundedCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(3, "c"); // evicts 1
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.get(2), Some("b"));
+        assert_eq!(c.get(3), Some("c"));
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_without_growth() {
+        let mut c = BoundedCache::new(2);
+        c.insert(1, "a");
+        c.insert(1, "a2");
+        c.insert(2, "b");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), Some("a2"));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c: BoundedCache<&str> = BoundedCache::new(0);
+        c.insert(1, "a");
+        assert!(c.is_empty());
+        assert!(c.get(1).is_none());
+    }
+}

@@ -1,0 +1,129 @@
+//! Blocking client helpers: one request/response exchange per call, or a
+//! persistent [`Connection`] for request streams.
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response, StatsSnapshot,
+};
+use sekitei_model::CppProblem;
+use sekitei_spec::{SpecError, WireOutcome};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Malformed response bytes.
+    Protocol(SpecError),
+    /// The server's admission control turned the request away.
+    Rejected(String),
+    /// The server reported a request failure.
+    Server(String),
+    /// The server answered with a response kind this call cannot use.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Rejected(m) => write!(f, "rejected: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Unexpected(k) => write!(f, "unexpected response kind: {k}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<SpecError> for ClientError {
+    fn from(e: SpecError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A persistent connection to a planning server. Requests on one
+/// connection are served in order by a single worker; open several
+/// connections for parallelism.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+}
+
+impl Connection {
+    /// Connect to `addr` with sane read/write timeouts.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Connection, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+        Ok(Connection { stream })
+    }
+
+    /// One request/response exchange.
+    pub fn exchange(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let frame = read_frame(&mut self.stream)?;
+        Ok(decode_response(&frame)?)
+    }
+
+    /// Plan an already-wire-encoded (`SKT1`) problem. Returns the outcome
+    /// and whether it came from the server's outcome cache.
+    pub fn plan_bytes(&mut self, problem: &[u8]) -> Result<(WireOutcome, bool), ClientError> {
+        match self.exchange(&Request::Plan(problem.to_vec()))? {
+            Response::Outcome { cache_hit, outcome } => Ok((outcome, cache_hit)),
+            Response::Rejected(m) => Err(ClientError::Rejected(m)),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            Response::Stats(_) => Err(ClientError::Unexpected("stats")),
+            Response::Bye => Err(ClientError::Unexpected("bye")),
+        }
+    }
+
+    /// Plan a problem.
+    pub fn plan(&mut self, problem: &CppProblem) -> Result<(WireOutcome, bool), ClientError> {
+        self.plan_bytes(&sekitei_spec::encode(problem))
+    }
+
+    /// Fetch the serving counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.exchange(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Rejected(m) => Err(ClientError::Rejected(m)),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            _ => Err(ClientError::Unexpected("non-stats")),
+        }
+    }
+}
+
+/// One-shot: plan `problem` against the server at `addr`.
+pub fn request_plan(
+    addr: impl ToSocketAddrs,
+    problem: &CppProblem,
+) -> Result<(WireOutcome, bool), ClientError> {
+    Connection::connect(addr)?.plan(problem)
+}
+
+/// One-shot: fetch the serving counters.
+pub fn request_stats(addr: impl ToSocketAddrs) -> Result<StatsSnapshot, ClientError> {
+    Connection::connect(addr)?.stats()
+}
+
+/// One-shot: ask the server to shut down. `Ok` once the server
+/// acknowledges.
+pub fn request_shutdown(addr: impl ToSocketAddrs) -> Result<(), ClientError> {
+    match Connection::connect(addr)?.exchange(&Request::Shutdown)? {
+        Response::Bye => Ok(()),
+        Response::Rejected(m) => Err(ClientError::Rejected(m)),
+        Response::Error(m) => Err(ClientError::Server(m)),
+        _ => Err(ClientError::Unexpected("non-bye")),
+    }
+}

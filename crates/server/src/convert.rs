@@ -1,0 +1,85 @@
+//! Planner-to-wire conversion.
+//!
+//! Lives here rather than in `sekitei-spec` because the spec crate sits
+//! below the compiler and planner in the dependency order — the wire
+//! outcome types are self-contained mirrors, and this is the one place
+//! that knows both sides.
+
+use sekitei_compile::ActionKind;
+use sekitei_planner::PlanOutcome;
+use sekitei_spec::{WireOutcome, WirePlan, WireStats, WireStep, WireStepKind};
+
+/// Project a [`PlanOutcome`] onto its wire form.
+pub fn outcome_to_wire(o: &PlanOutcome) -> WireOutcome {
+    WireOutcome {
+        plan: o.plan.as_ref().map(|p| WirePlan {
+            steps: p
+                .steps
+                .iter()
+                .map(|s| WireStep {
+                    name: s.name.clone(),
+                    kind: match s.kind {
+                        ActionKind::Place { .. } => WireStepKind::Place,
+                        ActionKind::Cross { .. } => WireStepKind::Cross,
+                    },
+                    cost_lb: s.cost_lb,
+                })
+                .collect(),
+            cost_lower_bound: p.cost_lower_bound,
+            degraded: p.degraded,
+            source_values: p
+                .execution
+                .source_values
+                .iter()
+                .map(|&(v, x)| (v.index() as u32, x))
+                .collect(),
+        }),
+        best_bound: o.stats.best_bound,
+        stats: WireStats {
+            total_actions: o.stats.total_actions as u64,
+            plrg_props: o.stats.plrg_props as u64,
+            plrg_actions: o.stats.plrg_actions as u64,
+            slrg_nodes: o.stats.slrg_nodes as u64,
+            rg_nodes: o.stats.rg_nodes as u64,
+            rg_open_left: o.stats.rg_open_left as u64,
+            replay_prunes: o.stats.replay_prunes as u64,
+            candidate_rejects: o.stats.candidate_rejects as u64,
+            total_time_us: o.stats.total_time.as_micros() as u64,
+            search_time_us: o.stats.search_time.as_micros() as u64,
+            budget_exhausted: o.stats.budget_exhausted,
+            deadline_hit: o.stats.deadline_hit,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sekitei_model::LevelScenario;
+    use sekitei_planner::{Planner, PlannerConfig};
+    use sekitei_spec::{decode_outcome, encode_outcome};
+    use sekitei_topology::scenarios;
+
+    #[test]
+    fn real_outcome_survives_the_wire() {
+        let outcome = Planner::default().plan(&scenarios::tiny(LevelScenario::C)).unwrap();
+        let wire = outcome_to_wire(&outcome);
+        let plan = wire.plan.as_ref().unwrap();
+        assert_eq!(plan.steps.len(), 7);
+        assert_eq!(plan.steps.iter().filter(|s| s.kind == WireStepKind::Place).count(), 5);
+        assert_eq!(plan.steps.iter().filter(|s| s.kind == WireStepKind::Cross).count(), 2);
+        assert!(!plan.degraded);
+        assert_eq!(wire.stats.rg_nodes, outcome.stats.rg_nodes as u64);
+        let rt = decode_outcome(&encode_outcome(&wire)).unwrap();
+        assert_eq!(wire, rt);
+    }
+
+    #[test]
+    fn degraded_outcome_carries_flag_and_bound() {
+        let planner = Planner::new(PlannerConfig { degrade: true, ..Default::default() });
+        let outcome = planner.plan(&scenarios::tiny(LevelScenario::A)).unwrap();
+        let wire = outcome_to_wire(&outcome);
+        assert!(wire.plan.as_ref().unwrap().degraded);
+        assert!(wire.stats.budget_exhausted || wire.best_bound.is_none());
+    }
+}

@@ -1,0 +1,39 @@
+//! # sekitei-server
+//!
+//! A long-running planning service over the Sekitei planner: the ROADMAP's
+//! "serves heavy traffic" north star applied to PR 1's batch machinery.
+//!
+//! Std-only TCP serving — no async runtime, no external dependencies:
+//!
+//! - [`protocol`] — length-prefixed frames carrying `spec::wire` payloads
+//!   (`SKT1` problems in, `SKO1` outcomes out) plus small control frames
+//!   (`/stats`, shutdown).
+//! - [`cache`] — two content-addressed tiers keyed by the hash of the
+//!   encoded problem: compiled tasks (skip grounding/leveling) and
+//!   completed outcomes (skip everything).
+//! - [`server`] — a nonblocking acceptor with queue-depth admission
+//!   control feeding scoped worker threads; every request plans under a
+//!   wall-clock deadline with graceful degradation (best-so-far bound plus
+//!   a sim-validated greedy-candidate plan instead of an error).
+//! - [`client`] — blocking request helpers used by `sekitei request` and
+//!   the benches.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod convert;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use cache::{content_hash, BoundedCache};
+pub use client::{request_plan, request_shutdown, request_stats, ClientError, Connection};
+pub use convert::outcome_to_wire;
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    Request, Response, StatsSnapshot, MAX_FRAME,
+};
+pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use stats::ServerStats;

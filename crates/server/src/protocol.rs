@@ -1,0 +1,346 @@
+//! Length-prefixed framing and the request/response envelopes of the
+//! planning service.
+//!
+//! A frame is a big-endian `u32` payload length followed by the payload,
+//! capped at [`MAX_FRAME`] bytes. The first payload byte is an envelope
+//! tag; plan requests carry a `spec::wire`-encoded problem (`SKT1`) and
+//! plan responses carry a `spec::wire`-encoded outcome (`SKO1`), so the
+//! heavy payloads reuse the existing codecs unchanged.
+
+use sekitei_spec::{decode_outcome, encode_outcome, SpecError, WireOutcome};
+use std::io::{self, Read, Write};
+
+/// Hard cap on a single frame: 16 MiB. Large/D problems encode under
+/// 32 KiB, so this is generous headroom while still rejecting a hostile
+/// length prefix before allocating.
+pub const MAX_FRAME: u32 = 1 << 24;
+
+/// Write one length-prefixed frame. Prefix and payload go out in a single
+/// `write_all` — two small writes on a raw socket interact badly with
+/// Nagle + delayed ACK (~40ms stall per direction).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    let mut framed = Vec::with_capacity(4 + payload.len());
+    framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    framed.extend_from_slice(payload);
+    w.write_all(&framed)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. Errors on a truncated prefix, a
+/// truncated payload, or an oversized length.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len4 = [0u8; 4];
+    r.read_exact(&mut len4)?;
+    let len = u32::from_be_bytes(len4);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Plan the `spec::wire`-encoded (`SKT1`) problem carried verbatim —
+    /// the server hashes these bytes as the cache key before decoding.
+    Plan(Vec<u8>),
+    /// Return the serving counters.
+    Stats,
+    /// Stop accepting connections and shut the service down.
+    Shutdown,
+}
+
+const REQ_PLAN: u8 = 0;
+const REQ_STATS: u8 = 1;
+const REQ_SHUTDOWN: u8 = 2;
+
+/// Encode a request payload.
+pub fn encode_request(r: &Request) -> Vec<u8> {
+    match r {
+        Request::Plan(problem) => {
+            let mut b = Vec::with_capacity(1 + problem.len());
+            b.push(REQ_PLAN);
+            b.extend_from_slice(problem);
+            b
+        }
+        Request::Stats => vec![REQ_STATS],
+        Request::Shutdown => vec![REQ_SHUTDOWN],
+    }
+}
+
+/// Decode a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, SpecError> {
+    match payload.split_first() {
+        Some((&REQ_PLAN, rest)) => {
+            if rest.is_empty() {
+                return Err(SpecError::wire("empty plan request"));
+            }
+            Ok(Request::Plan(rest.to_vec()))
+        }
+        Some((&REQ_STATS, [])) => Ok(Request::Stats),
+        Some((&REQ_SHUTDOWN, [])) => Ok(Request::Shutdown),
+        Some((&t, _)) => Err(SpecError::wire(format!("bad request tag {t}"))),
+        None => Err(SpecError::wire("empty request")),
+    }
+}
+
+/// A snapshot of the serving counters (the `/stats` control response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Plan requests answered (any tier, including degraded).
+    pub served: u64,
+    /// Requests answered straight from the outcome cache.
+    pub cache_hits: u64,
+    /// Requests that skipped grounding/leveling via the compiled-task tier
+    /// but still ran the search.
+    pub task_cache_hits: u64,
+    /// Requests that paid the full decode + compile + search path.
+    pub cache_misses: u64,
+    /// Responses served through the graceful-degradation path.
+    pub degraded: u64,
+    /// Connections turned away by admission control (queue full).
+    pub rejected: u64,
+    /// Median plan latency over the recent-request window, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile plan latency over the same window, microseconds.
+    pub p99_us: u64,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "served {} (cache {} / task {} / full {}), degraded {}, rejected {}, \
+             latency p50 {}µs p99 {}µs",
+            self.served,
+            self.cache_hits,
+            self.task_cache_hits,
+            self.cache_misses,
+            self.degraded,
+            self.rejected,
+            self.p50_us,
+            self.p99_us,
+        )
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A planning outcome; `cache_hit` is true when it came from the
+    /// outcome cache without running the planner.
+    Outcome {
+        /// Served from the outcome cache.
+        cache_hit: bool,
+        /// The outcome payload.
+        outcome: WireOutcome,
+    },
+    /// The serving counters.
+    Stats(StatsSnapshot),
+    /// Admission control turned the request away.
+    Rejected(String),
+    /// The request failed (malformed problem, compile error, …).
+    Error(String),
+    /// Shutdown acknowledged; the connection closes after this frame.
+    Bye,
+}
+
+pub(crate) const RESP_OUTCOME: u8 = 0;
+const RESP_STATS: u8 = 1;
+const RESP_REJECTED: u8 = 2;
+const RESP_ERROR: u8 = 3;
+const RESP_BYE: u8 = 4;
+
+fn put_str(b: &mut Vec<u8>, s: &str) {
+    b.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    b.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(b: &[u8]) -> Result<String, SpecError> {
+    if b.len() < 4 {
+        return Err(SpecError::wire("truncated string"));
+    }
+    let len = u32::from_be_bytes([b[0], b[1], b[2], b[3]]) as usize;
+    if b.len() != 4 + len {
+        return Err(SpecError::wire("bad string length"));
+    }
+    String::from_utf8(b[4..].to_vec()).map_err(|_| SpecError::wire("invalid utf-8"))
+}
+
+/// Encode a response payload.
+pub fn encode_response(r: &Response) -> Vec<u8> {
+    match r {
+        Response::Outcome { cache_hit, outcome } => {
+            let body = encode_outcome(outcome);
+            let mut b = Vec::with_capacity(2 + body.len());
+            b.push(RESP_OUTCOME);
+            b.push(*cache_hit as u8);
+            b.extend_from_slice(&body);
+            b
+        }
+        Response::Stats(s) => {
+            let mut b = Vec::with_capacity(1 + 8 * 8);
+            b.push(RESP_STATS);
+            for v in [
+                s.served,
+                s.cache_hits,
+                s.task_cache_hits,
+                s.cache_misses,
+                s.degraded,
+                s.rejected,
+                s.p50_us,
+                s.p99_us,
+            ] {
+                b.extend_from_slice(&v.to_be_bytes());
+            }
+            b
+        }
+        Response::Rejected(msg) => {
+            let mut b = vec![RESP_REJECTED];
+            put_str(&mut b, msg);
+            b
+        }
+        Response::Error(msg) => {
+            let mut b = vec![RESP_ERROR];
+            put_str(&mut b, msg);
+            b
+        }
+        Response::Bye => vec![RESP_BYE],
+    }
+}
+
+/// Decode a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, SpecError> {
+    match payload.split_first() {
+        Some((&RESP_OUTCOME, rest)) => {
+            let (&hit, body) =
+                rest.split_first().ok_or_else(|| SpecError::wire("truncated outcome response"))?;
+            if hit > 1 {
+                return Err(SpecError::wire(format!("bad cache-hit flag {hit}")));
+            }
+            Ok(Response::Outcome { cache_hit: hit == 1, outcome: decode_outcome(body)? })
+        }
+        Some((&RESP_STATS, rest)) => {
+            if rest.len() != 8 * 8 {
+                return Err(SpecError::wire("bad stats length"));
+            }
+            let mut words = [0u64; 8];
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = u64::from_be_bytes(rest[i * 8..i * 8 + 8].try_into().unwrap());
+            }
+            Ok(Response::Stats(StatsSnapshot {
+                served: words[0],
+                cache_hits: words[1],
+                task_cache_hits: words[2],
+                cache_misses: words[3],
+                degraded: words[4],
+                rejected: words[5],
+                p50_us: words[6],
+                p99_us: words[7],
+            }))
+        }
+        Some((&RESP_REJECTED, rest)) => Ok(Response::Rejected(get_str(rest)?)),
+        Some((&RESP_ERROR, rest)) => Ok(Response::Error(get_str(rest)?)),
+        Some((&RESP_BYE, [])) => Ok(Response::Bye),
+        Some((&t, _)) => Err(SpecError::wire(format!("bad response tag {t}"))),
+        None => Err(SpecError::wire("empty response")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sekitei_model::LevelScenario;
+    use sekitei_topology::scenarios;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(read_frame(&mut r).is_err()); // clean EOF surfaces as error
+    }
+
+    #[test]
+    fn frame_rejects_truncated_prefix_and_payload() {
+        // truncated length prefix
+        for cut in 0..4 {
+            let mut r = &b"\x00\x00\x00"[..cut];
+            assert!(read_frame(&mut r).is_err());
+        }
+        // length promises more than arrives
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        for cut in 4..buf.len() {
+            let mut r = &buf[..cut];
+            assert!(read_frame(&mut r).is_err(), "prefix of {cut} bytes read");
+        }
+    }
+
+    #[test]
+    fn frame_rejects_oversized_length() {
+        let big = (MAX_FRAME + 1).to_be_bytes();
+        let mut r = &big[..];
+        assert!(read_frame(&mut r).is_err());
+        let mut w = Vec::new();
+        assert!(write_frame(&mut w, &vec![0u8; MAX_FRAME as usize + 1]).is_err());
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let problem = sekitei_spec::encode(&scenarios::tiny(LevelScenario::B)).to_vec();
+        for r in [Request::Plan(problem), Request::Stats, Request::Shutdown] {
+            assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn request_rejects_malformed() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[9]).is_err());
+        assert!(decode_request(&[REQ_PLAN]).is_err()); // plan with no body
+        assert!(decode_request(&[REQ_STATS, 0]).is_err()); // trailing bytes
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let snapshot = StatsSnapshot {
+            served: 10,
+            cache_hits: 4,
+            task_cache_hits: 3,
+            cache_misses: 3,
+            degraded: 1,
+            rejected: 2,
+            p50_us: 900,
+            p99_us: 45_000,
+        };
+        let outcome = WireOutcome { plan: None, best_bound: Some(2.5), stats: Default::default() };
+        for r in [
+            Response::Outcome { cache_hit: true, outcome },
+            Response::Stats(snapshot),
+            Response::Rejected("queue full".into()),
+            Response::Error("bad magic".into()),
+            Response::Bye,
+        ] {
+            assert_eq!(decode_response(&encode_response(&r)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn response_rejects_malformed() {
+        assert!(decode_response(&[]).is_err());
+        assert!(decode_response(&[99]).is_err());
+        assert!(decode_response(&[RESP_OUTCOME]).is_err());
+        assert!(decode_response(&[RESP_OUTCOME, 2]).is_err()); // bad flag
+        assert!(decode_response(&[RESP_STATS, 0, 0]).is_err());
+        assert!(decode_response(&[RESP_BYE, 0]).is_err());
+    }
+}

@@ -1,0 +1,304 @@
+//! The serving loop: a nonblocking acceptor feeding a bounded connection
+//! queue drained by scoped worker threads (the same scoped-thread pattern
+//! as `Planner::plan_batch` — no detached threads, no channels).
+
+use crate::cache::{content_hash, BoundedCache};
+use crate::convert::outcome_to_wire;
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, Request, Response, RESP_OUTCOME,
+};
+use crate::stats::ServerStats;
+use sekitei_compile::{compile, PlanningTask};
+use sekitei_model::CppProblem;
+use sekitei_planner::{Planner, PlannerConfig};
+use sekitei_spec::encode_outcome;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Serving configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads draining the connection queue (`0` = one per
+    /// available core).
+    pub workers: usize,
+    /// Admission control: connections beyond this many waiting in the
+    /// queue are turned away with a `Rejected` response.
+    pub queue_cap: usize,
+    /// Entries per cache tier (compiled tasks and completed outcomes).
+    pub cache_cap: usize,
+    /// Planner configuration applied to every request. The serve defaults
+    /// turn on a per-request deadline and graceful degradation — the two
+    /// knobs that make an optimal-but-occasionally-explosive planner
+    /// servable.
+    pub planner: PlannerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            queue_cap: 128,
+            cache_cap: 256,
+            planner: PlannerConfig {
+                deadline: Some(Duration::from_millis(2000)),
+                degrade: true,
+                ..PlannerConfig::default()
+            },
+        }
+    }
+}
+
+/// Flips the serving loop's stop flag; cloneable across threads.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Ask the server to stop. Idempotent; the loop notices within a few
+    /// milliseconds.
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound planning service. [`Server::run`] blocks the calling thread
+/// until a shutdown request arrives (protocol `Shutdown` frame or
+/// [`ShutdownHandle::shutdown`]).
+#[derive(Debug)]
+pub struct Server {
+    cfg: ServerConfig,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+}
+
+/// Everything the workers share, borrowed for the lifetime of the scope.
+struct ServeState {
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    planner: Planner,
+    tasks: Mutex<BoundedCache<Arc<(CppProblem, PlanningTask)>>>,
+    outcomes: Mutex<BoundedCache<Arc<Vec<u8>>>>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port, then
+    /// [`Server::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            cfg,
+            listener,
+            stop: Arc::new(AtomicBool::new(false)),
+            stats: Arc::new(ServerStats::default()),
+        })
+    }
+
+    /// The bound socket address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared counters (live; snapshot any time).
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// A handle that stops [`Server::run`] from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.stop))
+    }
+
+    /// Serve until shutdown. Workers run on scoped threads; returning
+    /// means every worker has drained and exited.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let workers = if self.cfg.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.cfg.workers
+        };
+        let state = ServeState {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: Arc::clone(&self.stop),
+            stats: Arc::clone(&self.stats),
+            planner: Planner::new(self.cfg.planner),
+            tasks: Mutex::new(BoundedCache::new(self.cfg.cache_cap)),
+            outcomes: Mutex::new(BoundedCache::new(self.cfg.cache_cap)),
+        };
+        let mut accept_error = None;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| worker_loop(&state));
+            }
+            while !self.stop.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_nodelay(true);
+                        let mut q = state.queue.lock().unwrap();
+                        if q.len() >= self.cfg.queue_cap {
+                            drop(q);
+                            self.stats.record_rejected();
+                            reject(stream);
+                        } else {
+                            q.push_back(stream);
+                            drop(q);
+                            state.available.notify_one();
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) => {
+                        accept_error = Some(e);
+                        self.stop.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+            state.available.notify_all();
+        });
+        match accept_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Best-effort admission-control rejection: one frame, then drop.
+fn reject(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = write_frame(&mut stream, &encode_response(&Response::Rejected("queue full".into())));
+}
+
+fn worker_loop(state: &ServeState) {
+    loop {
+        let conn = {
+            let mut q = state.queue.lock().unwrap();
+            loop {
+                if let Some(c) = q.pop_front() {
+                    break Some(c);
+                }
+                if state.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) =
+                    state.available.wait_timeout(q, Duration::from_millis(50)).unwrap();
+                q = guard;
+            }
+        };
+        match conn {
+            Some(stream) => handle_conn(state, stream),
+            None => break,
+        }
+    }
+}
+
+/// Serve every frame on one connection until EOF, timeout or shutdown.
+fn handle_conn(state: &ServeState, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(_) => return, // EOF, timeout or garbage length — drop
+        };
+        let (payload, done) = match decode_request(&frame) {
+            Err(e) => (encode_response(&Response::Error(e.to_string())), false),
+            Ok(Request::Stats) => {
+                (encode_response(&Response::Stats(state.stats.snapshot())), false)
+            }
+            Ok(Request::Shutdown) => {
+                state.stop.store(true, Ordering::SeqCst);
+                state.available.notify_all();
+                (encode_response(&Response::Bye), true)
+            }
+            Ok(Request::Plan(problem)) => (handle_plan(state, &problem), false),
+        };
+        if write_frame(&mut stream, &payload).is_err() || done {
+            return;
+        }
+    }
+}
+
+/// The serving pipeline for one plan request: outcome tier → compiled
+/// tier → full decode + compile, then search under the configured
+/// deadline, sim-validating any degraded plan before it leaves the
+/// process.
+fn handle_plan(state: &ServeState, problem_bytes: &[u8]) -> Vec<u8> {
+    let t_req = Instant::now();
+    let key = content_hash(problem_bytes);
+
+    if let Some(sko) = state.outcomes.lock().unwrap().get(key) {
+        state.stats.record_cache_hit();
+        state.stats.record_served(t_req.elapsed().as_micros() as u64);
+        return outcome_payload(true, &sko);
+    }
+
+    let entry = state.tasks.lock().unwrap().get(key);
+    let entry = match entry {
+        Some(e) => {
+            state.stats.record_task_cache_hit();
+            e
+        }
+        None => {
+            let problem = match sekitei_spec::decode(problem_bytes) {
+                Ok(p) => p,
+                Err(e) => return encode_response(&Response::Error(e.to_string())),
+            };
+            let task = match compile(&problem) {
+                Ok(t) => t,
+                Err(e) => return encode_response(&Response::Error(e.to_string())),
+            };
+            state.stats.record_cache_miss();
+            let arc = Arc::new((problem, task));
+            state.tasks.lock().unwrap().insert(key, Arc::clone(&arc));
+            arc
+        }
+    };
+
+    // `t_req` anchors both the reported total time and the deadline, so
+    // whatever the cache tiers saved is returned to the search budget
+    let outcome = state.planner.plan_task(entry.1.clone(), t_req);
+    let mut wire = outcome_to_wire(&outcome);
+    if outcome.plan.as_ref().is_some_and(|p| p.degraded) {
+        let plan = outcome.plan.as_ref().expect("checked above");
+        let report = sekitei_sim::validate_plan(&entry.0, &outcome.task, plan);
+        if report.ok {
+            state.stats.record_degraded();
+        } else {
+            // never ship a degraded plan the simulator rejects — fall back
+            // to bound-only, which is still a useful answer
+            wire.plan = None;
+        }
+    }
+    let sko = encode_outcome(&wire).to_vec();
+    if !outcome.stats.budget_exhausted {
+        // completed outcomes are deterministic; tripped ones depend on
+        // wall-clock luck and must never be replayed from cache
+        state.outcomes.lock().unwrap().insert(key, Arc::new(sko.clone()));
+    }
+    state.stats.record_served(t_req.elapsed().as_micros() as u64);
+    outcome_payload(false, &sko)
+}
+
+/// Assemble an `Outcome` response payload around already-encoded `SKO1`
+/// bytes without re-encoding them (the cache stores exactly these bytes).
+fn outcome_payload(cache_hit: bool, sko: &[u8]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(2 + sko.len());
+    b.push(RESP_OUTCOME);
+    b.push(cache_hit as u8);
+    b.extend_from_slice(sko);
+    b
+}

@@ -1,0 +1,134 @@
+//! Serving counters: lock-free tallies plus a bounded latency window for
+//! percentile estimates.
+
+use crate::protocol::StatsSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How many recent plan latencies the percentile window keeps. Old samples
+/// are overwritten ring-style, so p50/p99 always describe recent traffic.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Shared serving counters. All methods take `&self`; the latency ring is
+/// the only lock and is held for a few instructions.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    served: AtomicU64,
+    cache_hits: AtomicU64,
+    task_cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    degraded: AtomicU64,
+    rejected: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+#[derive(Debug, Default)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl ServerStats {
+    /// Count a served plan request and record its latency.
+    pub fn record_served(&self, latency_us: u64) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.latencies.lock().unwrap();
+        if ring.samples.len() < LATENCY_WINDOW {
+            ring.samples.push(latency_us);
+        } else {
+            let i = ring.next;
+            ring.samples[i] = latency_us;
+        }
+        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// Count an outcome-cache hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a compiled-task-tier hit (search still ran).
+    pub fn record_task_cache_hit(&self) {
+        self.task_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a full-path miss.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a degraded response.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count an admission-control rejection.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot every counter plus latency percentiles over the window.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let (p50_us, p99_us) = {
+            let ring = self.latencies.lock().unwrap();
+            let mut sorted = ring.samples.clone();
+            drop(ring);
+            sorted.sort_unstable();
+            if sorted.is_empty() {
+                (0, 0)
+            } else {
+                // nearest-rank: p50 of 1..=100 is 50, p99 is 99
+                let pick = |q: f64| sorted[(sorted.len() as f64 * q).ceil() as usize - 1];
+                (pick(0.50), pick(0.99))
+            }
+        };
+        StatsSnapshot {
+            served: self.served.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            task_cache_hits: self.task_cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            p50_us,
+            p99_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_window() {
+        let s = ServerStats::default();
+        for us in 1..=100 {
+            s.record_served(us);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.served, 100);
+        assert_eq!(snap.p50_us, 50);
+        assert_eq!(snap.p99_us, 99);
+    }
+
+    #[test]
+    fn empty_window_yields_zero_percentiles() {
+        let snap = ServerStats::default().snapshot();
+        assert_eq!((snap.p50_us, snap.p99_us), (0, 0));
+    }
+
+    #[test]
+    fn window_overwrites_oldest() {
+        let s = ServerStats::default();
+        // fill the window with slow samples, then overwrite with fast ones
+        for _ in 0..LATENCY_WINDOW {
+            s.record_served(1_000_000);
+        }
+        for _ in 0..LATENCY_WINDOW {
+            s.record_served(10);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.p99_us, 10, "old samples must age out");
+        assert_eq!(snap.served, 2 * LATENCY_WINDOW as u64);
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end serving tests: real sockets, a real worker pool, and the
+//! actual planner behind them. Every test binds an ephemeral port and
+//! tears the server down before asserting the join result.
+
+use sekitei_model::LevelScenario;
+use sekitei_planner::PlannerConfig;
+use sekitei_server::{
+    request_plan, request_shutdown, request_stats, ClientError, Connection, Server, ServerConfig,
+    ShutdownHandle,
+};
+use sekitei_topology::scenarios;
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn start(cfg: ServerConfig) -> (SocketAddr, ShutdownHandle, JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+fn small_cfg() -> ServerConfig {
+    ServerConfig { workers: 2, ..ServerConfig::default() }
+}
+
+#[test]
+fn tiny_b_roundtrips_to_a_seven_action_plan() {
+    let (addr, _, join) = start(small_cfg());
+    let (outcome, cache_hit) = request_plan(addr, &scenarios::tiny(LevelScenario::B)).unwrap();
+    assert!(!cache_hit);
+    let plan = outcome.plan.expect("Tiny/B is solvable");
+    assert_eq!(plan.steps.len(), 7);
+    assert!(!plan.degraded);
+    assert!(plan.cost_lower_bound > 0.0);
+    assert!(!outcome.stats.budget_exhausted);
+    request_shutdown(addr).unwrap();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn warm_repeat_is_a_cache_hit_with_identical_outcome() {
+    let (addr, _, join) = start(small_cfg());
+    let mut conn = Connection::connect(addr).unwrap();
+    let p = scenarios::tiny(LevelScenario::C);
+    let (cold, hit_cold) = conn.plan(&p).unwrap();
+    let (warm, hit_warm) = conn.plan(&p).unwrap();
+    assert!(!hit_cold);
+    assert!(hit_warm, "identical bytes must hit the outcome tier");
+    assert_eq!(cold, warm, "cached outcome must be byte-identical");
+    let stats = conn.stats().unwrap();
+    assert_eq!(stats.served, 2);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    request_shutdown(addr).unwrap();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn serves_64_concurrent_requests_without_rejections() {
+    let (addr, _, join) = start(ServerConfig::default());
+    let solvable = [LevelScenario::B, LevelScenario::C, LevelScenario::D, LevelScenario::E];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..64)
+            .map(|i| {
+                let sc = solvable[i % solvable.len()];
+                s.spawn(move || {
+                    let p = if i % 2 == 0 { scenarios::tiny(sc) } else { scenarios::small(sc) };
+                    request_plan(addr, &p)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (outcome, _) = h.join().unwrap().expect("no request may fail under cap 128");
+            assert!(outcome.plan.is_some());
+        }
+    });
+    let stats = request_stats(addr).unwrap();
+    assert_eq!(stats.served, 64);
+    assert_eq!(stats.rejected, 0);
+    // 64 requests over 8 distinct problems: at least the repeats must hit
+    assert!(stats.cache_hits + stats.task_cache_hits >= 56, "stats: {stats}");
+    request_shutdown(addr).unwrap();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn deadline_tripped_large_a_degrades_instead_of_erroring() {
+    let cfg = ServerConfig {
+        workers: 1,
+        planner: PlannerConfig {
+            deadline: Some(Duration::from_millis(600)),
+            degrade: true,
+            ..PlannerConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let (addr, _, join) = start(cfg);
+    let (outcome, _) = request_plan(addr, &scenarios::large(LevelScenario::A)).unwrap();
+    assert!(outcome.stats.deadline_hit, "Large/A cannot finish in 600ms");
+    assert!(outcome.stats.budget_exhausted);
+    let plan = outcome.plan.expect("degradation must ship a plan, not an error");
+    assert!(plan.degraded);
+    assert!(!plan.steps.is_empty());
+    assert!(outcome.best_bound.is_some(), "tripped search must report its bound");
+    let stats = request_stats(addr).unwrap();
+    assert_eq!(stats.degraded, 1);
+    request_shutdown(addr).unwrap();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn zero_queue_cap_rejects_every_request() {
+    let (addr, handle, join) = start(ServerConfig { queue_cap: 0, ..small_cfg() });
+    for _ in 0..3 {
+        match request_plan(addr, &scenarios::tiny(LevelScenario::B)) {
+            Err(ClientError::Rejected(_)) => {}
+            other => panic!("expected admission rejection, got {other:?}"),
+        }
+    }
+    // the shutdown connection is rejected too — stop via the handle
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn malformed_problem_bytes_get_an_error_response() {
+    let (addr, _, join) = start(small_cfg());
+    let mut conn = Connection::connect(addr).unwrap();
+    match conn.plan_bytes(b"not a SKT1 payload") {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("wire"), "msg: {msg}"),
+        other => panic!("expected a server-side decode error, got {other:?}"),
+    }
+    // the connection survives a bad request and still serves good ones
+    let (outcome, _) = conn.plan(&scenarios::tiny(LevelScenario::D)).unwrap();
+    assert!(outcome.plan.is_some());
+    request_shutdown(addr).unwrap();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_handle_stops_an_idle_server() {
+    let (_, handle, join) = start(small_cfg());
+    assert!(!handle.is_shutdown());
+    handle.shutdown();
+    assert!(handle.is_shutdown());
+    join.join().unwrap().unwrap();
+}

@@ -34,7 +34,10 @@ impl SpecError {
         SpecError::Parse { line, msg: msg.into() }
     }
 
-    pub(crate) fn wire(msg: impl Into<String>) -> Self {
+    /// Construct a wire-format error. Public because the serving protocol
+    /// layer (frames and envelopes around `SKT1`/`SKO1` payloads) reports
+    /// its own malformed-bytes conditions through the same type.
+    pub fn wire(msg: impl Into<String>) -> Self {
         SpecError::Wire(msg.into())
     }
 }

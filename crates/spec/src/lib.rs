@@ -51,4 +51,7 @@ pub mod wire;
 pub use error::SpecError;
 pub use parser::{parse_expr, parse_problem};
 pub use printer::print_problem;
-pub use wire::{decode, encode};
+pub use wire::{
+    decode, decode_outcome, encode, encode_outcome, WireOutcome, WirePlan, WireStats, WireStep,
+    WireStepKind,
+};

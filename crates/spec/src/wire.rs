@@ -290,6 +290,223 @@ pub fn decode(mut buf: &[u8]) -> Result<CppProblem, SpecError> {
     Ok(problem)
 }
 
+// --------------------------------------------------------------- outcomes
+
+/// Magic header of the outcome wire form (planner → client direction).
+const OUTCOME_MAGIC: &[u8; 4] = b"SKO1";
+
+/// Semantic kind of a plan step, reduced to what crosses the process
+/// boundary. The spec crate sits below the compiler, so it cannot name
+/// `ActionKind` — the serving layer maps kinds down to this trichotomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireStepKind {
+    /// A component placement.
+    Place,
+    /// An interface crossing a link.
+    Cross,
+    /// Anything a future domain adds.
+    Other,
+}
+
+/// One step of a plan in wire form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStep {
+    /// Rendered ground-action name.
+    pub name: String,
+    /// Semantic kind.
+    pub kind: WireStepKind,
+    /// The step's lower-bound cost contribution.
+    pub cost_lb: f64,
+}
+
+/// A plan in wire form: steps, bound, concrete source bindings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WirePlan {
+    /// Steps in execution order.
+    pub steps: Vec<WireStep>,
+    /// Lower bound on the plan cost.
+    pub cost_lower_bound: f64,
+    /// True when this plan came from the graceful-degradation path.
+    pub degraded: bool,
+    /// Concrete value chosen per stream-source variable, identified by its
+    /// ground-variable index (stable across identical compiles of the same
+    /// problem).
+    pub source_values: Vec<(u32, f64)>,
+}
+
+/// Planner run statistics in wire form (Table 2 columns plus budgets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Ground actions after leveling and pruning.
+    pub total_actions: u64,
+    /// PLRG proposition nodes.
+    pub plrg_props: u64,
+    /// PLRG action nodes.
+    pub plrg_actions: u64,
+    /// SLRG set nodes generated.
+    pub slrg_nodes: u64,
+    /// RG nodes created.
+    pub rg_nodes: u64,
+    /// RG nodes still open at exit.
+    pub rg_open_left: u64,
+    /// RG nodes pruned by optimistic-map replay.
+    pub replay_prunes: u64,
+    /// Candidate plans rejected at terminal validation.
+    pub candidate_rejects: u64,
+    /// Total wall time in microseconds (including compilation).
+    pub total_time_us: u64,
+    /// Search-only wall time in microseconds.
+    pub search_time_us: u64,
+    /// True if a search budget was exhausted.
+    pub budget_exhausted: bool,
+    /// True if specifically the wall-clock deadline tripped.
+    pub deadline_hit: bool,
+}
+
+/// A planning outcome in wire form — the response payload of the serving
+/// protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireOutcome {
+    /// The plan, if one was found (possibly degraded).
+    pub plan: Option<WirePlan>,
+    /// Admissible lower bound on the optimal cost when no optimal plan was
+    /// returned.
+    pub best_bound: Option<f64>,
+    /// Run statistics.
+    pub stats: WireStats,
+}
+
+/// Encode an outcome to bytes.
+pub fn encode_outcome(o: &WireOutcome) -> Bytes {
+    let mut b = BytesMut::with_capacity(256);
+    b.put_slice(OUTCOME_MAGIC);
+    match &o.plan {
+        None => b.put_u8(0),
+        Some(p) => {
+            b.put_u8(1);
+            b.put_u32(p.steps.len() as u32);
+            for s in &p.steps {
+                put_str(&mut b, &s.name);
+                b.put_u8(match s.kind {
+                    WireStepKind::Place => 0,
+                    WireStepKind::Cross => 1,
+                    WireStepKind::Other => 2,
+                });
+                b.put_f64(s.cost_lb);
+            }
+            b.put_f64(p.cost_lower_bound);
+            b.put_u8(p.degraded as u8);
+            b.put_u32(p.source_values.len() as u32);
+            for &(v, x) in &p.source_values {
+                b.put_u32(v);
+                b.put_f64(x);
+            }
+        }
+    }
+    match o.best_bound {
+        None => b.put_u8(0),
+        Some(x) => {
+            b.put_u8(1);
+            b.put_f64(x);
+        }
+    }
+    let st = &o.stats;
+    for v in [
+        st.total_actions,
+        st.plrg_props,
+        st.plrg_actions,
+        st.slrg_nodes,
+        st.rg_nodes,
+        st.rg_open_left,
+        st.replay_prunes,
+        st.candidate_rejects,
+        st.total_time_us,
+        st.search_time_us,
+    ] {
+        b.put_u64(v);
+    }
+    b.put_u8(st.budget_exhausted as u8);
+    b.put_u8(st.deadline_hit as u8);
+    b.freeze()
+}
+
+/// Decode an outcome from bytes.
+pub fn decode_outcome(mut buf: &[u8]) -> Result<WireOutcome, SpecError> {
+    let b = &mut buf;
+    let mut magic = [0u8; 4];
+    take(b, &mut magic)?;
+    if &magic != OUTCOME_MAGIC {
+        return Err(SpecError::wire("bad outcome magic"));
+    }
+    let plan = match get_u8(b)? {
+        0 => None,
+        1 => {
+            let n = get_u32(b)? as usize;
+            if n > 1 << 20 {
+                return Err(SpecError::wire("plan too long"));
+            }
+            let mut steps = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let name = get_str(b)?;
+                let kind = match get_u8(b)? {
+                    0 => WireStepKind::Place,
+                    1 => WireStepKind::Cross,
+                    2 => WireStepKind::Other,
+                    x => return Err(SpecError::wire(format!("bad step kind {x}"))),
+                };
+                let cost_lb = get_f64(b)?;
+                steps.push(WireStep { name, kind, cost_lb });
+            }
+            let cost_lower_bound = get_f64(b)?;
+            let degraded = get_u8(b)? != 0;
+            let ns = get_u32(b)? as usize;
+            if ns > 1 << 20 {
+                return Err(SpecError::wire("too many sources"));
+            }
+            let mut source_values = Vec::with_capacity(ns.min(1024));
+            for _ in 0..ns {
+                let v = get_u32(b)?;
+                let x = get_f64(b)?;
+                source_values.push((v, x));
+            }
+            Some(WirePlan { steps, cost_lower_bound, degraded, source_values })
+        }
+        x => return Err(SpecError::wire(format!("bad plan tag {x}"))),
+    };
+    let best_bound = match get_u8(b)? {
+        0 => None,
+        1 => Some(get_f64(b)?),
+        x => return Err(SpecError::wire(format!("bad bound tag {x}"))),
+    };
+    let mut words = [0u64; 10];
+    for w in &mut words {
+        *w = get_u64(b)?;
+    }
+    let budget_exhausted = get_u8(b)? != 0;
+    let deadline_hit = get_u8(b)? != 0;
+    if !b.is_empty() {
+        return Err(SpecError::wire("trailing bytes after outcome"));
+    }
+    Ok(WireOutcome {
+        plan,
+        best_bound,
+        stats: WireStats {
+            total_actions: words[0],
+            plrg_props: words[1],
+            plrg_actions: words[2],
+            slrg_nodes: words[3],
+            rg_nodes: words[4],
+            rg_open_left: words[5],
+            replay_prunes: words[6],
+            candidate_rejects: words[7],
+            total_time_us: words[8],
+            search_time_us: words[9],
+            budget_exhausted,
+            deadline_hit,
+        },
+    })
+}
+
 // ------------------------------------------------------------- primitives
 
 fn put_str(b: &mut BytesMut, s: &str) {
@@ -400,6 +617,13 @@ fn get_u32(b: &mut &[u8]) -> Result<u32, SpecError> {
         return Err(SpecError::wire("unexpected end of input"));
     }
     Ok(b.get_u32())
+}
+
+fn get_u64(b: &mut &[u8]) -> Result<u64, SpecError> {
+    if b.remaining() < 8 {
+        return Err(SpecError::wire("unexpected end of input"));
+    }
+    Ok(b.get_u64())
 }
 
 fn get_f64(b: &mut &[u8]) -> Result<f64, SpecError> {
@@ -545,6 +769,76 @@ mod tests {
         for cut in 0..bytes.len() {
             assert!(decode(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
         }
+    }
+
+    fn sample_outcome(with_plan: bool) -> WireOutcome {
+        WireOutcome {
+            plan: with_plan.then(|| WirePlan {
+                steps: vec![
+                    WireStep {
+                        name: "place(Splitter,n0)[M=1]".into(),
+                        kind: WireStepKind::Place,
+                        cost_lb: 1.0,
+                    },
+                    WireStep {
+                        name: "cross(Z,n0→n1)".into(),
+                        kind: WireStepKind::Cross,
+                        cost_lb: 0.35,
+                    },
+                ],
+                cost_lower_bound: 1.35,
+                degraded: true,
+                source_values: vec![(7, 92.5)],
+            }),
+            best_bound: Some(1.25),
+            stats: WireStats {
+                total_actions: 96,
+                plrg_props: 40,
+                plrg_actions: 96,
+                slrg_nodes: 200,
+                rg_nodes: 5000,
+                rg_open_left: 120,
+                replay_prunes: 300,
+                candidate_rejects: 2,
+                total_time_us: 1234,
+                search_time_us: 1000,
+                budget_exhausted: true,
+                deadline_hit: true,
+            },
+        }
+    }
+
+    #[test]
+    fn outcome_roundtrip_identity() {
+        for with_plan in [true, false] {
+            let o = sample_outcome(with_plan);
+            let bytes = encode_outcome(&o);
+            let q = decode_outcome(&bytes).unwrap();
+            assert_eq!(o, q);
+            // encode→decode→encode is the identity on bytes
+            assert_eq!(bytes, encode_outcome(&q));
+        }
+    }
+
+    #[test]
+    fn outcome_rejects_bad_magic() {
+        assert!(matches!(decode_outcome(b"SKT1\x00\x00"), Err(SpecError::Wire(_))));
+        assert!(matches!(decode_outcome(b""), Err(SpecError::Wire(_))));
+    }
+
+    #[test]
+    fn outcome_rejects_truncation_everywhere() {
+        let bytes = encode_outcome(&sample_outcome(true));
+        for cut in 0..bytes.len() {
+            assert!(decode_outcome(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn outcome_rejects_trailing_bytes() {
+        let mut bytes = encode_outcome(&sample_outcome(true)).to_vec();
+        bytes.push(0);
+        assert!(decode_outcome(&bytes).is_err());
     }
 
     #[test]

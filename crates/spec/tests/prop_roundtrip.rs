@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use sekitei_model::{Expr, Interval, LevelScenario, MediaConfig, SExpr, SpecVar};
-use sekitei_spec::{decode, encode, parse_expr, parse_problem, print_problem};
+use sekitei_spec::{
+    decode, decode_outcome, encode, encode_outcome, parse_expr, parse_problem, print_problem,
+    WireOutcome, WirePlan, WireStats, WireStep, WireStepKind,
+};
 use sekitei_topology::scenarios;
 
 /// Random spec-level expressions over a small vocabulary.
@@ -98,6 +101,103 @@ proptest! {
         prop_assert_eq!(&p.sources, &q.sources);
         let r = decode(&encode(&p)).unwrap();
         prop_assert_eq!(&p.sources, &r.sources);
+    }
+}
+
+/// Deterministic pseudo-random outcome generator (SplitMix64 over a seed
+/// word) — enough variety to exercise every branch of the outcome codec.
+struct OutcomeRng(u64);
+
+impl OutcomeRng {
+    fn word(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn f(&mut self, hi: f64) -> f64 {
+        (self.word() % 1_000_000) as f64 * hi / 1e6
+    }
+}
+
+fn outcome_from_seed(seed: u64, with_plan: bool, nsteps: usize) -> WireOutcome {
+    let mut r = OutcomeRng(seed);
+    let kinds = [WireStepKind::Place, WireStepKind::Cross, WireStepKind::Other];
+    let plan = with_plan.then(|| WirePlan {
+        steps: (0..nsteps)
+            .map(|i| WireStep {
+                name: format!("step-{i}-{}", r.word() % 997),
+                kind: kinds[(r.word() % 3) as usize],
+                cost_lb: r.f(10.0),
+            })
+            .collect(),
+        cost_lower_bound: r.f(100.0),
+        degraded: r.word() % 2 == 0,
+        source_values: (0..r.word() % 4).map(|_| ((r.word() % 4096) as u32, r.f(200.0))).collect(),
+    });
+    let best_bound = (r.word() % 2 == 0).then(|| r.f(50.0));
+    WireOutcome {
+        plan,
+        best_bound,
+        stats: WireStats {
+            total_actions: r.word() % 100_000,
+            plrg_props: r.word() % 100_000,
+            plrg_actions: r.word() % 100_000,
+            slrg_nodes: r.word() % 100_000,
+            rg_nodes: r.word() % 100_000,
+            rg_open_left: r.word() % 100_000,
+            replay_prunes: r.word() % 100_000,
+            candidate_rejects: r.word() % 100_000,
+            total_time_us: r.word() % 10_000_000,
+            search_time_us: r.word() % 10_000_000,
+            budget_exhausted: r.word() % 2 == 0,
+            deadline_hit: r.word() % 2 == 0,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode→decode→encode is the identity on outcome bytes.
+    #[test]
+    fn outcome_wire_roundtrip_identity(seed in any::<u64>(),
+                                       with_plan in proptest::bool::ANY,
+                                       nsteps in 0usize..24) {
+        let o = outcome_from_seed(seed, with_plan, nsteps);
+        let bytes = encode_outcome(&o);
+        let q = decode_outcome(&bytes).unwrap();
+        prop_assert_eq!(&o, &q);
+        prop_assert_eq!(&bytes, &encode_outcome(&q));
+    }
+
+    /// encode→decode→encode is the identity on problem bytes.
+    #[test]
+    fn problem_wire_roundtrip_identity(demand in 50.0..120.0f64) {
+        let cfg = MediaConfig {
+            client_demand: (demand * 10.0).round() / 10.0,
+            ..MediaConfig::default()
+        };
+        for sc in LevelScenario::ALL {
+            let p = scenarios::tiny_with(cfg, sc);
+            let bytes = encode(&p);
+            let q = decode(&bytes).unwrap();
+            prop_assert_eq!(&bytes, &encode(&q), "{sc:?}");
+        }
+    }
+
+    /// The outcome decoder must never panic on corrupted bytes.
+    #[test]
+    fn outcome_never_panics_on_mutation(seed in any::<u64>(),
+                                        idx in 0usize..512,
+                                        flip in any::<u8>()) {
+        let o = outcome_from_seed(seed, true, 8);
+        let mut bytes = encode_outcome(&o).to_vec();
+        let i = idx % bytes.len();
+        bytes[i] ^= flip | 1;
+        let _ = decode_outcome(&bytes);
     }
 }
 
