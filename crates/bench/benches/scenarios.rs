@@ -33,7 +33,7 @@ fn bench_scenario_a(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2_scenario_a_no_plan");
     g.sample_size(10);
     let planner = Planner::new(PlannerConfig {
-        max_rg_nodes: 50_000,
+        max_nodes: 50_000,
         max_candidate_rejects: 500,
         ..PlannerConfig::default()
     });
@@ -78,7 +78,7 @@ fn bench_random_throughput(c: &mut Criterion) {
             })
             .collect();
         let planner = Planner::new(PlannerConfig {
-            max_rg_nodes: 100_000,
+            max_nodes: 100_000,
             max_candidate_rejects: 1_000,
             ..PlannerConfig::default()
         });

@@ -21,10 +21,19 @@
 //!   full decode + compile + search pipeline plus framing,
 //! * `serve-warm` — the identical repeat request: an outcome-cache hit,
 //!   so just hashing plus framing.
+//!
+//! A sixth pair compares the two repair routes of the churn engine after
+//! a bottleneck-link degradation (Tiny and Small, solvable scenarios):
+//!
+//! * `adapt-repair`   — replan the *adapted* problem (keep/migrate cost
+//!   structure around the existing placements),
+//! * `scratch-repair` — replan the mutated problem from scratch.
 
 use sekitei_compile::compile;
-use sekitei_model::LevelScenario;
-use sekitei_planner::{rg, Plrg, RgConfig, Slrg};
+use sekitei_model::resource::names::LBW;
+use sekitei_model::{adapt_problem, AdaptConfig, LevelScenario, LinkClass};
+use sekitei_planner::{rg, Planner, Plrg, RgConfig, Slrg};
+use sekitei_sim::existing_from_plan;
 use sekitei_topology::scenarios::{self, NetSize};
 use std::time::Instant;
 
@@ -102,6 +111,45 @@ fn serve_once(size: NetSize, sc: LevelScenario) -> [PhaseRow; 2] {
     [PhaseRow { wall_ms: cold_ms, nodes }, PhaseRow { wall_ms: warm_ms, nodes }]
 }
 
+/// One repair-route comparison: plan, squeeze the tightest WAN link to
+/// 86% of baseline (enough to invalidate deployments that reserve most of
+/// it, mild enough to stay repairable at fine level granularity), then
+/// time adaptation-based repair vs scratch replanning of the mutated
+/// problem. `None` when the scenario has no initial plan (A — nothing to
+/// repair) or the squeezed instance is unsolvable (coarse levels force
+/// the full conservative reservation, e.g. Tiny/B).
+fn repair_once(size: NetSize, sc: LevelScenario) -> Option<[PhaseRow; 2]> {
+    let p = scenarios::problem(size, sc);
+    // repair-grade planner: graceful degradation on, like the churn engine
+    let planner =
+        Planner::new(sekitei_planner::PlannerConfig { degrade: true, ..Default::default() });
+    let initial = planner.plan(&p).ok()?.plan?;
+
+    let mut q = p.clone();
+    let wan = q.network.link_ids().filter(|&l| q.network.link(l).class == LinkClass::Wan).min_by(
+        |&a, &b| q.network.link_capacity(a, LBW).total_cmp(&q.network.link_capacity(b, LBW)),
+    )?;
+    q.network.set_link_capacity(wan, LBW, q.network.link_capacity(wan, LBW) * 0.86);
+
+    let existing = existing_from_plan(&p, &initial);
+    let adapted = adapt_problem(&q, &existing, &AdaptConfig::default());
+
+    let t = Instant::now();
+    let a = planner.plan(&adapted).expect("adapted problem compiles");
+    let adapt_ms = t.elapsed().as_secs_f64() * 1e3;
+    a.plan.as_ref()?;
+
+    let t = Instant::now();
+    let s = planner.plan(&q).expect("mutated problem compiles");
+    let scratch_ms = t.elapsed().as_secs_f64() * 1e3;
+    s.plan.as_ref()?;
+
+    Some([
+        PhaseRow { wall_ms: adapt_ms, nodes: a.stats.rg_nodes },
+        PhaseRow { wall_ms: scratch_ms, nodes: s.stats.rg_nodes },
+    ])
+}
+
 fn main() {
     const PHASES: [&str; 4] = ["compile", "plrg", "slrg", "rg"];
     let mut records: Vec<(String, &'static str, PhaseRow)> = Vec::new();
@@ -156,6 +204,33 @@ fn main() {
             let label = format!("{}/{}", size.label(), sc.label());
             for (phase, row) in SERVE_PHASES.iter().zip(best.unwrap()) {
                 println!("{:<10}{:<11}{:>10.3}{:>10}", label, phase, row.wall_ms, row.nodes);
+                records.push((label.clone(), phase, row));
+            }
+        }
+    }
+
+    const REPAIR_PHASES: [&str; 2] = ["adapt-repair", "scratch-repair"];
+    for size in [NetSize::Tiny, NetSize::Small] {
+        for sc in LevelScenario::ALL {
+            let mut best: Option<[PhaseRow; 2]> = None;
+            for _ in 0..REPS {
+                let Some(rows) = repair_once(size, sc) else { break };
+                best = Some(match best {
+                    None => rows,
+                    Some(mut b) => {
+                        for (bi, ri) in b.iter_mut().zip(rows) {
+                            if ri.wall_ms < bi.wall_ms {
+                                *bi = ri;
+                            }
+                        }
+                        b
+                    }
+                });
+            }
+            let Some(best) = best else { continue };
+            let label = format!("{}/{}", size.label(), sc.label());
+            for (phase, row) in REPAIR_PHASES.iter().zip(best) {
+                println!("{:<10}{:<15}{:>6.3}{:>10}", label, phase, row.wall_ms, row.nodes);
                 records.push((label.clone(), phase, row));
             }
         }

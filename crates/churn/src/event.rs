@@ -1,0 +1,292 @@
+//! Timestamped network mutations and their textual trace format.
+//!
+//! A churn trace is a sequence of events applied to a mutable
+//! [`Network`]. Traces are plain text — one event per line, `#` comments,
+//! node names instead of ids — so a run is replayable from a file and a
+//! regression case is hand-writable in a test string:
+//!
+//! ```text
+//! # tiny scenario, one degradation cycle
+//! @10 link n0 n1 lbw 60.2
+//! @20 node n1 cpu 26.4
+//! @30 crash n2
+//! @40 rejoin n2
+//! @50 link n0 n1 lbw 70
+//! ```
+//!
+//! Crash/rejoin act on whole nodes: a crash zeroes every resource of the
+//! node *and of its incident links* (an unreachable node cannot serve
+//! traffic either), a rejoin restores both from the pristine baseline
+//! network — which also discards any degradation those links carried
+//! before the crash, matching the "replaced hardware" reading of a
+//! rejoin.
+
+use sekitei_model::{LinkId, Network, NodeId};
+
+/// A single network mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    /// Set a link resource capacity (degradation when below baseline,
+    /// recovery when back at it).
+    SetLink {
+        /// The link.
+        link: LinkId,
+        /// Resource name (e.g. `lbw`).
+        res: String,
+        /// New capacity.
+        value: f64,
+    },
+    /// Set a node resource capacity (CPU drift and the like).
+    SetNode {
+        /// The node.
+        node: NodeId,
+        /// Resource name (e.g. `cpu`).
+        res: String,
+        /// New capacity.
+        value: f64,
+    },
+    /// Zero all resources of a node and its incident links.
+    Crash {
+        /// The node.
+        node: NodeId,
+    },
+    /// Restore a crashed node (and its incident links) to baseline.
+    Rejoin {
+        /// The node.
+        node: NodeId,
+    },
+}
+
+/// A mutation scheduled at a simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnEvent {
+    /// Simulated time (arbitrary units, monotonically non-decreasing
+    /// within a trace).
+    pub t: u64,
+    /// The mutation.
+    pub mutation: Mutation,
+}
+
+/// Apply a mutation to `net`. `baseline` is the pristine network the
+/// trace started from; [`Mutation::Rejoin`] restores from it.
+pub fn apply(m: &Mutation, net: &mut Network, baseline: &Network) {
+    match m {
+        Mutation::SetLink { link, res, value } => {
+            net.set_link_capacity(*link, res.clone(), *value);
+        }
+        Mutation::SetNode { node, res, value } => {
+            net.set_node_capacity(*node, res.clone(), *value);
+        }
+        Mutation::Crash { node } => {
+            let res: Vec<String> = net.node(*node).resources.keys().cloned().collect();
+            for r in res {
+                net.set_node_capacity(*node, r, 0.0);
+            }
+            for l in net.incident(*node).to_vec() {
+                let res: Vec<String> = net.link(l).resources.keys().cloned().collect();
+                for r in res {
+                    net.set_link_capacity(l, r, 0.0);
+                }
+            }
+        }
+        Mutation::Rejoin { node } => {
+            for (r, v) in baseline.node(*node).resources.clone() {
+                net.set_node_capacity(*node, r, v);
+            }
+            for l in net.incident(*node).to_vec() {
+                for (r, v) in baseline.link(l).resources.clone() {
+                    net.set_link_capacity(l, r, v);
+                }
+            }
+        }
+    }
+}
+
+/// Render one event as a trace line (no trailing newline).
+pub fn render_event(ev: &ChurnEvent, net: &Network) -> String {
+    let name = |n: NodeId| net.node(n).name.as_str();
+    match &ev.mutation {
+        Mutation::SetLink { link, res, value } => {
+            let l = net.link(*link);
+            format!("@{} link {} {} {res} {value}", ev.t, name(l.a), name(l.b))
+        }
+        Mutation::SetNode { node, res, value } => {
+            format!("@{} node {} {res} {value}", ev.t, name(*node))
+        }
+        Mutation::Crash { node } => format!("@{} crash {}", ev.t, name(*node)),
+        Mutation::Rejoin { node } => format!("@{} rejoin {}", ev.t, name(*node)),
+    }
+}
+
+/// Render a whole trace (inverse of [`parse_trace`]).
+pub fn render_trace(events: &[ChurnEvent], net: &Network) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&render_event(ev, net));
+        out.push('\n');
+    }
+    out
+}
+
+/// A trace parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parse a textual trace against a network (node names are resolved, link
+/// events must reference an existing link). Blank lines and `#` comments
+/// are skipped.
+pub fn parse_trace(src: &str, net: &Network) -> Result<Vec<ChurnEvent>, TraceError> {
+    let mut out = Vec::new();
+    let mut prev_t = 0u64;
+    for (i, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: String| TraceError { line: i + 1, msg };
+        let mut tok = line.split_whitespace();
+        let t: u64 = tok
+            .next()
+            .and_then(|w| w.strip_prefix('@'))
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(|| err("expected `@<time>`".into()))?;
+        if t < prev_t {
+            return Err(err(format!("time {t} goes backwards (previous {prev_t})")));
+        }
+        prev_t = t;
+        let node = |tok: &mut std::str::SplitWhitespace| -> Result<NodeId, TraceError> {
+            let w = tok
+                .next()
+                .ok_or_else(|| TraceError { line: i + 1, msg: "expected node name".into() })?;
+            net.node_by_name(w)
+                .ok_or_else(|| TraceError { line: i + 1, msg: format!("unknown node `{w}`") })
+        };
+        let mutation = match tok.next() {
+            Some("link") => {
+                let a = node(&mut tok)?;
+                let b = node(&mut tok)?;
+                let link = net
+                    .link_between(a, b)
+                    .ok_or_else(|| err("no link between those nodes".into()))?;
+                let res =
+                    tok.next().ok_or_else(|| err("expected resource name".into()))?.to_string();
+                let value = tok
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err("expected numeric capacity".into()))?;
+                Mutation::SetLink { link, res, value }
+            }
+            Some("node") => {
+                let n = node(&mut tok)?;
+                let res =
+                    tok.next().ok_or_else(|| err("expected resource name".into()))?.to_string();
+                let value = tok
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err("expected numeric capacity".into()))?;
+                Mutation::SetNode { node: n, res, value }
+            }
+            Some("crash") => Mutation::Crash { node: node(&mut tok)? },
+            Some("rejoin") => Mutation::Rejoin { node: node(&mut tok)? },
+            other => return Err(err(format!("unknown event kind {other:?}"))),
+        };
+        if let Some(extra) = tok.next() {
+            return Err(err(format!("trailing token `{extra}`")));
+        }
+        out.push(ChurnEvent { t, mutation });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sekitei_model::resource::names::{CPU, LBW};
+    use sekitei_model::LinkClass;
+
+    fn net() -> Network {
+        let mut net = Network::new();
+        let a = net.add_node("n0", [(CPU, 30.0)]);
+        let b = net.add_node("n1", [(CPU, 30.0)]);
+        let c = net.add_node("n2", [(CPU, 20.0)]);
+        net.add_link(a, b, LinkClass::Wan, [(LBW, 70.0)]);
+        net.add_link(b, c, LinkClass::Lan, [(LBW, 150.0)]);
+        net
+    }
+
+    #[test]
+    fn trace_round_trip() {
+        let net = net();
+        let src = "\
+# a comment
+@10 link n0 n1 lbw 60.2
+
+@20 node n1 cpu 26.4
+@30 crash n2
+@40 rejoin n2
+@50 link n0 n1 lbw 70
+";
+        let events = parse_trace(src, &net).unwrap();
+        assert_eq!(events.len(), 5);
+        assert_eq!(
+            events[0].mutation,
+            Mutation::SetLink { link: LinkId(0), res: LBW.into(), value: 60.2 }
+        );
+        assert_eq!(events[2], ChurnEvent { t: 30, mutation: Mutation::Crash { node: NodeId(2) } });
+        // render → parse is the identity
+        let rendered = render_trace(&events, &net);
+        assert_eq!(parse_trace(&rendered, &net).unwrap(), events);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let net = net();
+        for (src, line, needle) in [
+            ("link n0 n1 lbw 60", 1, "@<time>"),
+            ("@5 link n0 n2 lbw 60", 1, "no link"),
+            ("@5 crash ghost", 1, "unknown node"),
+            ("@9 crash n2\n@5 crash n2", 2, "backwards"),
+            ("@5 teleport n2", 1, "unknown event"),
+            ("@5 node n0 cpu ten", 1, "numeric"),
+            ("@5 crash n2 n1", 1, "trailing"),
+        ] {
+            let e = parse_trace(src, &net).unwrap_err();
+            assert_eq!(e.line, line, "{src}");
+            assert!(e.to_string().contains(needle), "{src} → {e}");
+        }
+    }
+
+    #[test]
+    fn crash_zeroes_node_and_incident_links_rejoin_restores() {
+        let baseline = net();
+        let mut n = baseline.clone();
+        apply(
+            &Mutation::SetLink { link: LinkId(0), res: LBW.into(), value: 55.0 },
+            &mut n,
+            &baseline,
+        );
+        apply(&Mutation::Crash { node: NodeId(1) }, &mut n, &baseline);
+        assert_eq!(n.node_capacity(NodeId(1), CPU), 0.0);
+        assert_eq!(n.link_capacity(LinkId(0), LBW), 0.0);
+        assert_eq!(n.link_capacity(LinkId(1), LBW), 0.0);
+        assert_eq!(n.node_capacity(NodeId(0), CPU), 30.0, "other nodes untouched");
+        apply(&Mutation::Rejoin { node: NodeId(1) }, &mut n, &baseline);
+        // rejoin restores the *baseline*, erasing the pre-crash degradation
+        assert_eq!(n.link_capacity(LinkId(0), LBW), 70.0);
+        assert_eq!(n.link_capacity(LinkId(1), LBW), 150.0);
+        assert_eq!(n.node_capacity(NodeId(1), CPU), 30.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end closed-loop maintenance tests: generated and hand-written
+//! traces against the canonical scenarios.
+
+use sekitei_churn::{engine, generate, parse_trace, ChurnConfig, Outcome, RepairRoute};
+use sekitei_model::LevelScenario;
+use sekitei_topology::scenarios::{self, NetSize};
+
+fn render_run(report: &engine::ChurnReport, problem: &sekitei_model::CppProblem) -> String {
+    let mut out = String::new();
+    for r in &report.records {
+        out.push_str(&r.render(problem));
+        out.push('\n');
+    }
+    out.push_str(&report.summary.render());
+    out
+}
+
+#[test]
+fn tiny_generated_churn_stays_available() {
+    let p = scenarios::tiny(LevelScenario::C);
+    let prof = scenarios::churn_profile(NetSize::Tiny, &p);
+    let events = generate(&p.network, &prof, 7, 30);
+    let report = engine::run(&p, &events, &ChurnConfig::default()).unwrap();
+    assert!(
+        report.summary.repairs() >= 1,
+        "tiny churn must force at least one repair:\n{}",
+        render_run(&report, &p)
+    );
+    assert_eq!(
+        report.summary.failed_repairs,
+        0,
+        "tiny profile is calibrated to stay repairable:\n{}",
+        render_run(&report, &p)
+    );
+    assert!(
+        (report.summary.availability() - 1.0).abs() < 1e-12,
+        "availability {} != 100%:\n{}",
+        report.summary.availability(),
+        render_run(&report, &p)
+    );
+}
+
+#[test]
+fn small_generated_churn_is_deterministic() {
+    let p = scenarios::small(LevelScenario::C);
+    let prof = scenarios::churn_profile(NetSize::Small, &p);
+    let cfg = ChurnConfig::default();
+    let run = || {
+        let events = generate(&p.network, &prof, 7, 50);
+        let report = engine::run(&p, &events, &cfg).unwrap();
+        render_run(&report, &p)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "event log + summary must be reproducible");
+    assert!(a.contains("availability"), "{a}");
+}
+
+#[test]
+fn hand_written_degradation_triggers_adapt_repair() {
+    // Tiny/C: the optimal deployment reserves 65 of the 70-unit WAN link.
+    // Squeezing the link to 60 invalidates it; at 60 the compressed path
+    // still fits, so adaptation must repair without an outage.
+    let p = scenarios::tiny(LevelScenario::C);
+    let trace = "\
+@10 link n0 n1 lbw 60
+@20 link n0 n1 lbw 70
+";
+    let events = parse_trace(trace, &p.network).unwrap();
+    let report = engine::run(&p, &events, &ChurnConfig::default()).unwrap();
+    assert_eq!(report.summary.faults, 1);
+    let repair = match &report.records[0].outcome {
+        Outcome::Repaired(r) => r,
+        other => panic!("expected a repair, got {other:?}"),
+    };
+    assert_eq!(repair.route, RepairRoute::Adapt);
+    assert!(!report.records[0].broken.is_empty(), "breakage must be classified");
+    assert!((report.summary.availability() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn partitioning_crash_downs_deployment_until_rejoin() {
+    // Small is a line: crashing path node n2 partitions server (n0) from
+    // client (n4) — no repair can exist until the rejoin at t=30.
+    let p = scenarios::small(LevelScenario::C);
+    let trace = "\
+@10 crash n2
+@30 rejoin n2
+@40 node x cpu 30
+";
+    let events = parse_trace(trace, &p.network).unwrap();
+    let report = engine::run(&p, &events, &ChurnConfig::default()).unwrap();
+    assert_eq!(report.summary.failed_repairs, 1);
+    assert!(matches!(report.records[0].outcome, Outcome::Down { .. }));
+    // the rejoin restores the old deployment without replanning
+    assert!(matches!(report.records[1].outcome, Outcome::Healthy), "{:?}", report.records[1]);
+    assert!(matches!(report.records[2].outcome, Outcome::Healthy));
+    // down exactly for [10, 30): availability = (41 - 20) / 41
+    assert_eq!(report.summary.up_time, 21);
+    assert_eq!(report.summary.total_time, 41);
+}
+
+#[test]
+fn empty_trace_is_all_uptime() {
+    let p = scenarios::tiny(LevelScenario::B);
+    let report = engine::run(&p, &[], &ChurnConfig::default()).unwrap();
+    assert_eq!(report.summary.events, 0);
+    assert_eq!(report.summary.total_time, 1);
+    assert!((report.summary.availability() - 1.0).abs() < 1e-12);
+    assert!(report.summary.render_timing().contains("no repair attempts"));
+}
+
+#[test]
+fn unsolvable_initial_problem_is_an_error() {
+    // Scenario A (unleveled) is the paper's canonical greedy failure.
+    // With graceful degradation (the churn default) a relaxed-bound plan
+    // exists, so maintenance can start; without it, the run must refuse.
+    let p = scenarios::tiny(LevelScenario::A);
+    let mut cfg = ChurnConfig::default();
+    cfg.planner.degrade = false;
+    let err = engine::run(&p, &[], &cfg).unwrap_err();
+    assert!(err.to_string().contains("unsolvable"), "{err}");
+
+    let degraded = engine::run(&p, &[], &ChurnConfig::default()).unwrap();
+    assert!((degraded.summary.availability() - 1.0).abs() < 1e-12);
+}

@@ -20,6 +20,10 @@ const USAGE: &str = "usage:
   sekitei tradeoff <link-cost-weight>
   sekitei adapt <spec-file> --existing <Comp@node> [--existing ...]
                [--keep-cost X] [--migration-factor Y] [--validate]
+  sekitei churn [--scenario <tiny|small|large>] [--level <A|B|C|D|E>]
+               [--seed N] [--events N] [--trace FILE] [--emit-trace]
+               [--max-nodes N] [--deadline-ms N] [--no-degrade]
+               [--keep-cost X] [--migration-factor Y] [--quiet]
   sekitei doctor <spec-file>
   sekitei suggest <spec-file> [--headroom H] [--apply]
   sekitei dot <spec-file> [--plan]
@@ -38,6 +42,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("scenario") => cmd_scenario(&args[1..]),
         Some("tradeoff") => cmd_tradeoff(&args[1..]),
         Some("adapt") => cmd_adapt(&args[1..]),
+        Some("churn") => cmd_churn(&args[1..]),
         Some("doctor") => cmd_doctor(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("suggest") => cmd_suggest(&args[1..]),
@@ -70,7 +75,7 @@ fn parse_config(flags: &[String]) -> Result<(PlannerConfig, bool, bool), String>
             "--max-nodes" => {
                 i += 1;
                 let v = flags.get(i).ok_or("--max-nodes needs a value")?;
-                cfg.max_rg_nodes = v.parse().map_err(|_| format!("bad --max-nodes value `{v}`"))?;
+                cfg.max_nodes = v.parse().map_err(|_| format!("bad --max-nodes value `{v}`"))?;
             }
             "--deadline-ms" => {
                 i += 1;
@@ -516,6 +521,113 @@ fn cmd_adapt(args: &[String]) -> Result<(), String> {
     report_outcome(&adapted, &outcome, validate, false)
 }
 
+fn cmd_churn(args: &[String]) -> Result<(), String> {
+    use sekitei_churn::{engine, generate, parse_trace, render_trace, ChurnConfig};
+
+    let mut size = NetSize::Tiny;
+    let mut level = LevelScenario::C;
+    let mut seed = 0u64;
+    let mut events = 50usize;
+    let mut trace_file: Option<String> = None;
+    let mut emit_trace = false;
+    let mut quiet = false;
+    let mut cfg = ChurnConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |v: Option<&String>, flag: &str| {
+            v.cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match args[i].as_str() {
+            "--scenario" => {
+                i += 1;
+                size = match need(args.get(i), "--scenario")?.as_str() {
+                    "tiny" => NetSize::Tiny,
+                    "small" => NetSize::Small,
+                    "large" => NetSize::Large,
+                    other => return Err(format!("unknown network size `{other}`")),
+                };
+            }
+            "--level" => {
+                i += 1;
+                level = parse_scenario(&need(args.get(i), "--level")?)?;
+            }
+            "--seed" => {
+                i += 1;
+                let v = need(args.get(i), "--seed")?;
+                seed = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
+            }
+            "--events" => {
+                i += 1;
+                let v = need(args.get(i), "--events")?;
+                events = v.parse().map_err(|_| format!("bad --events value `{v}`"))?;
+            }
+            "--trace" => {
+                i += 1;
+                trace_file = Some(need(args.get(i), "--trace")?);
+            }
+            "--emit-trace" => emit_trace = true,
+            "--max-nodes" => {
+                i += 1;
+                let v = need(args.get(i), "--max-nodes")?;
+                cfg.planner.max_nodes =
+                    v.parse().map_err(|_| format!("bad --max-nodes value `{v}`"))?;
+            }
+            "--deadline-ms" => {
+                // wall-clock budget per repair; forfeits run-to-run
+                // reproducibility (the deterministic default bounds search
+                // with --max-nodes instead)
+                i += 1;
+                let v = need(args.get(i), "--deadline-ms")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --deadline-ms value `{v}`"))?;
+                cfg.planner.deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--no-degrade" => cfg.planner.degrade = false,
+            "--keep-cost" => {
+                i += 1;
+                let v = need(args.get(i), "--keep-cost")?;
+                cfg.adapt.keep_cost = v.parse().map_err(|_| "bad --keep-cost value")?;
+            }
+            "--migration-factor" => {
+                i += 1;
+                let v = need(args.get(i), "--migration-factor")?;
+                cfg.adapt.migration_factor =
+                    v.parse().map_err(|_| "bad --migration-factor value")?;
+            }
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+
+    let problem = scenarios::problem(size, level);
+    let trace = match &trace_file {
+        Some(path) => {
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            parse_trace(&src, &problem.network).map_err(|e| e.to_string())?
+        }
+        None => {
+            let profile = scenarios::churn_profile(size, &problem);
+            generate(&problem.network, &profile, seed, events)
+        }
+    };
+    if emit_trace {
+        print!("{}", render_trace(&trace, &problem.network));
+        return Ok(());
+    }
+
+    let report = engine::run(&problem, &trace, &cfg).map_err(|e| e.to_string())?;
+    if !quiet {
+        for r in &report.records {
+            println!("{}", r.render(&problem));
+        }
+    }
+    print!("{}", report.summary.render());
+    // wall-clock: real but not reproducible, so stderr only
+    eprint!("{}", report.summary.render_timing());
+    Ok(())
+}
+
 fn cmd_encode(args: &[String]) -> Result<(), String> {
     let (src, dst) = match args {
         [s, d, ..] => (s, d),
@@ -660,6 +772,31 @@ mod tests {
         .is_err());
         assert!(dispatch(&[s(&["adapt"]), vec![sp], s(&["--existing", "Splitter@mars"])].concat())
             .is_err());
+    }
+
+    #[test]
+    fn churn_command() {
+        dispatch(&s(&["churn", "--scenario", "tiny", "--seed", "7", "--events", "10", "--quiet"]))
+            .unwrap();
+        dispatch(&s(&["churn", "--seed", "3", "--events", "5", "--emit-trace"])).unwrap();
+        // replay a hand-written trace file
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("sekitei_cli_churn.trace");
+        std::fs::write(&trace_path, "@10 link n0 n1 lbw 60\n@20 link n0 n1 lbw 70\n").unwrap();
+        dispatch(
+            &[
+                s(&["churn", "--scenario", "tiny", "--trace"]),
+                vec![trace_path.to_str().unwrap().into()],
+                s(&["--max-nodes", "100000", "--keep-cost", "0.4"]),
+            ]
+            .concat(),
+        )
+        .unwrap();
+        // error paths
+        assert!(dispatch(&s(&["churn", "--scenario", "galactic"])).is_err());
+        assert!(dispatch(&s(&["churn", "--seed", "many"])).is_err());
+        assert!(dispatch(&s(&["churn", "--trace", "/nonexistent.trace"])).is_err());
+        assert!(dispatch(&s(&["churn", "--frob"])).is_err());
     }
 
     #[test]

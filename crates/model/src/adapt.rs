@@ -156,8 +156,7 @@ pub fn adapt_problem(
         let hosts: Vec<NodeId> =
             existing.placements.iter().filter(|e| e.component == name).map(|e| e.node).collect();
         for node in hosts {
-            // Network stores resources per node; reach in via rebuild
-            set_node_resource(&mut p, node, &marker, 1.0);
+            p.network.set_node_capacity(node, marker.clone(), 1.0);
         }
 
         let idx = p.comp_id(name).expect("checked above").index();
@@ -170,30 +169,6 @@ pub fn adapt_problem(
     p.sources.extend(existing.streams.iter().cloned());
     debug_assert!(p.validate().is_ok());
     p
-}
-
-fn set_node_resource(p: &mut CppProblem, node: NodeId, res: &str, value: f64) {
-    // Network has no direct mutator for node resources; rebuild the node
-    // list through the public API to keep the adjacency index intact.
-    let mut net = crate::network::Network::new();
-    for (id, n) in p.network.nodes() {
-        let mut resources: Vec<(String, f64)> =
-            n.resources.iter().map(|(k, v)| (k.clone(), *v)).collect();
-        if id == node {
-            resources.retain(|(k, _)| k != res);
-            resources.push((res.to_string(), value));
-        }
-        net.add_node(n.name.clone(), resources);
-    }
-    for (_, l) in p.network.links() {
-        net.add_link(
-            l.a,
-            l.b,
-            l.class,
-            l.resources.iter().map(|(k, v)| (k.clone(), *v)).collect::<Vec<_>>(),
-        );
-    }
-    p.network = net;
 }
 
 #[cfg(test)]

@@ -186,6 +186,20 @@ impl Network {
         self.link(l).resources.get(res).copied().unwrap_or(0.0)
     }
 
+    /// Set the capacity of a node resource, inserting it when absent.
+    ///
+    /// The mutation entry point for dynamic environments (churn, failure
+    /// injection, adaptation markers): structure is immutable after
+    /// construction, capacities are not.
+    pub fn set_node_capacity(&mut self, n: NodeId, res: impl Into<String>, value: f64) {
+        self.nodes[n.index()].resources.insert(res.into(), value);
+    }
+
+    /// Set the capacity of a link resource, inserting it when absent.
+    pub fn set_link_capacity(&mut self, l: LinkId, res: impl Into<String>, value: f64) {
+        self.links[l.index()].resources.insert(res.into(), value);
+    }
+
     /// Rebuild the adjacency index (needed after deserialization, where the
     /// index is skipped).
     pub fn rebuild_adjacency(&mut self) {
@@ -253,6 +267,20 @@ mod tests {
         net.rebuild_adjacency();
         assert_eq!(net.incident(a), &[l]);
         assert_eq!(net.incident(b), &[l]);
+    }
+
+    #[test]
+    fn capacity_mutation() {
+        let (mut net, a, _, l) = two_node();
+        net.set_node_capacity(a, CPU, 12.5);
+        assert_eq!(net.node_capacity(a, CPU), 12.5);
+        net.set_node_capacity(a, "gpu", 4.0); // insert-when-absent
+        assert_eq!(net.node_capacity(a, "gpu"), 4.0);
+        net.set_link_capacity(l, LBW, 0.0);
+        assert_eq!(net.link_capacity(l, LBW), 0.0);
+        // structure untouched
+        assert_eq!(net.num_nodes(), 2);
+        assert_eq!(net.incident(a), &[l]);
     }
 
     #[test]

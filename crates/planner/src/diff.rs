@@ -195,4 +195,53 @@ mod tests {
         let rev = plan_diff(&b, &a);
         assert!(rev.removed.iter().any(|(c, _)| tight.component(*c).name == "Zip"));
     }
+
+    #[test]
+    fn diff_is_symmetric_in_moved_and_kept_counts() {
+        // a move from A to B reads as a move from B to A in reverse — the
+        // counts (and kept placements) must agree in both directions
+        let pb = scenarios::small(LevelScenario::B);
+        let pc = scenarios::small(LevelScenario::C);
+        let b = plan_for(&pb);
+        let c = plan_for(&pc);
+        let fwd = plan_diff(&b, &c);
+        let rev = plan_diff(&c, &b);
+        assert_eq!(fwd.moved.len(), rev.moved.len());
+        assert_eq!(fwd.kept.len(), rev.kept.len());
+        assert_eq!(fwd.added.len(), rev.removed.len());
+        assert_eq!(fwd.removed.len(), rev.added.len());
+        assert_eq!(fwd.rerouted_in.len(), rev.rerouted_out.len());
+        for m in &fwd.moved {
+            assert!(
+                rev.moved.iter().any(|r| r.comp == m.comp && r.from == m.to && r.to == m.from),
+                "reverse of {m:?} missing: {rev:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_output_is_stable() {
+        // golden test: the rendered diff is part of the churn engine's
+        // deterministic output contract, so its exact shape is pinned here
+        let pb = scenarios::small(LevelScenario::B);
+        let pc = scenarios::small(LevelScenario::C);
+        let d = plan_diff(&plan_for(&pb), &plan_for(&pc));
+        assert_eq!(
+            d.render(&pc),
+            "  kept    Client @ n4\n\
+             \x20 moved   Splitter: n2 → n0\n\
+             \x20 moved   Zip: n2 → n0\n\
+             \x20 moved   Unzip: n3 → n4\n\
+             \x20 moved   Merger: n3 → n4\n\
+             \x20 +route  I over n0 → n1\n\
+             \x20 +route  I over n1 → n2\n\
+             \x20 +route  Z over n0 → n1\n\
+             \x20 +route  I over n3 → n4\n\
+             \x20 +route  Z over n1 → n2\n\
+             \x20 +route  Z over n3 → n4\n\
+             \x20 -route  M over n0 → n1\n\
+             \x20 -route  M over n1 → n2\n\
+             \x20 -route  M over n3 → n4\n"
+        );
+    }
 }

@@ -56,8 +56,14 @@ use std::time::{Duration, Instant};
 /// Planner configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct PlannerConfig {
-    /// RG node budget.
-    pub max_rg_nodes: usize,
+    /// RG node budget: the search aborts (reporting
+    /// [`PlannerStats::budget_exhausted`] and a sound
+    /// [`PlannerStats::best_bound`]) once this many RG nodes exist. Checked
+    /// in the same budget slot of the expansion loop as the wall-clock
+    /// deadline, but unlike the deadline it is *deterministic* — repair
+    /// loops (`crates/churn`) use it to hard-bound worst-case search
+    /// without giving up run-to-run reproducibility.
+    pub max_nodes: usize,
     /// RG candidate-reject budget (bounds effort on unsolvable instances).
     pub max_candidate_rejects: usize,
     /// SLRG per-query expansion budget.
@@ -84,7 +90,7 @@ pub struct PlannerConfig {
 impl Default for PlannerConfig {
     fn default() -> Self {
         PlannerConfig {
-            max_rg_nodes: 2_000_000,
+            max_nodes: 2_000_000,
             max_candidate_rejects: 20_000,
             slrg_budget: 50_000,
             heuristic: Heuristic::Slrg,
@@ -279,7 +285,7 @@ impl Planner {
         let plan = if plrg.solvable(&task) {
             let mut slrg = Slrg::new(&task, &plrg, self.config.slrg_budget);
             let rg_cfg = RgConfig {
-                max_nodes: self.config.max_rg_nodes,
+                max_nodes: self.config.max_nodes,
                 max_candidate_rejects: self.config.max_candidate_rejects,
                 heuristic: self.config.heuristic,
                 replay_pruning: self.config.replay_pruning,

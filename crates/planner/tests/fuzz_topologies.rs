@@ -38,7 +38,7 @@ fn attach_media(
 
 fn check(p: &CppProblem) -> Result<bool, TestCaseError> {
     let planner = Planner::new(PlannerConfig {
-        max_rg_nodes: 100_000,
+        max_nodes: 100_000,
         max_candidate_rejects: 1_000,
         slrg_budget: 20_000,
         ..PlannerConfig::default()

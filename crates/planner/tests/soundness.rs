@@ -14,7 +14,7 @@ fn check_config(cfg: MediaConfig, sc: LevelScenario, small: bool) -> Result<(), 
     let problem =
         if small { scenarios::small_with(cfg, sc) } else { scenarios::tiny_with(cfg, sc) };
     let planner = Planner::new(PlannerConfig {
-        max_rg_nodes: 200_000,
+        max_nodes: 200_000,
         max_candidate_rejects: 2_000,
         ..PlannerConfig::default()
     });
@@ -240,9 +240,8 @@ fn rg_node_budget_reports_exhaustion() {
     // an absurdly small node budget cannot finish the Small search, and
     // the stats must say so instead of silently claiming unsolvability
     let p = scenarios::small(LevelScenario::C);
-    let o = Planner::new(PlannerConfig { max_rg_nodes: 3, ..PlannerConfig::default() })
-        .plan(&p)
-        .unwrap();
+    let o =
+        Planner::new(PlannerConfig { max_nodes: 3, ..PlannerConfig::default() }).plan(&p).unwrap();
     assert!(o.plan.is_none());
     assert!(o.stats.budget_exhausted);
 }

@@ -85,6 +85,9 @@ fn serves_64_concurrent_requests_without_rejections() {
     join.join().unwrap().unwrap();
 }
 
+// debug builds search Large/A too slowly to surface even one rejected
+// candidate inside the deadline, leaving degradation nothing to ship
+#[cfg_attr(debug_assertions, ignore = "release-only deadline-timing test")]
 #[test]
 fn deadline_tripped_large_a_degrades_instead_of_erroring() {
     let cfg = ServerConfig {

@@ -292,6 +292,94 @@ fn tradeoff_with_domain(domain: MediaDomain) -> CppProblem {
 }
 
 // ------------------------------------------------------------------------
+// Churn parameters (fault injection per scenario)
+// ------------------------------------------------------------------------
+
+/// Per-scenario fault-injection parameters for the churn engine
+/// (`crates/churn`): how often each mutation class fires, how deep
+/// bandwidth degradation cuts, and which nodes are exempt from crashes.
+///
+/// The ranges are calibrated so that a degraded instance stays *repairable*
+/// for the scenario's media domain: the client's 90-unit demand needs
+/// `0.65 · 90 = 58.5` units of compressed bandwidth across a bottleneck
+/// link and `0.27 · 90 ≈ 24.3` CPU on a processing node, so degrade floors
+/// sit above those (crashes, by contrast, are allowed to render an
+/// instance temporarily unrepairable — that is what availability measures).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnProfile {
+    /// Relative weight of link bandwidth degradation events.
+    pub degrade_weight: u32,
+    /// Relative weight of link recovery events (applies only while at
+    /// least one link is degraded).
+    pub recover_weight: u32,
+    /// Relative weight of node crash events (0 disables crashes).
+    pub crash_weight: u32,
+    /// Relative weight of node rejoin events (applies only while at least
+    /// one node is down).
+    pub rejoin_weight: u32,
+    /// Relative weight of gradual CPU drift events.
+    pub drift_weight: u32,
+    /// Degraded link capacity as a fraction of baseline, `[lo, hi)`.
+    pub degrade_range: (f64, f64),
+    /// Drifted node CPU as a fraction of baseline, `[lo, hi)`.
+    pub drift_range: (f64, f64),
+    /// Simulated time units between consecutive events.
+    pub gap: u64,
+    /// Nodes that never crash (typically the stream source and the goal
+    /// node — losing either makes the problem trivially unsolvable).
+    pub protected: Vec<NodeId>,
+}
+
+/// The churn profile for a canonical scenario.
+///
+/// * **Tiny** has no redundancy at all (one link, two nodes), so crashes
+///   are disabled and degradation is mild — every fault is repairable and
+///   a well-behaved maintenance loop keeps availability at 100%.
+/// * **Small** is a line topology: crashing a path node partitions
+///   server from client until it rejoins, so availability dips below
+///   100% under crash-heavy seeds.
+/// * **Large** is transit-stub with real redundancy; crashes usually
+///   reroute instead of partitioning.
+pub fn churn_profile(size: NetSize, problem: &CppProblem) -> ChurnProfile {
+    let protected = vec![problem.sources[0].node, problem.goals[0].node];
+    match size {
+        NetSize::Tiny => ChurnProfile {
+            degrade_weight: 4,
+            recover_weight: 3,
+            crash_weight: 0,
+            rejoin_weight: 0,
+            drift_weight: 2,
+            degrade_range: (0.86, 0.96),
+            drift_range: (0.88, 1.0),
+            gap: 10,
+            protected,
+        },
+        NetSize::Small => ChurnProfile {
+            degrade_weight: 4,
+            recover_weight: 3,
+            crash_weight: 1,
+            rejoin_weight: 3,
+            drift_weight: 2,
+            degrade_range: (0.84, 0.95),
+            drift_range: (0.85, 1.0),
+            gap: 10,
+            protected,
+        },
+        NetSize::Large => ChurnProfile {
+            degrade_weight: 5,
+            recover_weight: 4,
+            crash_weight: 2,
+            rejoin_weight: 4,
+            drift_weight: 3,
+            degrade_range: (0.5, 0.9),
+            drift_range: (0.7, 1.0),
+            gap: 10,
+            protected,
+        },
+    }
+}
+
+// ------------------------------------------------------------------------
 // Randomized instances (fuzzing and throughput benchmarks)
 // ------------------------------------------------------------------------
 
@@ -494,6 +582,22 @@ mod tests {
             assert!(algo::is_connected(&a.network));
             assert_eq!(a.goals[0].node, NodeId(14));
         }
+    }
+
+    #[test]
+    fn churn_profiles_protect_endpoints() {
+        for size in NetSize::ALL {
+            let p = problem(size, LevelScenario::C);
+            let prof = churn_profile(size, &p);
+            assert!(prof.protected.contains(&p.sources[0].node));
+            assert!(prof.protected.contains(&p.goals[0].node));
+            assert!(prof.degrade_range.0 < prof.degrade_range.1);
+            assert!(prof.degrade_range.1 <= 1.0);
+            assert!(prof.gap > 0);
+        }
+        // Tiny cannot survive any node loss: crashes must be off
+        let tiny = problem(NetSize::Tiny, LevelScenario::C);
+        assert_eq!(churn_profile(NetSize::Tiny, &tiny).crash_weight, 0);
     }
 
     #[test]

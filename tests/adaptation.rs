@@ -2,9 +2,12 @@
 //! keep/migrate cost structure, stream re-routing, and interaction with
 //! the ordinary planner.
 
+use proptest::prelude::*;
 use sekitei::model::adapt::{adapt_problem, AdaptConfig};
 use sekitei::model::resource::names::{CPU, LBW};
-use sekitei::model::{media_domain, CppProblem, Goal, LinkClass, Network, StreamSource};
+use sekitei::model::{
+    media_domain, CppProblem, ExistingDeployment, Goal, LinkClass, Network, StreamSource,
+};
 use sekitei::prelude::*;
 use sekitei::sim::existing_from_plan;
 
@@ -121,6 +124,42 @@ fn keep_cost_monotone_in_config() {
         costs.push(plan.cost_lower_bound);
     }
     assert!(costs[0] < costs[1] && costs[1] < costs[2], "{costs:?}");
+}
+
+proptest! {
+    // The degenerate case `adapt.rs` promises: with *nothing* deployed
+    // there is nothing to keep or migrate, so adaptation must collapse to
+    // scratch planning — same solvability and same optimal cost on every
+    // Tiny scenario (including unsolvable A), for any cost model.
+    #[test]
+    fn empty_adaptation_equals_scratch_planning(
+        keep_cost in 0.0..10.0f64,
+        migration_factor in 0.1..5.0f64,
+    ) {
+        let planner = Planner::default();
+        let cfg = AdaptConfig { keep_cost, migration_factor };
+        for sc in LevelScenario::ALL {
+            let p = sekitei::scenarios::tiny(sc);
+            let adapted = adapt_problem(&p, &ExistingDeployment::default(), &cfg);
+            let scratch = planner.plan(&p).unwrap().plan;
+            let via_adapt = planner.plan(&adapted).unwrap().plan;
+            match (&scratch, &via_adapt) {
+                (Some(s), Some(a)) => prop_assert!(
+                    (s.cost_lower_bound - a.cost_lower_bound).abs() < 1e-9,
+                    "{sc:?}: scratch {} != adapted {}",
+                    s.cost_lower_bound,
+                    a.cost_lower_bound
+                ),
+                (None, None) => {} // scenario A: both unsolvable
+                _ => prop_assert!(
+                    false,
+                    "{sc:?}: solvability diverged (scratch {}, adapted {})",
+                    scratch.is_some(),
+                    via_adapt.is_some()
+                ),
+            }
+        }
+    }
 }
 
 #[test]

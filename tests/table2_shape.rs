@@ -10,7 +10,7 @@ fn solve(size: NetSize, sc: LevelScenario) -> (Option<Plan>, PlannerStats, f64) 
     let p = scenarios::problem(size, sc);
     let planner = Planner::new(PlannerConfig {
         // keep the unsolvable scenario-A searches snappy in CI
-        max_rg_nodes: 300_000,
+        max_nodes: 300_000,
         max_candidate_rejects: 2_000,
         ..PlannerConfig::default()
     });
