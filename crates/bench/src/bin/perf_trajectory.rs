@@ -150,7 +150,39 @@ fn repair_once(size: NetSize, sc: LevelScenario) -> Option<[PhaseRow; 2]> {
     ])
 }
 
+/// Cross-check the wall-clock phase accounting above against the tracing
+/// layer before benching: with tracing on, the per-phase self times summed
+/// from the trace must fit inside the `plan` span, which must fit inside
+/// the wall clock around it. Panics (aborting the bench) if the trace
+/// over-counts. Drains and disables tracing on exit so every measurement
+/// below runs with tracing off.
+fn obs_self_check() {
+    sekitei_obs::enable();
+    let _ = sekitei_obs::take_trace();
+    let p = scenarios::problem(NetSize::Tiny, LevelScenario::C);
+    let t = Instant::now();
+    let outcome = Planner::default().plan(&p).expect("tiny/C plans");
+    let wall_ns = t.elapsed().as_nanos() as u64;
+    assert!(outcome.plan.is_some(), "tiny/C is solvable");
+    let trace = sekitei_obs::take_trace();
+    sekitei_obs::disable();
+
+    let total = trace.span_total_ns("plan");
+    let phases: u64 =
+        ["compile", "plrg", "slrg", "rg", "concretize"].iter().map(|n| trace.span_self_ns(n)).sum();
+    assert!(total > 0, "tracing recorded no `plan` span");
+    assert!(phases <= total, "phase self-times over-count the pipeline: {phases} ns > {total} ns");
+    assert!(total <= wall_ns, "`plan` span exceeds the wall clock: {total} ns > {wall_ns} ns");
+    eprintln!(
+        "obs self-check: phase sum {:.3} ms ≤ plan span {:.3} ms ≤ wall {:.3} ms",
+        phases as f64 / 1e6,
+        total as f64 / 1e6,
+        wall_ns as f64 / 1e6
+    );
+}
+
 fn main() {
+    obs_self_check();
     const PHASES: [&str; 4] = ["compile", "plrg", "slrg", "rg"];
     let mut records: Vec<(String, &'static str, PhaseRow)> = Vec::new();
 

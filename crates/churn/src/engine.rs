@@ -276,6 +276,7 @@ pub fn run(
     events: &[ChurnEvent],
     cfg: &ChurnConfig,
 ) -> Result<ChurnReport, ChurnError> {
+    let _span = sekitei_obs::span("churn_run");
     let planner = Planner::new(cfg.planner);
     let mut current = problem.clone();
     let baseline = problem.network.clone();
@@ -297,7 +298,11 @@ pub fn run(
         prev_t = ev.t;
         apply(&ev.mutation, &mut current.network, &baseline);
 
-        let report = simulate(&current, &dep.sources, &dep.ops);
+        let _ev_span = sekitei_obs::span("churn_event");
+        let report = {
+            let _g = sekitei_obs::span("validate");
+            simulate(&current, &dep.sources, &dep.ops)
+        };
         if report.ok {
             // either still healthy, or a recovery/rejoin just made the
             // old deployment valid again after a failed repair
@@ -311,10 +316,20 @@ pub fn run(
         }
 
         summary.faults += 1;
-        let broken = classify(&current, &dep.ops, &report.violations);
+        sekitei_obs::event("churn_fault", 1);
+        let broken = {
+            let _g = sekitei_obs::span("classify");
+            classify(&current, &dep.ops, &report.violations)
+        };
         let t0 = Instant::now();
-        let repaired = repair(&planner, &current, &dep, &cfg.adapt);
+        let repaired = {
+            let _g = sekitei_obs::span("repair");
+            repair(&planner, &current, &dep, &cfg.adapt)
+        };
         let wall = t0.elapsed();
+        // wall-clock stays out of the deterministic stdout rendering; the
+        // trace is where timing per event lives (`--trace-json` on churn)
+        sekitei_obs::event("repair_wall_ns", wall.as_nanos() as u64);
         summary.repair_walls.push(wall);
 
         let outcome = match repaired {
@@ -331,8 +346,14 @@ pub fn run(
                 summary.moved += repair.moved;
                 summary.degraded_repairs += usize::from(repair.degraded);
                 match route {
-                    RepairRoute::Adapt => summary.adapt_repairs += 1,
-                    RepairRoute::Scratch => summary.scratch_repairs += 1,
+                    RepairRoute::Adapt => {
+                        summary.adapt_repairs += 1;
+                        sekitei_obs::event("repair_adapt", 1);
+                    }
+                    RepairRoute::Scratch => {
+                        summary.scratch_repairs += 1;
+                        sekitei_obs::event("repair_scratch", 1);
+                    }
                 }
                 dep = new_dep;
                 valid = true;
@@ -340,6 +361,7 @@ pub fn run(
             }
             None => {
                 summary.failed_repairs += 1;
+                sekitei_obs::event("repair_failed", 1);
                 valid = false;
                 Outcome::Down { wall }
             }

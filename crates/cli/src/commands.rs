@@ -7,10 +7,12 @@ use sekitei_sim::validate_plan;
 use sekitei_topology::scenarios::{self, NetSize};
 
 const USAGE: &str = "usage:
-  sekitei plan <spec-file> [--plrg-heuristic] [--no-replay-pruning]
-               [--max-nodes N] [--deadline-ms N] [--degrade]
-               [--validate] [--quiet]
+  sekitei plan (<spec-file> | --scenario <size-level>) [--plrg-heuristic]
+               [--no-replay-pruning] [--max-nodes N] [--deadline-ms N]
+               [--degrade] [--validate] [--quiet]
+               [--profile] [--trace-json FILE]
   sekitei batch <spec-file>... [--threads N] [--validate] [--quiet]
+               [--profile] [--trace-json FILE]
   sekitei serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
                [--cache-cap N] [--deadline-ms N] [--no-degrade]
   sekitei request (<spec-file> | --stats | --shutdown) [--addr HOST:PORT]
@@ -24,6 +26,7 @@ const USAGE: &str = "usage:
                [--seed N] [--events N] [--trace FILE] [--emit-trace]
                [--max-nodes N] [--deadline-ms N] [--no-degrade]
                [--keep-cost X] [--migration-factor Y] [--quiet]
+               [--profile] [--trace-json FILE]
   sekitei doctor <spec-file>
   sekitei suggest <spec-file> [--headroom H] [--apply]
   sekitei dot <spec-file> [--plan]
@@ -91,6 +94,64 @@ fn parse_config(flags: &[String]) -> Result<(PlannerConfig, bool, bool), String>
     Ok((cfg, validate, quiet))
 }
 
+/// Observability surface shared by `plan`, `batch` and `churn`: `--profile`
+/// prints a per-phase breakdown on stderr, `--trace-json FILE` writes the
+/// structured trace as JSON lines. Tracing stays entirely off unless one of
+/// the two was requested.
+#[derive(Default)]
+struct ObsOpts {
+    trace_json: Option<String>,
+    profile: bool,
+}
+
+impl ObsOpts {
+    fn active(&self) -> bool {
+        self.profile || self.trace_json.is_some()
+    }
+
+    /// Turn tracing on (discarding anything a previous command in this
+    /// process left in the rings, so the trace covers exactly this run).
+    fn begin(&self) {
+        if self.active() {
+            sekitei_obs::enable();
+            let _ = sekitei_obs::take_trace();
+        }
+    }
+
+    /// Drain the trace, emit the requested outputs, and turn tracing off.
+    /// `root` names the span whose subtree the profile table summarizes.
+    fn finish(&self, root: &str) -> Result<(), String> {
+        if !self.active() {
+            return Ok(());
+        }
+        let trace = sekitei_obs::take_trace();
+        sekitei_obs::disable();
+        if let Some(path) = &self.trace_json {
+            std::fs::write(path, trace.to_json_lines())
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        }
+        if self.profile {
+            eprint!("{}", trace.phase_table(root));
+        }
+        Ok(())
+    }
+}
+
+/// Parse a combined `--scenario` value like `small-b` into its network size
+/// and level scenario.
+fn parse_size_level(v: &str) -> Result<(NetSize, LevelScenario), String> {
+    let (size, level) = v
+        .split_once('-')
+        .ok_or_else(|| format!("bad --scenario `{v}` (expected <size>-<level>, e.g. small-b)"))?;
+    let size = match size.to_ascii_lowercase().as_str() {
+        "tiny" => NetSize::Tiny,
+        "small" => NetSize::Small,
+        "large" => NetSize::Large,
+        other => return Err(format!("unknown network size `{other}` (use tiny|small|large)")),
+    };
+    Ok((size, parse_scenario(level)?))
+}
+
 fn report_outcome(
     problem: &CppProblem,
     outcome: &PlanOutcome,
@@ -138,10 +199,52 @@ fn report_outcome(
 }
 
 fn cmd_plan(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or(USAGE)?;
-    let (cfg, validate, quiet) = parse_config(&args[1..])?;
-    let problem = load(path)?;
-    let outcome = Planner::new(cfg).plan(&problem).map_err(|e| e.to_string())?;
+    let mut path: Option<String> = None;
+    let mut scenario: Option<(NetSize, LevelScenario)> = None;
+    let mut obs = ObsOpts::default();
+    let mut flags: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scenario" => {
+                i += 1;
+                let v = args.get(i).ok_or("--scenario needs a value like small-b")?;
+                scenario = Some(parse_size_level(v)?);
+            }
+            "--trace-json" => {
+                i += 1;
+                obs.trace_json = Some(args.get(i).ok_or("--trace-json needs a file path")?.clone());
+            }
+            "--profile" => obs.profile = true,
+            f if f.starts_with("--") => {
+                flags.push(f.to_string());
+                // value-taking planner flags: keep the value with its flag
+                if matches!(f, "--max-nodes" | "--deadline-ms") {
+                    i += 1;
+                    if let Some(v) = args.get(i) {
+                        flags.push(v.clone());
+                    }
+                }
+            }
+            f if path.is_none() => path = Some(f.to_string()),
+            f => return Err(format!("unexpected argument `{f}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let (cfg, validate, quiet) = parse_config(&flags)?;
+    let problem = match (path, scenario) {
+        (Some(p), None) => load(&p)?,
+        (None, Some((size, level))) => scenarios::problem(size, level),
+        (Some(_), Some(_)) => {
+            return Err(format!("plan takes either a spec file or --scenario, not both\n{USAGE}"))
+        }
+        (None, None) => return Err(USAGE.into()),
+    };
+    obs.begin();
+    let planned = Planner::new(cfg).plan(&problem).map_err(|e| e.to_string());
+    let emitted = obs.finish("plan");
+    let outcome = planned?;
+    emitted?;
     report_outcome(&problem, &outcome, validate, quiet)
 }
 
@@ -150,6 +253,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let mut threads: Option<usize> = None;
     let mut quiet = false;
     let mut validate = false;
+    let mut obs = ObsOpts::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -160,6 +264,11 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             }
             "--quiet" => quiet = true,
             "--validate" => validate = true,
+            "--trace-json" => {
+                i += 1;
+                obs.trace_json = Some(args.get(i).ok_or("--trace-json needs a file path")?.clone());
+            }
+            "--profile" => obs.profile = true,
             f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
             f => files.push(f.to_string()),
         }
@@ -170,10 +279,13 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     }
     let problems = files.iter().map(|f| load(f)).collect::<Result<Vec<_>, String>>()?;
     let planner = Planner::default();
+    obs.begin();
     let outcomes = match threads {
         Some(t) => planner.plan_batch_with(&problems, t),
         None => planner.plan_batch(&problems),
     };
+    // the profile table sums every instance's "plan" span into one breakdown
+    obs.finish("plan")?;
     let mut failures = 0usize;
     for ((file, problem), outcome) in files.iter().zip(&problems).zip(outcomes) {
         println!("=== {file} ===");
@@ -532,6 +644,7 @@ fn cmd_churn(args: &[String]) -> Result<(), String> {
     let mut emit_trace = false;
     let mut quiet = false;
     let mut cfg = ChurnConfig::default();
+    let mut obs = ObsOpts::default();
     let mut i = 0;
     while i < args.len() {
         let need = |v: Option<&String>, flag: &str| {
@@ -594,6 +707,11 @@ fn cmd_churn(args: &[String]) -> Result<(), String> {
                     v.parse().map_err(|_| "bad --migration-factor value")?;
             }
             "--quiet" => quiet = true,
+            "--trace-json" => {
+                i += 1;
+                obs.trace_json = Some(need(args.get(i), "--trace-json")?);
+            }
+            "--profile" => obs.profile = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -616,7 +734,13 @@ fn cmd_churn(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    let report = engine::run(&problem, &trace, &cfg).map_err(|e| e.to_string())?;
+    obs.begin();
+    let ran = engine::run(&problem, &trace, &cfg).map_err(|e| e.to_string());
+    // trace/profile go to a file and stderr — the deterministic stdout
+    // report below is untouched by observability
+    let emitted = obs.finish("churn_run");
+    let report = ran?;
+    emitted?;
     if !quiet {
         for r in &report.records {
             println!("{}", r.render(&problem));
@@ -655,6 +779,10 @@ mod tests {
     fn s(v: &[&str]) -> Vec<String> {
         v.iter().map(|x| x.to_string()).collect()
     }
+
+    /// Tracing state is process-global: tests that enable it must not
+    /// overlap, or one test's drain steals another's records.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn help_and_unknown() {
@@ -874,6 +1002,109 @@ mod tests {
         assert!(
             dispatch(&[s(&["plan"]), vec![sp], s(&["--deadline-ms", "soon"])].concat()).is_err()
         );
+    }
+
+    #[test]
+    fn plan_scenario_flag() {
+        dispatch(&s(&["plan", "--scenario", "tiny-c", "--quiet"])).unwrap();
+        dispatch(&s(&["plan", "--scenario", "TINY-C", "--quiet"])).unwrap();
+        assert!(dispatch(&s(&["plan", "--scenario", "galactic-c"])).is_err());
+        assert!(dispatch(&s(&["plan", "--scenario", "tiny-q"])).is_err());
+        assert!(dispatch(&s(&["plan", "--scenario", "tinyc"])).is_err());
+        assert!(dispatch(&s(&["plan", "--scenario"])).is_err());
+        // a spec file and --scenario are mutually exclusive
+        assert!(dispatch(&s(&["plan", "x.spec", "--scenario", "tiny-c"])).is_err());
+        // two positional arguments are rejected
+        assert!(dispatch(&s(&["plan", "x.spec", "y.spec"])).is_err());
+    }
+
+    #[test]
+    fn plan_profile_and_trace_json() {
+        let _g = OBS_LOCK.lock().unwrap();
+        let path = std::env::temp_dir().join("sekitei_cli_plan_trace.jsonl");
+        let tp = path.to_str().unwrap().to_string();
+        dispatch(
+            &[
+                s(&["plan", "--scenario", "small-b", "--quiet", "--profile", "--trace-json"]),
+                vec![tp],
+            ]
+            .concat(),
+        )
+        .unwrap();
+        let trace = std::fs::read_to_string(&path).unwrap();
+        for line in trace.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "bad JSON line: {line}");
+        }
+        for needle in [
+            "\"name\":\"plan\"",
+            "\"name\":\"compile\"",
+            "\"name\":\"plrg\"",
+            "\"name\":\"slrg\"",
+            "\"name\":\"rg\"",
+            "\"type\":\"meta\"",
+        ] {
+            assert!(trace.contains(needle), "trace missing {needle}");
+        }
+        // at least one span nests under a parent span
+        assert!(trace
+            .lines()
+            .any(|l| l.contains("\"type\":\"span\"") && !l.contains("\"parent\":0,")));
+        assert!(dispatch(&s(&["plan", "--scenario", "tiny-c", "--trace-json"])).is_err());
+    }
+
+    #[test]
+    fn batch_profile_and_trace_json() {
+        let _g = OBS_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("sekitei_cli_batch_obs.spec");
+        let p = scenarios::tiny(LevelScenario::C);
+        std::fs::write(&spec_path, sekitei_spec::print_problem(&p)).unwrap();
+        let sp = spec_path.to_str().unwrap().to_string();
+        let trace_path = dir.join("sekitei_cli_batch_trace.jsonl");
+        let tp = trace_path.to_str().unwrap().to_string();
+        dispatch(
+            &[
+                s(&["batch"]),
+                vec![sp.clone(), sp],
+                s(&["--quiet", "--profile", "--trace-json"]),
+                vec![tp],
+            ]
+            .concat(),
+        )
+        .unwrap();
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        // two instances → two top-level plan spans
+        assert!(trace.matches("\"name\":\"plan\"").count() >= 2);
+    }
+
+    #[test]
+    fn churn_trace_json() {
+        let _g = OBS_LOCK.lock().unwrap();
+        let path = std::env::temp_dir().join("sekitei_cli_churn_trace.jsonl");
+        let tp = path.to_str().unwrap().to_string();
+        dispatch(
+            &[
+                s(&[
+                    "churn",
+                    "--scenario",
+                    "tiny",
+                    "--seed",
+                    "7",
+                    "--events",
+                    "10",
+                    "--quiet",
+                    "--profile",
+                    "--trace-json",
+                ]),
+                vec![tp],
+            ]
+            .concat(),
+        )
+        .unwrap();
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.contains("\"name\":\"churn_run\""));
+        assert!(trace.contains("\"name\":\"churn_event\""));
+        assert!(trace.contains("\"type\":\"meta\""));
     }
 
     #[test]

@@ -72,13 +72,25 @@ impl From<ModelError> for CompileError {
 /// ```
 pub fn compile(problem: &CppProblem) -> Result<PlanningTask, CompileError> {
     problem.validate()?;
+    let _span = sekitei_obs::span("compile");
     let start = Instant::now();
     let mut ctx = Ctx { p: problem, task: PlanningTask::default(), pruned: 0 };
-    ctx.ground_place_actions()?;
-    ctx.ground_cross_actions()?;
-    ctx.build_initial_state();
-    ctx.build_goals();
-    ctx.finalize(start);
+    {
+        let _g = sekitei_obs::span("ground-place");
+        ctx.ground_place_actions()?;
+    }
+    {
+        let _g = sekitei_obs::span("ground-cross");
+        ctx.ground_cross_actions()?;
+    }
+    {
+        let _g = sekitei_obs::span("finalize");
+        ctx.build_initial_state();
+        ctx.build_goals();
+        ctx.finalize(start);
+    }
+    sekitei_obs::event("ground_actions", ctx.task.num_actions() as u64);
+    sekitei_obs::event("level_combos_pruned", ctx.pruned as u64);
     Ok(ctx.task)
 }
 

@@ -1,0 +1,35 @@
+//! `sekitei-obs` — the unified observability layer for the Sekitei stack.
+//!
+//! Std-only (zero external deps), two halves:
+//!
+//! * [`trace`]: structured spans and events. Instrumented code opens
+//!   [`span`]s (RAII guards with thread-local nesting) and emits
+//!   [`event`]s; both write fixed-size records into a lock-free bounded
+//!   ring per thread. Recording is globally gated by [`enable`] /
+//!   [`disable`] (a nesting counter), and costs a single relaxed atomic
+//!   load when off — instrumentation stays compiled into release hot
+//!   paths. [`take_trace`] drains every ring into a [`Trace`] that can
+//!   render as JSON-lines ([`Trace::to_json_lines`]), an indented tree
+//!   ([`Trace::render_tree`]), or a per-phase profile
+//!   ([`Trace::phase_table`]). Interleaved phases measured externally
+//!   (e.g. SLRG query time inside the RG loop) enter via [`aggregate`]
+//!   pseudo-spans so self-time accounting stays exact.
+//!
+//! * [`metrics`]: a [`MetricsRegistry`] of named [`Counter`]s,
+//!   [`Gauge`]s, and log-linear [`Histogram`]s (bounded relative error,
+//!   built for p50/p95/p99 summaries). Registries are instantiable, not
+//!   global: each subsystem owns its own.
+//!
+//! The intended division of labor: *traces* answer "where did this one
+//! run spend its time" (profiling, `--trace-json`), *metrics* answer
+//! "what does the population look like" (server stats, latency
+//! percentiles).
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{bucket_bounds, bucket_index, Counter, Gauge, Histogram, MetricsRegistry};
+pub use trace::{
+    aggregate, disable, enable, enabled, event, now_ns, span, take_trace, Record, RecordKind,
+    SpanGuard, Trace,
+};

@@ -1,0 +1,66 @@
+//! Property tests for the log-linear histogram: bucket containment and
+//! quantile accuracy (within one bucket width of exact) on random sample
+//! sets spanning the exact and log-linear regions.
+
+use proptest::prelude::*;
+use sekitei_obs::{bucket_bounds, bucket_index, Histogram};
+
+/// Samples across both histogram regions and several octaves, biased
+/// toward small values (latency-shaped) but reaching past 2^40.
+fn arb_sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,                        // exact region
+        64u64..4096,                     // low log-linear octaves
+        4096u64..1_000_000,              // microsecond-latency magnitudes
+        1_000_000u64..1_099_511_627_776  // up to 2^40
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sample_lands_in_containing_bucket(v in arb_sample()) {
+        let i = bucket_index(v);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v, "bucket {i} = [{lo}, {hi}) excludes {v} from below");
+        prop_assert!(v < hi || hi == u64::MAX, "bucket {i} = [{lo}, {hi}) excludes {v} from above");
+    }
+
+    #[test]
+    fn quantile_within_one_bucket_width(
+        samples in proptest::collection::vec(arb_sample(), 1..200),
+        q in 0.01..1.0f64,
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        // Exact nearest-rank quantile, same rank definition as the histogram.
+        let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let est = h.quantile(q);
+        // The estimate is the lower bound of the bucket containing the
+        // exact answer, so it is below it by less than one bucket width.
+        let (lo, hi) = bucket_bounds(bucket_index(exact));
+        let width = hi - lo;
+        prop_assert!(est <= exact, "estimate {est} above exact {exact}");
+        prop_assert!(
+            exact - est < width,
+            "estimate {est} more than one bucket width ({width}) below exact {exact}"
+        );
+    }
+
+    #[test]
+    fn count_sum_max_track_inputs(samples in proptest::collection::vec(arb_sample(), 0..100)) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.max(), samples.iter().copied().max().unwrap_or(0));
+    }
+}

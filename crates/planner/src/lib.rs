@@ -220,6 +220,7 @@ impl Planner {
 
     /// Compile and solve a CPP instance.
     pub fn plan(&self, problem: &CppProblem) -> Result<PlanOutcome, PlanError> {
+        let _span = sekitei_obs::span("plan");
         let t0 = Instant::now();
         let task = compile(problem)?;
         Ok(self.plan_task(task, t0))
@@ -272,7 +273,10 @@ impl Planner {
     /// Solve an already-compiled task (`t0` anchors total-time reporting).
     pub fn plan_task(&self, task: PlanningTask, t0: Instant) -> PlanOutcome {
         let t_search = Instant::now();
-        let plrg = Plrg::build(&task);
+        let plrg = {
+            let _g = sekitei_obs::span("plrg");
+            Plrg::build(&task)
+        };
         let mut stats = PlannerStats {
             total_actions: task.num_actions(),
             compile: task.stats.clone(),
@@ -292,7 +296,44 @@ impl Planner {
                 deadline: self.config.deadline.map(|d| t0 + d),
                 relaxed_fallback: self.config.degrade,
             };
-            let r = rg::search(&task, &plrg, &mut slrg, &rg_cfg);
+            let r = {
+                let _g = sekitei_obs::span("rg");
+                let search_t0 = sekitei_obs::now_ns();
+                let r = rg::search(&task, &plrg, &mut slrg, &rg_cfg);
+                // SLRG queries and candidate concretization interleave with
+                // RG expansions, so their externally-measured totals enter
+                // the trace as aggregate child spans of "rg" — self-time
+                // accounting then splits the search phase exactly.
+                if sekitei_obs::enabled() {
+                    let st = slrg.stats();
+                    sekitei_obs::aggregate(
+                        "slrg",
+                        search_t0,
+                        st.time.as_nanos() as u64,
+                        st.nodes as u64,
+                    );
+                    sekitei_obs::aggregate(
+                        "concretize",
+                        search_t0,
+                        r.concretize_time.as_nanos() as u64,
+                        r.concretize_calls as u64,
+                    );
+                    sekitei_obs::event("rg_nodes", r.nodes_created as u64);
+                    sekitei_obs::event("rg_expansions", r.expansions as u64);
+                    sekitei_obs::event("rg_open_left", r.open_left as u64);
+                    sekitei_obs::event("replay_prunes", r.replay_prunes as u64);
+                    sekitei_obs::event("candidate_rejects", r.candidate_rejects as u64);
+                    sekitei_obs::event("slrg_memo_hits", st.cache_hits as u64);
+                    sekitei_obs::event("pool_sets", slrg.pool().len() as u64);
+                    if r.budget_exhausted {
+                        sekitei_obs::event("budget_exhausted", 1);
+                    }
+                    if r.deadline_hit {
+                        sekitei_obs::event("deadline_hit", 1);
+                    }
+                }
+                r
+            };
             stats.slrg_nodes = slrg.stats().nodes;
             stats.rg_nodes = r.nodes_created;
             stats.rg_open_left = r.open_left;

@@ -134,6 +134,12 @@ pub struct RgResult {
     /// [`RgConfig::relaxed_fallback`] is on; interval replay is optimistic,
     /// so many rejected tails bind at *no* concrete value and are skipped.
     pub fallback: Option<(Vec<ActionId>, f64, ConcreteExecution)>,
+    /// Cumulative wall time of terminal candidate validation (full replay
+    /// from the initial state plus greedy concretization) — the
+    /// "concretize" phase of the profile breakdown. Purely observational.
+    pub concretize_time: std::time::Duration,
+    /// Candidate plans validated (accepted + rejected).
+    pub concretize_calls: usize,
 }
 
 struct RgNode {
@@ -158,6 +164,8 @@ pub fn search(task: &PlanningTask, plrg: &Plrg, slrg: &mut Slrg<'_>, cfg: &RgCon
         deadline_hit: false,
         best_open_f: None,
         fallback: None,
+        concretize_time: std::time::Duration::ZERO,
+        concretize_calls: 0,
     };
 
     let goal_props: Vec<PropId> =
@@ -238,12 +246,14 @@ pub fn search(task: &PlanningTask, plrg: &Plrg, slrg: &mut Slrg<'_>, cfg: &RgCon
 
         if set == SetId::EMPTY {
             // candidate plan: validate from the initial state
+            let t_cand = Instant::now();
+            let mut solved = false;
             let tail = collect_tail(&nodes, idx);
             match replay_tail(task, &tail, Some(&task.init_values)) {
                 Ok(map) => match concretize(task, &tail, &map) {
                     Ok(exec) => {
                         result.plan = Some((tail, g, exec));
-                        break;
+                        solved = true;
                     }
                     Err(_) => {
                         result.candidate_rejects += 1;
@@ -259,6 +269,11 @@ pub fn search(task: &PlanningTask, plrg: &Plrg, slrg: &mut Slrg<'_>, cfg: &RgCon
                 Err(_) => {
                     result.candidate_rejects += 1;
                 }
+            }
+            result.concretize_calls += 1;
+            result.concretize_time += t_cand.elapsed();
+            if solved {
+                break;
             }
             if result.candidate_rejects >= cfg.max_candidate_rejects {
                 result.budget_exhausted = true;

@@ -110,3 +110,48 @@ fn equivalence_holds_under_tight_node_budget() {
     let task = compile(&scenarios::small(LevelScenario::E)).unwrap();
     assert_equivalent(&task, &cfg, "small/E/max_nodes=40");
 }
+
+#[test]
+fn equivalence_holds_with_tracing_enabled() {
+    // Instrumentation must be purely observational: the full pipeline with
+    // tracing on produces bit-identical plans and counters to tracing off.
+    use sekitei_planner::{Planner, PlannerConfig};
+    for sc in LevelScenario::ALL {
+        let problem = scenarios::tiny(sc);
+        let planner = Planner::new(PlannerConfig::default());
+        let base = planner.plan(&problem).unwrap();
+
+        sekitei_obs::enable();
+        let traced = planner.plan(&problem).unwrap();
+        let trace = sekitei_obs::take_trace();
+        sekitei_obs::disable();
+
+        let label = format!("tiny/{sc:?}/traced");
+        assert_eq!(base.stats.rg_nodes, traced.stats.rg_nodes, "{label}: rg_nodes");
+        assert_eq!(base.stats.rg_open_left, traced.stats.rg_open_left, "{label}: open_left");
+        assert_eq!(base.stats.replay_prunes, traced.stats.replay_prunes, "{label}: prunes");
+        assert_eq!(
+            base.stats.candidate_rejects, traced.stats.candidate_rejects,
+            "{label}: rejects"
+        );
+        assert_eq!(base.stats.slrg_nodes, traced.stats.slrg_nodes, "{label}: slrg nodes");
+        match (&base.plan, &traced.plan) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "{label}: plan text");
+                assert_eq!(
+                    a.cost_lower_bound.to_bits(),
+                    b.cost_lower_bound.to_bits(),
+                    "{label}: cost bound (bit-identical)"
+                );
+            }
+            (a, b) => {
+                panic!("{label}: plan presence differs: {:?} vs {:?}", a.is_some(), b.is_some())
+            }
+        }
+        // the traced run actually recorded the search phases
+        for phase in ["plan", "plrg", "rg"] {
+            assert!(trace.span_count(phase) >= 1, "{label}: no `{phase}` span recorded");
+        }
+    }
+}

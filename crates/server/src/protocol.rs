@@ -105,10 +105,19 @@ pub struct StatsSnapshot {
     pub degraded: u64,
     /// Connections turned away by admission control (queue full).
     pub rejected: u64,
-    /// Median plan latency over the recent-request window, microseconds.
+    /// Median plan latency since startup, microseconds (histogram bucket
+    /// lower bound; see `sekitei_obs::Histogram::quantile`).
     pub p50_us: u64,
-    /// 99th-percentile plan latency over the same window, microseconds.
+    /// 95th-percentile plan latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile plan latency, microseconds.
     pub p99_us: u64,
+    /// Slowest plan latency observed, microseconds.
+    pub max_us: u64,
+    /// Median time connections waited in the accept queue, microseconds.
+    pub queue_p50_us: u64,
+    /// 99th-percentile queue wait, microseconds.
+    pub queue_p99_us: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -116,7 +125,7 @@ impl std::fmt::Display for StatsSnapshot {
         write!(
             f,
             "served {} (cache {} / task {} / full {}), degraded {}, rejected {}, \
-             latency p50 {}µs p99 {}µs",
+             latency p50 {}µs p95 {}µs p99 {}µs max {}µs, queue p50 {}µs p99 {}µs",
             self.served,
             self.cache_hits,
             self.task_cache_hits,
@@ -124,7 +133,11 @@ impl std::fmt::Display for StatsSnapshot {
             self.degraded,
             self.rejected,
             self.p50_us,
+            self.p95_us,
             self.p99_us,
+            self.max_us,
+            self.queue_p50_us,
+            self.queue_p99_us,
         )
     }
 }
@@ -184,7 +197,7 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
             b
         }
         Response::Stats(s) => {
-            let mut b = Vec::with_capacity(1 + 8 * 8);
+            let mut b = Vec::with_capacity(1 + 12 * 8);
             b.push(RESP_STATS);
             for v in [
                 s.served,
@@ -194,7 +207,11 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
                 s.degraded,
                 s.rejected,
                 s.p50_us,
+                s.p95_us,
                 s.p99_us,
+                s.max_us,
+                s.queue_p50_us,
+                s.queue_p99_us,
             ] {
                 b.extend_from_slice(&v.to_be_bytes());
             }
@@ -226,10 +243,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, SpecError> {
             Ok(Response::Outcome { cache_hit: hit == 1, outcome: decode_outcome(body)? })
         }
         Some((&RESP_STATS, rest)) => {
-            if rest.len() != 8 * 8 {
+            if rest.len() != 12 * 8 {
                 return Err(SpecError::wire("bad stats length"));
             }
-            let mut words = [0u64; 8];
+            let mut words = [0u64; 12];
             for (i, w) in words.iter_mut().enumerate() {
                 *w = u64::from_be_bytes(rest[i * 8..i * 8 + 8].try_into().unwrap());
             }
@@ -241,7 +258,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, SpecError> {
                 degraded: words[4],
                 rejected: words[5],
                 p50_us: words[6],
-                p99_us: words[7],
+                p95_us: words[7],
+                p99_us: words[8],
+                max_us: words[9],
+                queue_p50_us: words[10],
+                queue_p99_us: words[11],
             }))
         }
         Some((&RESP_REJECTED, rest)) => Ok(Response::Rejected(get_str(rest)?)),
@@ -320,7 +341,11 @@ mod tests {
             degraded: 1,
             rejected: 2,
             p50_us: 900,
+            p95_us: 20_000,
             p99_us: 45_000,
+            max_us: 120_000,
+            queue_p50_us: 15,
+            queue_p99_us: 250,
         };
         let outcome = WireOutcome { plan: None, best_bound: Some(2.5), stats: Default::default() };
         for r in [

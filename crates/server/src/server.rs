@@ -82,7 +82,9 @@ pub struct Server {
 
 /// Everything the workers share, borrowed for the lifetime of the scope.
 struct ServeState {
-    queue: Mutex<VecDeque<TcpStream>>,
+    /// Accepted connections waiting for a worker, with their enqueue time
+    /// (the queue-wait histogram measures accept → worker-pickup).
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     available: Condvar,
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
@@ -153,7 +155,7 @@ impl Server {
                             self.stats.record_rejected();
                             reject(stream);
                         } else {
-                            q.push_back(stream);
+                            q.push_back((stream, Instant::now()));
                             drop(q);
                             state.available.notify_one();
                         }
@@ -199,7 +201,12 @@ fn worker_loop(state: &ServeState) {
             }
         };
         match conn {
-            Some(stream) => handle_conn(state, stream),
+            Some((stream, enqueued)) => {
+                let wait_us = enqueued.elapsed().as_micros() as u64;
+                state.stats.record_queue_wait(wait_us);
+                sekitei_obs::event("queue_wait_us", wait_us);
+                handle_conn(state, stream)
+            }
             None => break,
         }
     }
@@ -237,10 +244,12 @@ fn handle_conn(state: &ServeState, mut stream: TcpStream) {
 /// deadline, sim-validating any degraded plan before it leaves the
 /// process.
 fn handle_plan(state: &ServeState, problem_bytes: &[u8]) -> Vec<u8> {
+    let _span = sekitei_obs::span("request");
     let t_req = Instant::now();
     let key = content_hash(problem_bytes);
 
     if let Some(sko) = state.outcomes.lock().unwrap().get(key) {
+        sekitei_obs::event("outcome_cache_hit", 1);
         state.stats.record_cache_hit();
         state.stats.record_served(t_req.elapsed().as_micros() as u64);
         return outcome_payload(true, &sko);
@@ -249,18 +258,25 @@ fn handle_plan(state: &ServeState, problem_bytes: &[u8]) -> Vec<u8> {
     let entry = state.tasks.lock().unwrap().get(key);
     let entry = match entry {
         Some(e) => {
+            sekitei_obs::event("task_cache_hit", 1);
             state.stats.record_task_cache_hit();
             e
         }
         None => {
-            let problem = match sekitei_spec::decode(problem_bytes) {
+            let decoded = {
+                let _g = sekitei_obs::span("decode");
+                sekitei_spec::decode(problem_bytes)
+            };
+            let problem = match decoded {
                 Ok(p) => p,
                 Err(e) => return encode_response(&Response::Error(e.to_string())),
             };
+            // compile() opens its own "compile" span under this request
             let task = match compile(&problem) {
                 Ok(t) => t,
                 Err(e) => return encode_response(&Response::Error(e.to_string())),
             };
+            sekitei_obs::event("cache_miss", 1);
             state.stats.record_cache_miss();
             let arc = Arc::new((problem, task));
             state.tasks.lock().unwrap().insert(key, Arc::clone(&arc));
@@ -270,9 +286,13 @@ fn handle_plan(state: &ServeState, problem_bytes: &[u8]) -> Vec<u8> {
 
     // `t_req` anchors both the reported total time and the deadline, so
     // whatever the cache tiers saved is returned to the search budget
-    let outcome = state.planner.plan_task(entry.1.clone(), t_req);
+    let outcome = {
+        let _g = sekitei_obs::span("search");
+        state.planner.plan_task(entry.1.clone(), t_req)
+    };
     let mut wire = outcome_to_wire(&outcome);
     if outcome.plan.as_ref().is_some_and(|p| p.degraded) {
+        let _g = sekitei_obs::span("validate");
         let plan = outcome.plan.as_ref().expect("checked above");
         let report = sekitei_sim::validate_plan(&entry.0, &outcome.task, plan);
         if report.ok {
@@ -283,7 +303,10 @@ fn handle_plan(state: &ServeState, problem_bytes: &[u8]) -> Vec<u8> {
             wire.plan = None;
         }
     }
-    let sko = encode_outcome(&wire).to_vec();
+    let sko = {
+        let _g = sekitei_obs::span("encode");
+        encode_outcome(&wire).to_vec()
+    };
     if !outcome.stats.budget_exhausted {
         // completed outcomes are deterministic; tripped ones depend on
         // wall-clock luck and must never be replayed from cache

@@ -1,96 +1,124 @@
-//! Serving counters: lock-free tallies plus a bounded latency window for
-//! percentile estimates.
+//! Serving metrics: a [`MetricsRegistry`] of named counters and
+//! histograms behind the same recording API as before.
+//!
+//! Latency percentiles come from `sekitei-obs` log-linear histograms
+//! instead of the old bounded sample ring. That fixes the sparse-window
+//! estimate for good — an empty population reports 0 and a partially
+//! filled one is summarized over exactly the samples recorded, with no
+//! window-fill assumptions — at the cost of the window's recency bias:
+//! the histogram summarizes the server's lifetime, which is what the
+//! stats protocol reports were already treated as.
 
 use crate::protocol::StatsSnapshot;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use sekitei_obs::{Counter, Histogram, MetricsRegistry};
+use std::fmt;
+use std::sync::Arc;
 
-/// How many recent plan latencies the percentile window keeps. Old samples
-/// are overwritten ring-style, so p50/p99 always describe recent traffic.
-const LATENCY_WINDOW: usize = 4096;
-
-/// Shared serving counters. All methods take `&self`; the latency ring is
-/// the only lock and is held for a few instructions.
-#[derive(Debug, Default)]
+/// Shared serving metrics. All methods take `&self` and record lock-free
+/// through pre-resolved registry handles.
 pub struct ServerStats {
-    served: AtomicU64,
-    cache_hits: AtomicU64,
-    task_cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    degraded: AtomicU64,
-    rejected: AtomicU64,
-    latencies: Mutex<LatencyRing>,
+    registry: MetricsRegistry,
+    served: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    task_cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    degraded: Arc<Counter>,
+    rejected: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    queue_wait_us: Arc<Histogram>,
 }
 
-#[derive(Debug, Default)]
-struct LatencyRing {
-    samples: Vec<u64>,
-    next: usize,
+impl Default for ServerStats {
+    fn default() -> Self {
+        let registry = MetricsRegistry::new();
+        let served = registry.counter("served");
+        let cache_hits = registry.counter("cache_hits");
+        let task_cache_hits = registry.counter("task_cache_hits");
+        let cache_misses = registry.counter("cache_misses");
+        let degraded = registry.counter("degraded");
+        let rejected = registry.counter("rejected");
+        let latency_us = registry.histogram("latency_us");
+        let queue_wait_us = registry.histogram("queue_wait_us");
+        ServerStats {
+            registry,
+            served,
+            cache_hits,
+            task_cache_hits,
+            cache_misses,
+            degraded,
+            rejected,
+            latency_us,
+            queue_wait_us,
+        }
+    }
+}
+
+impl fmt::Debug for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ServerStats({:?})", self.snapshot())
+    }
 }
 
 impl ServerStats {
     /// Count a served plan request and record its latency.
     pub fn record_served(&self, latency_us: u64) {
-        self.served.fetch_add(1, Ordering::Relaxed);
-        let mut ring = self.latencies.lock().unwrap();
-        if ring.samples.len() < LATENCY_WINDOW {
-            ring.samples.push(latency_us);
-        } else {
-            let i = ring.next;
-            ring.samples[i] = latency_us;
-        }
-        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+        self.served.inc();
+        self.latency_us.record(latency_us);
+    }
+
+    /// Record how long a connection waited in the accept queue before a
+    /// worker picked it up.
+    pub fn record_queue_wait(&self, wait_us: u64) {
+        self.queue_wait_us.record(wait_us);
     }
 
     /// Count an outcome-cache hit.
     pub fn record_cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.inc();
     }
 
     /// Count a compiled-task-tier hit (search still ran).
     pub fn record_task_cache_hit(&self) {
-        self.task_cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.task_cache_hits.inc();
     }
 
     /// Count a full-path miss.
     pub fn record_cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.inc();
     }
 
     /// Count a degraded response.
     pub fn record_degraded(&self) {
-        self.degraded.fetch_add(1, Ordering::Relaxed);
+        self.degraded.inc();
     }
 
     /// Count an admission-control rejection.
     pub fn record_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
 
-    /// Snapshot every counter plus latency percentiles over the window.
+    /// The underlying registry (for rendering every metric by name).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Snapshot every counter plus latency and queue-wait summaries.
+    /// Percentiles are histogram bucket lower bounds (within 1/32
+    /// relative error); an empty population reports 0 everywhere.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let (p50_us, p99_us) = {
-            let ring = self.latencies.lock().unwrap();
-            let mut sorted = ring.samples.clone();
-            drop(ring);
-            sorted.sort_unstable();
-            if sorted.is_empty() {
-                (0, 0)
-            } else {
-                // nearest-rank: p50 of 1..=100 is 50, p99 is 99
-                let pick = |q: f64| sorted[(sorted.len() as f64 * q).ceil() as usize - 1];
-                (pick(0.50), pick(0.99))
-            }
-        };
         StatsSnapshot {
-            served: self.served.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            task_cache_hits: self.task_cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            degraded: self.degraded.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            p50_us,
-            p99_us,
+            served: self.served.get(),
+            cache_hits: self.cache_hits.get(),
+            task_cache_hits: self.task_cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            degraded: self.degraded.get(),
+            rejected: self.rejected.get(),
+            p50_us: self.latency_us.quantile(0.50),
+            p95_us: self.latency_us.quantile(0.95),
+            p99_us: self.latency_us.quantile(0.99),
+            max_us: self.latency_us.max(),
+            queue_p50_us: self.queue_wait_us.quantile(0.50),
+            queue_p99_us: self.queue_wait_us.quantile(0.99),
         }
     }
 }
@@ -98,37 +126,78 @@ impl ServerStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sekitei_obs::{bucket_bounds, bucket_index};
 
     #[test]
-    fn percentiles_over_window() {
+    fn percentiles_over_population() {
         let s = ServerStats::default();
         for us in 1..=100 {
             s.record_served(us);
         }
         let snap = s.snapshot();
         assert_eq!(snap.served, 100);
+        // below 64 µs the histogram is exact; above, within one bucket
         assert_eq!(snap.p50_us, 50);
-        assert_eq!(snap.p99_us, 99);
+        let (lo, _) = bucket_bounds(bucket_index(99));
+        assert_eq!(snap.p99_us, lo, "p99 reports the bucket of the exact 99");
+        assert!((98..=99).contains(&snap.p99_us));
+        assert_eq!(snap.max_us, 100);
     }
 
     #[test]
-    fn empty_window_yields_zero_percentiles() {
+    fn empty_population_yields_zero_percentiles() {
         let snap = ServerStats::default().snapshot();
-        assert_eq!((snap.p50_us, snap.p99_us), (0, 0));
+        assert_eq!((snap.p50_us, snap.p95_us, snap.p99_us, snap.max_us), (0, 0, 0, 0));
+        assert_eq!((snap.queue_p50_us, snap.queue_p99_us), (0, 0));
     }
 
     #[test]
-    fn window_overwrites_oldest() {
+    fn sparse_population_is_summarized_exactly() {
+        // the old ring indexed `len * q` into a sorted clone, which is
+        // where sparse windows used to go wrong — with a histogram the
+        // percentile of N samples is always over exactly N samples
         let s = ServerStats::default();
-        // fill the window with slow samples, then overwrite with fast ones
-        for _ in 0..LATENCY_WINDOW {
-            s.record_served(1_000_000);
-        }
-        for _ in 0..LATENCY_WINDOW {
-            s.record_served(10);
-        }
+        s.record_served(10);
         let snap = s.snapshot();
-        assert_eq!(snap.p99_us, 10, "old samples must age out");
-        assert_eq!(snap.served, 2 * LATENCY_WINDOW as u64);
+        assert_eq!(snap.p50_us, 10, "a single sample is every percentile");
+        assert_eq!(snap.p99_us, 10);
+        assert_eq!(snap.max_us, 10);
+        s.record_served(30);
+        s.record_served(20);
+        let snap = s.snapshot();
+        assert_eq!(snap.p50_us, 20);
+        assert_eq!(snap.p99_us, 30);
+    }
+
+    #[test]
+    fn queue_wait_summarized_separately() {
+        let s = ServerStats::default();
+        s.record_queue_wait(5);
+        s.record_queue_wait(7);
+        s.record_served(1_000);
+        let snap = s.snapshot();
+        assert_eq!(snap.queue_p50_us, 5);
+        assert_eq!(snap.queue_p99_us, 7);
+        assert!(snap.p50_us >= 1_000 - 1_000 / 32, "latency unaffected by queue waits");
+    }
+
+    #[test]
+    fn registry_renders_every_metric() {
+        let s = ServerStats::default();
+        s.record_served(42);
+        s.record_rejected();
+        let text = s.registry().to_string();
+        for name in [
+            "served",
+            "cache_hits",
+            "task_cache_hits",
+            "cache_misses",
+            "degraded",
+            "rejected",
+            "latency_us",
+            "queue_wait_us",
+        ] {
+            assert!(text.contains(name), "{name} missing from: {text}");
+        }
     }
 }

@@ -24,6 +24,7 @@
 
 pub use sekitei_compile as compile;
 pub use sekitei_model as model;
+pub use sekitei_obs as obs;
 pub use sekitei_planner as planner;
 pub use sekitei_sim as sim;
 pub use sekitei_spec as spec;
