@@ -11,8 +11,17 @@
 //! Each combination runs `REPS` times and the minimum wall per phase is
 //! kept (least scheduler noise). Results go to stdout as a table and to
 //! `BENCH_planner.json` in the current directory as machine-readable
-//! records `{phase, scenario, wall_ms, nodes}` — the file the repo's
-//! committed baselines under `crates/bench/baselines/` are snapshots of.
+//! records `{phase, scenario, wall_ms, nodes, budget_exhausted}` — the
+//! file the repo's committed baselines under `crates/bench/baselines/`
+//! are snapshots of. `budget_exhausted` flags rows whose search aborted
+//! on a budget (Large/A burns its full 2M-node cap), so their `wall_ms`
+//! measures the budget, not the instance.
+//!
+//! `rg-par2` / `rg-par4` time the batch-synchronous parallel search
+//! (`--search-threads`) on the Small and Large topologies. They measure
+//! the *full* search wall: SLRG queries interleave with expansion across
+//! the workers, so the sequential `slrg`/`rg` split is impossible —
+//! compare them against the sequential `slrg + rg` sum.
 //!
 //! A fifth pair of phases times the serving path end to end over a real
 //! socket (Tiny and Small scenarios only):
@@ -43,6 +52,9 @@ const REPS: usize = 5;
 struct PhaseRow {
     wall_ms: f64,
     nodes: usize,
+    /// The measured run aborted on a search budget (node cap, reject cap
+    /// or deadline) — its wall time bounds the budget, not the instance.
+    budget_exhausted: bool,
 }
 
 /// One full pipeline run; returns [compile, plrg, slrg, rg] rows.
@@ -67,11 +79,29 @@ fn run_once(size: NetSize, sc: LevelScenario) -> [PhaseRow; 4] {
     let rg_ms = (search_ms - slrg_ms).max(0.0);
 
     [
-        PhaseRow { wall_ms: compile_ms, nodes: task.num_actions() },
-        PhaseRow { wall_ms: plrg_ms, nodes: pp + pa },
-        PhaseRow { wall_ms: slrg_ms, nodes: slrg.stats().nodes },
-        PhaseRow { wall_ms: rg_ms, nodes: r.nodes_created },
+        PhaseRow { wall_ms: compile_ms, nodes: task.num_actions(), budget_exhausted: false },
+        PhaseRow { wall_ms: plrg_ms, nodes: pp + pa, budget_exhausted: false },
+        PhaseRow { wall_ms: slrg_ms, nodes: slrg.stats().nodes, budget_exhausted: false },
+        PhaseRow { wall_ms: rg_ms, nodes: r.nodes_created, budget_exhausted: r.budget_exhausted },
     ]
+}
+
+/// One parallel-search run (`rg-parN`): the full search wall on `threads`
+/// workers. The result (plan, counters, bound) is bit-identical to the
+/// sequential search; only the wall clock differs.
+fn run_par(size: NetSize, sc: LevelScenario, threads: usize) -> PhaseRow {
+    let p = scenarios::problem(size, sc);
+    let task = compile(&p).expect("scenario compiles");
+    let plrg = Plrg::build(&task);
+    let mut slrg = Slrg::new(&task, &plrg, 50_000);
+    let cfg = RgConfig::default();
+    let t = Instant::now();
+    let r = rg::search_with_threads(&task, &plrg, &mut slrg, &cfg, threads);
+    PhaseRow {
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        nodes: r.nodes_created,
+        budget_exhausted: r.budget_exhausted,
+    }
 }
 
 /// One cold/warm serving measurement: fresh server (so the caches really
@@ -108,7 +138,11 @@ fn serve_once(size: NetSize, sc: LevelScenario) -> [PhaseRow; 2] {
     join.join().expect("server thread").expect("clean shutdown");
 
     let nodes = cold.stats.rg_nodes as usize;
-    [PhaseRow { wall_ms: cold_ms, nodes }, PhaseRow { wall_ms: warm_ms, nodes }]
+    let budget_exhausted = cold.stats.budget_exhausted;
+    [
+        PhaseRow { wall_ms: cold_ms, nodes, budget_exhausted },
+        PhaseRow { wall_ms: warm_ms, nodes, budget_exhausted },
+    ]
 }
 
 /// One repair-route comparison: plan, squeeze the tightest WAN link to
@@ -145,8 +179,16 @@ fn repair_once(size: NetSize, sc: LevelScenario) -> Option<[PhaseRow; 2]> {
     s.plan.as_ref()?;
 
     Some([
-        PhaseRow { wall_ms: adapt_ms, nodes: a.stats.rg_nodes },
-        PhaseRow { wall_ms: scratch_ms, nodes: s.stats.rg_nodes },
+        PhaseRow {
+            wall_ms: adapt_ms,
+            nodes: a.stats.rg_nodes,
+            budget_exhausted: a.stats.budget_exhausted,
+        },
+        PhaseRow {
+            wall_ms: scratch_ms,
+            nodes: s.stats.rg_nodes,
+            budget_exhausted: s.stats.budget_exhausted,
+        },
     ])
 }
 
@@ -215,6 +257,30 @@ fn main() {
         }
     }
 
+    // parallel search on the two sizes where the frontier is wide enough
+    // to matter; Tiny searches finish in microseconds and would only
+    // measure round-barrier overhead
+    const PAR_PHASES: [(&str, usize); 2] = [("rg-par2", 2), ("rg-par4", 4)];
+    for size in [NetSize::Small, NetSize::Large] {
+        for sc in LevelScenario::ALL {
+            let label = format!("{}/{}", size.label(), sc.label());
+            for (phase, threads) in PAR_PHASES {
+                let mut best: Option<PhaseRow> = None;
+                for _ in 0..REPS {
+                    let row = run_par(size, sc, threads);
+                    best = Some(match best {
+                        None => row,
+                        Some(b) if row.wall_ms < b.wall_ms => row,
+                        Some(b) => b,
+                    });
+                }
+                let row = best.unwrap();
+                println!("{:<10}{:<9}{:>12.3}{:>10}", label, phase, row.wall_ms, row.nodes);
+                records.push((label.clone(), phase, row));
+            }
+        }
+    }
+
     const SERVE_PHASES: [&str; 2] = ["serve-cold", "serve-warm"];
     for size in [NetSize::Tiny, NetSize::Small] {
         for sc in LevelScenario::ALL {
@@ -271,11 +337,13 @@ fn main() {
     let mut json = String::from("[\n");
     for (i, (scenario, phase, row)) in records.iter().enumerate() {
         json.push_str(&format!(
-            "  {{\"phase\": \"{}\", \"scenario\": \"{}\", \"wall_ms\": {:.3}, \"nodes\": {}}}{}\n",
+            "  {{\"phase\": \"{}\", \"scenario\": \"{}\", \"wall_ms\": {:.3}, \"nodes\": {}, \
+             \"budget_exhausted\": {}}}{}\n",
             phase,
             scenario,
             row.wall_ms,
             row.nodes,
+            row.budget_exhausted,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }

@@ -9,12 +9,13 @@ use sekitei_topology::scenarios::{self, NetSize};
 const USAGE: &str = "usage:
   sekitei plan (<spec-file> | --scenario <size-level>) [--plrg-heuristic]
                [--no-replay-pruning] [--max-nodes N] [--deadline-ms N]
-               [--degrade] [--validate] [--quiet]
+               [--search-threads N] [--degrade] [--validate] [--quiet]
                [--profile] [--trace-json FILE]
-  sekitei batch <spec-file>... [--threads N] [--validate] [--quiet]
-               [--profile] [--trace-json FILE]
+  sekitei batch <spec-file>... [--threads N] [--search-threads N]
+               [--validate] [--quiet] [--profile] [--trace-json FILE]
   sekitei serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
-               [--cache-cap N] [--deadline-ms N] [--no-degrade]
+               [--cache-cap N] [--max-nodes N] [--deadline-ms N]
+               [--search-threads N] [--no-degrade]
   sekitei request (<spec-file> | --stats | --shutdown) [--addr HOST:PORT]
   sekitei check <spec-file>
   sekitei compile <spec-file> [--dump]
@@ -24,8 +25,8 @@ const USAGE: &str = "usage:
                [--keep-cost X] [--migration-factor Y] [--validate]
   sekitei churn [--scenario <tiny|small|large>] [--level <A|B|C|D|E>]
                [--seed N] [--events N] [--trace FILE] [--emit-trace]
-               [--max-nodes N] [--deadline-ms N] [--no-degrade]
-               [--keep-cost X] [--migration-factor Y] [--quiet]
+               [--max-nodes N] [--deadline-ms N] [--search-threads N]
+               [--no-degrade] [--keep-cost X] [--migration-factor Y] [--quiet]
                [--profile] [--trace-json FILE]
   sekitei doctor <spec-file>
   sekitei suggest <spec-file> [--headroom H] [--apply]
@@ -86,12 +87,26 @@ fn parse_config(flags: &[String]) -> Result<(PlannerConfig, bool, bool), String>
                 let ms: u64 = v.parse().map_err(|_| format!("bad --deadline-ms value `{v}`"))?;
                 cfg.deadline = Some(std::time::Duration::from_millis(ms));
             }
+            "--search-threads" => {
+                i += 1;
+                let v = flags.get(i).ok_or("--search-threads needs a value")?;
+                cfg.search_threads = parse_search_threads(v)?;
+            }
             "--degrade" => cfg.degrade = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 1;
     }
     Ok((cfg, validate, quiet))
+}
+
+/// Parse a `--search-threads` value: a positive worker count (`1` is the
+/// sequential search; any count returns bit-identical plans and bounds).
+fn parse_search_threads(v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("bad --search-threads value `{v}` (need a positive integer)")),
+    }
 }
 
 /// Observability surface shared by `plan`, `batch` and `churn`: `--profile`
@@ -219,7 +234,7 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
             f if f.starts_with("--") => {
                 flags.push(f.to_string());
                 // value-taking planner flags: keep the value with its flag
-                if matches!(f, "--max-nodes" | "--deadline-ms") {
+                if matches!(f, "--max-nodes" | "--deadline-ms" | "--search-threads") {
                     i += 1;
                     if let Some(v) = args.get(i) {
                         flags.push(v.clone());
@@ -251,6 +266,7 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
 fn cmd_batch(args: &[String]) -> Result<(), String> {
     let mut files: Vec<String> = Vec::new();
     let mut threads: Option<usize> = None;
+    let mut cfg = PlannerConfig::default();
     let mut quiet = false;
     let mut validate = false;
     let mut obs = ObsOpts::default();
@@ -261,6 +277,13 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                 i += 1;
                 let v = args.get(i).ok_or("--threads needs a value")?;
                 threads = Some(v.parse().map_err(|_| format!("bad --threads value `{v}`"))?);
+            }
+            "--search-threads" => {
+                // intra-search workers, orthogonal to the per-instance
+                // `--threads` fan-out
+                i += 1;
+                let v = args.get(i).ok_or("--search-threads needs a value")?;
+                cfg.search_threads = parse_search_threads(v)?;
             }
             "--quiet" => quiet = true,
             "--validate" => validate = true,
@@ -278,7 +301,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         return Err(format!("batch needs at least one spec file\n{USAGE}"));
     }
     let problems = files.iter().map(|f| load(f)).collect::<Result<Vec<_>, String>>()?;
-    let planner = Planner::default();
+    let planner = Planner::new(cfg);
     obs.begin();
     let outcomes = match threads {
         Some(t) => planner.plan_batch_with(&problems, t),
@@ -342,11 +365,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 let v = need(args.get(i), "--cache-cap")?;
                 cfg.cache_cap = v.parse().map_err(|_| format!("bad --cache-cap value `{v}`"))?;
             }
+            "--max-nodes" => {
+                i += 1;
+                let v = need(args.get(i), "--max-nodes")?;
+                cfg.planner.max_nodes =
+                    v.parse().map_err(|_| format!("bad --max-nodes value `{v}`"))?;
+            }
             "--deadline-ms" => {
                 i += 1;
                 let v = need(args.get(i), "--deadline-ms")?;
                 let ms: u64 = v.parse().map_err(|_| format!("bad --deadline-ms value `{v}`"))?;
                 cfg.planner.deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--search-threads" => {
+                i += 1;
+                cfg.planner.search_threads =
+                    parse_search_threads(&need(args.get(i), "--search-threads")?)?;
             }
             "--no-degrade" => cfg.planner.degrade = false,
             other => return Err(format!("unknown flag `{other}`")),
@@ -693,6 +727,13 @@ fn cmd_churn(args: &[String]) -> Result<(), String> {
                 let v = need(args.get(i), "--deadline-ms")?;
                 let ms: u64 = v.parse().map_err(|_| format!("bad --deadline-ms value `{v}`"))?;
                 cfg.planner.deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--search-threads" => {
+                // parallel repair search: bit-identical plans at any
+                // count, so churn determinism is unaffected
+                i += 1;
+                cfg.planner.search_threads =
+                    parse_search_threads(&need(args.get(i), "--search-threads")?)?;
             }
             "--no-degrade" => cfg.planner.degrade = false,
             "--keep-cost" => {
@@ -1125,5 +1166,41 @@ mod tests {
         .unwrap();
         assert!(dispatch(&[s(&["plan"]), vec![sp], s(&["--bogus"])].concat()).is_err());
         assert!(dispatch(&s(&["plan", "/nonexistent/x.spec"])).is_err());
+    }
+
+    #[test]
+    fn search_threads_flag() {
+        // the parallel search through every front-end that exposes it
+        dispatch(&s(&["plan", "--scenario", "tiny-c", "--search-threads", "4", "--quiet"]))
+            .unwrap();
+        dispatch(&s(&["plan", "--scenario", "tiny-c", "--search-threads", "1", "--quiet"]))
+            .unwrap();
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("sekitei_cli_search_threads.spec");
+        let p = scenarios::tiny(LevelScenario::B);
+        std::fs::write(&spec_path, sekitei_spec::print_problem(&p)).unwrap();
+        let sp = spec_path.to_str().unwrap().to_string();
+        dispatch(&[s(&["batch"]), vec![sp], s(&["--search-threads", "2", "--quiet"])].concat())
+            .unwrap();
+        dispatch(&s(&[
+            "churn",
+            "--scenario",
+            "tiny",
+            "--seed",
+            "7",
+            "--events",
+            "5",
+            "--search-threads",
+            "2",
+            "--quiet",
+        ]))
+        .unwrap();
+        // error paths: zero, junk and missing values
+        assert!(dispatch(&s(&["plan", "--scenario", "tiny-c", "--search-threads", "0"])).is_err());
+        assert!(dispatch(&s(&["plan", "--scenario", "tiny-c", "--search-threads", "x"])).is_err());
+        assert!(dispatch(&s(&["plan", "--scenario", "tiny-c", "--search-threads"])).is_err());
+        assert!(dispatch(&s(&["serve", "--search-threads", "0"])).is_err());
+        assert!(dispatch(&s(&["serve", "--max-nodes", "many"])).is_err());
+        assert!(dispatch(&s(&["churn", "--search-threads", "zero"])).is_err());
     }
 }

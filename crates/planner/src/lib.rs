@@ -29,6 +29,7 @@ pub mod pool;
 pub mod reference;
 pub mod replay;
 pub mod rg;
+pub mod rg_par;
 pub mod setkey;
 pub mod slrg;
 pub mod viz;
@@ -85,6 +86,13 @@ pub struct PlannerConfig {
     /// [`concretize_relaxed`], tagged [`Plan::degraded`], instead of no
     /// plan at all.
     pub degrade: bool,
+    /// RG search worker threads. `1` (the default) runs the plain
+    /// sequential search; `>= 2` runs the batch-synchronous parallel
+    /// search ([`rg_par`]), whose returned plan, cost bound and counters
+    /// are bit-identical to the sequential path for every thread count —
+    /// only wall-clock and the purely observational `par_*` trace
+    /// metrics differ.
+    pub search_threads: usize,
 }
 
 impl Default for PlannerConfig {
@@ -97,6 +105,7 @@ impl Default for PlannerConfig {
             replay_pruning: true,
             deadline: None,
             degrade: false,
+            search_threads: 1,
         }
     }
 }
@@ -299,7 +308,13 @@ impl Planner {
             let r = {
                 let _g = sekitei_obs::span("rg");
                 let search_t0 = sekitei_obs::now_ns();
-                let r = rg::search(&task, &plrg, &mut slrg, &rg_cfg);
+                let r = rg::search_with_threads(
+                    &task,
+                    &plrg,
+                    &mut slrg,
+                    &rg_cfg,
+                    self.config.search_threads,
+                );
                 // SLRG queries and candidate concretization interleave with
                 // RG expansions, so their externally-measured totals enter
                 // the trace as aggregate child spans of "rg" — self-time
@@ -330,6 +345,26 @@ impl Planner {
                     }
                     if r.deadline_hit {
                         sekitei_obs::event("deadline_hit", 1);
+                    }
+                    if r.par_rounds > 0 {
+                        // parallel-search phase breakdown: fan-out and
+                        // commit wall time enter as aggregate child spans
+                        // of "rg" (count = rounds), like "slrg" above
+                        sekitei_obs::aggregate(
+                            "rg_round_expand",
+                            search_t0,
+                            r.par_expand_time.as_nanos() as u64,
+                            r.par_rounds as u64,
+                        );
+                        sekitei_obs::aggregate(
+                            "rg_round_merge",
+                            search_t0,
+                            r.par_merge_time.as_nanos() as u64,
+                            r.par_rounds as u64,
+                        );
+                        sekitei_obs::event("rg_par_rounds", r.par_rounds as u64);
+                        sekitei_obs::event("rg_par_batch_nodes", r.par_batch_nodes as u64);
+                        sekitei_obs::event("rg_spec_waste", r.par_spec_waste as u64);
                     }
                 }
                 r

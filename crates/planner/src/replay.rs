@@ -254,10 +254,10 @@ impl IvStore for DenseStore {
 /// way the accept/prune outcome is identical to
 /// `replay_tail(task, &child_tail, None).is_err()`.
 pub struct ReplayScratch {
-    /// Per-action touched-variable lists (CSR: `var_off[a]..var_off[a+1]`
-    /// bounds action `a`'s slice of `var_flat`).
-    var_flat: Vec<GVarId>,
-    var_off: Vec<u32>,
+    /// The task's touched-variable index, shared (it is immutable after
+    /// construction) so the parallel search's per-worker scratches pay for
+    /// it once.
+    index: std::sync::Arc<ReplayIndex>,
     store: DenseStore,
     /// `tail_stamp[v] == tail_epoch` ⇔ `v` is touched by the current
     /// expansion's parent tail.
@@ -267,10 +267,19 @@ pub struct ReplayScratch {
     vals: Vec<Interval>,
 }
 
-impl ReplayScratch {
+/// The immutable per-task half of [`ReplayScratch`]: per-action
+/// touched-variable lists in CSR form (`var_off[a]..var_off[a+1]` bounds
+/// action `a`'s slice of `var_flat`). Build once, share via `Arc` across
+/// however many per-worker scratches a parallel search spins up.
+pub struct ReplayIndex {
+    var_flat: Vec<GVarId>,
+    var_off: Vec<u32>,
+    num_vars: usize,
+}
+
+impl ReplayIndex {
     /// Precompute the touched-variable index for a task.
     pub fn new(task: &PlanningTask) -> Self {
-        let num_vars = task.gvars.len();
         let mut var_flat = Vec::new();
         let mut var_off = Vec::with_capacity(task.num_actions() + 1);
         var_off.push(0u32);
@@ -294,9 +303,25 @@ impl ReplayScratch {
             var_flat.extend_from_slice(&buf);
             var_off.push(var_flat.len() as u32);
         }
+        ReplayIndex { var_flat, var_off, num_vars: task.gvars.len() }
+    }
+}
+
+impl ReplayScratch {
+    /// Precompute the touched-variable index for a task and wrap it in a
+    /// private scratch.
+    pub fn new(task: &PlanningTask) -> Self {
+        Self::with_index(std::sync::Arc::new(ReplayIndex::new(task)))
+    }
+
+    /// A scratch over an existing shared index. The mutable state
+    /// (interval store, tail stamps) is private to this scratch; rollback
+    /// between expansions is an O(1) epoch bump, so per-worker scratches
+    /// checkpoint and discard replay state without any copying.
+    pub fn with_index(index: std::sync::Arc<ReplayIndex>) -> Self {
+        let num_vars = index.num_vars;
         ReplayScratch {
-            var_flat,
-            var_off,
+            index,
             store: DenseStore::new(num_vars),
             tail_stamp: vec![0; num_vars],
             tail_epoch: 0,
@@ -305,7 +330,7 @@ impl ReplayScratch {
     }
 
     fn var_range(&self, a: ActionId) -> std::ops::Range<usize> {
-        self.var_off[a.index()] as usize..self.var_off[a.index() + 1] as usize
+        self.index.var_off[a.index()] as usize..self.index.var_off[a.index() + 1] as usize
     }
 
     /// Mark the variables touched by the parent tail of the node about to
@@ -317,8 +342,8 @@ impl ReplayScratch {
             self.tail_epoch = 1;
         }
         for &aid in parent_tail {
-            for i in self.var_off[aid.index()] as usize..self.var_off[aid.index() + 1] as usize {
-                let v = self.var_flat[i];
+            for i in self.var_range(aid) {
+                let v = self.index.var_flat[i];
                 self.tail_stamp[v.index()] = self.tail_epoch;
             }
         }
@@ -337,8 +362,9 @@ impl ReplayScratch {
         if step_action(task.action(a), 0, &mut self.store, false, &mut self.vals).is_err() {
             return true;
         }
-        let disjoint =
-            self.var_range(a).all(|i| self.tail_stamp[self.var_flat[i].index()] != self.tail_epoch);
+        let disjoint = self
+            .var_range(a)
+            .all(|i| self.tail_stamp[self.index.var_flat[i].index()] != self.tail_epoch);
         if disjoint {
             return false;
         }

@@ -140,33 +140,79 @@ pub struct RgResult {
     pub concretize_time: std::time::Duration,
     /// Candidate plans validated (accepted + rejected).
     pub concretize_calls: usize,
+    /// Batch-synchronous rounds executed by the parallel search
+    /// ([`crate::rg_par`]); 0 for the sequential path. Purely
+    /// observational, like the remaining `par_*` fields.
+    pub par_rounds: usize,
+    /// Frontier entries committed across all parallel rounds (divide by
+    /// `par_rounds` for the realized batch width).
+    pub par_batch_nodes: usize,
+    /// Speculative expansions computed by workers but never consumed by
+    /// the commit loop before the search ended.
+    pub par_spec_waste: usize,
+    /// Cumulative wall time of the parallel fan-out phases (packet build,
+    /// dispatch, worker expansion, result collection).
+    pub par_expand_time: std::time::Duration,
+    /// Cumulative wall time of the commit/merge phases (ordered re-intern
+    /// of staged sets, memo merge, heap pushes).
+    pub par_merge_time: std::time::Duration,
 }
 
-struct RgNode {
-    action: ActionId,
-    parent: u32, // u32::MAX = root
-    set: SetId,
-    g: f64,
+impl RgResult {
+    pub(crate) fn empty() -> RgResult {
+        RgResult {
+            plan: None,
+            nodes_created: 0,
+            open_left: 0,
+            replay_prunes: 0,
+            candidate_rejects: 0,
+            expansions: 0,
+            budget_exhausted: false,
+            deadline_hit: false,
+            best_open_f: None,
+            fallback: None,
+            concretize_time: std::time::Duration::ZERO,
+            concretize_calls: 0,
+            par_rounds: 0,
+            par_batch_nodes: 0,
+            par_spec_waste: 0,
+            par_expand_time: std::time::Duration::ZERO,
+            par_merge_time: std::time::Duration::ZERO,
+        }
+    }
 }
 
-const ROOT: u32 = u32::MAX;
+pub(crate) struct RgNode {
+    pub(crate) action: ActionId,
+    pub(crate) parent: u32, // u32::MAX = root
+    pub(crate) set: SetId,
+    pub(crate) g: f64,
+}
+
+pub(crate) const ROOT: u32 = u32::MAX;
+
+/// Run the RG search on `threads` worker threads. `threads <= 1` is the
+/// plain sequential [`search`]; more dispatches to the batch-synchronous
+/// parallel search ([`crate::rg_par`]), whose returned plan, counters and
+/// admissible bound are identical to the sequential path for every thread
+/// count (see `tests/thread_equivalence.rs`).
+pub fn search_with_threads(
+    task: &PlanningTask,
+    plrg: &Plrg,
+    slrg: &mut Slrg<'_>,
+    cfg: &RgConfig,
+    threads: usize,
+) -> RgResult {
+    if threads <= 1 {
+        search(task, plrg, slrg, cfg)
+    } else {
+        crate::rg_par::search(task, plrg, slrg, cfg, threads)
+    }
+}
 
 /// Run the RG search.
 pub fn search(task: &PlanningTask, plrg: &Plrg, slrg: &mut Slrg<'_>, cfg: &RgConfig) -> RgResult {
-    let mut result = RgResult {
-        plan: None,
-        nodes_created: 0,
-        open_left: 0,
-        replay_prunes: 0,
-        candidate_rejects: 0,
-        expansions: 0,
-        budget_exhausted: false,
-        deadline_hit: false,
-        best_open_f: None,
-        fallback: None,
-        concretize_time: std::time::Duration::ZERO,
-        concretize_calls: 0,
-    };
+    let mut result = RgResult::empty();
 
     let goal_props: Vec<PropId> =
         task.goal_props.iter().copied().filter(|&p| !task.initially(p)).collect();
@@ -345,13 +391,13 @@ pub fn search(task: &PlanningTask, plrg: &Plrg, slrg: &mut Slrg<'_>, cfg: &RgCon
 
 /// Plan tail of a node in execution order: the node's own action runs
 /// first, the root's child's action runs last.
-fn collect_tail(nodes: &[RgNode], idx: u32) -> Vec<ActionId> {
+pub(crate) fn collect_tail(nodes: &[RgNode], idx: u32) -> Vec<ActionId> {
     let mut tail = Vec::new();
     collect_tail_into(nodes, idx, &mut tail);
     tail
 }
 
-fn collect_tail_into(nodes: &[RgNode], mut idx: u32, tail: &mut Vec<ActionId>) {
+pub(crate) fn collect_tail_into(nodes: &[RgNode], mut idx: u32, tail: &mut Vec<ActionId>) {
     tail.clear();
     loop {
         let n = &nodes[idx as usize];
@@ -363,7 +409,7 @@ fn collect_tail_into(nodes: &[RgNode], mut idx: u32, tail: &mut Vec<ActionId>) {
     }
 }
 
-fn select_prop(plrg: &Plrg, props: &[PropId]) -> PropId {
+pub(crate) fn select_prop(plrg: &Plrg, props: &[PropId]) -> PropId {
     *props
         .iter()
         .max_by(|&&a, &&b| {

@@ -1,0 +1,569 @@
+//! Batch-synchronous parallel RG search (deterministic).
+//!
+//! Parallelizes the [`crate::rg`] expansion loop without changing a single
+//! observable outcome: for any thread count the returned plan, its cost,
+//! the admissible `best_open_f` bound **and every RG counter** are
+//! bit-identical to the sequential search. The scheme is speculative
+//! expansion + strict sequential commit:
+//!
+//! 1. **Pop.** Each round pops the K best frontier entries in the exact
+//!    sequential heap order (f, then deeper-g, then FIFO counter — a
+//!    strict total order, since the counter is unique per entry).
+//! 2. **Fan-out.** Entries whose expansion is not already cached become
+//!    work packets. Persistent scoped workers claim packets by atomic
+//!    index and expand them against a *frozen* snapshot of the shared
+//!    state: the global [`SetPool`]/SLRG memo behind a read lock, a
+//!    per-worker [`StagePool`] overlay for fresh child sets, a per-worker
+//!    private [`Slrg`] for memo misses, and a per-worker [`ReplayScratch`]
+//!    over a shared [`ReplayIndex`]. Expansion is a *pure function* of the
+//!    node: child regression, replay pruning and SLRG set costs depend
+//!    only on `(task, plrg, slrg_budget, tail)` — the SLRG A* tie-breaks
+//!    on a query-local counter before any [`SetId`], so pool numbering
+//!    never leaks into a bound.
+//! 3. **Commit.** With the write lock held, the committer replays the
+//!    *exact* sequential loop over the batch in pop order, consuming the
+//!    cached expansion of each entry: fresh child sets are re-interned
+//!    into the global pool in canonical (batch × achiever) order — which
+//!    assigns the same `SetId`s sequential interning of that sequence
+//!    would — worker-computed costs merge into the global memo, children
+//!    push with sequentially assigned tie-break counters, and every
+//!    budget/deadline/candidate decision fires in its sequential slot. If
+//!    a freshly pushed child outranks the next batch entry (the sequential
+//!    search would have popped it first), the remaining entries are pushed
+//!    back untouched and the round ends — their cached expansions are
+//!    reused when they pop again, so divergence costs synchronization, not
+//!    recomputation.
+//!
+//! Speculation can expand nodes the sequential search never pops (e.g.
+//! when a budget trips mid-batch); those results are counted as
+//! [`RgResult::par_spec_waste`] and discarded. Everything the commit loop
+//! consumes is, by the purity argument above, exactly what the sequential
+//! loop would have computed in place.
+//!
+//! [`SetPool`]: crate::pool::SetPool
+//! [`StagePool`]: crate::pool::StagePool
+//! [`ReplayIndex`]: crate::replay::ReplayIndex
+
+use crate::concretize::{concretize, concretize_relaxed, ConcreteExecution};
+use crate::plrg::Plrg;
+use crate::pool::{SetId, StagePool};
+use crate::replay::{replay_tail, ReplayIndex, ReplayScratch};
+use crate::rg::{
+    collect_tail, select_prop, Heuristic, RgConfig, RgNode, RgResult, DEADLINE_CHECK_STRIDE, ROOT,
+};
+use crate::slrg::{SetCost, Slrg};
+use sekitei_compile::PlanningTask;
+use sekitei_model::{ActionId, PropId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, RwLock};
+use std::time::Instant;
+
+/// Frontier entries speculatively popped per worker thread each round.
+/// Larger batches amortize the round barrier and prefill the expansion
+/// cache further ahead; smaller ones waste less speculation when budgets
+/// trip. 4 per worker keeps the fan-out comfortably ahead of the commit
+/// loop without flooding it.
+const BATCH_PER_THREAD: usize = 4;
+
+/// Open-heap entry, identical to the sequential search:
+/// `(Reverse(f_bits), g_bits, Reverse(counter), node idx)`.
+type OpenEntry = (Reverse<u64>, u64, Reverse<u64>, u32);
+
+/// One frontier entry handed to the workers for expansion.
+struct Packet {
+    idx: u32,
+    /// The node's open set (`SetId::EMPTY` ⇒ candidate validation).
+    set: SetId,
+    g: f64,
+    /// Execution-ordered plan tail of the node.
+    tail: Vec<ActionId>,
+}
+
+/// A round of work, shared with every worker; packets are claimed by
+/// atomic index (work stealing, same idiom as `Planner::plan_batch_with`).
+struct Round {
+    packets: Vec<Packet>,
+    next: AtomicUsize,
+}
+
+/// A child's proposition set as seen from a worker's frozen snapshot.
+enum ChildSet {
+    /// Already interned in the global pool at round start.
+    Known(SetId),
+    /// Fresh this round: the committer interns it in canonical order.
+    Fresh(Vec<PropId>),
+}
+
+/// One achiever-loop event, in sequential iteration order.
+enum ChildOut {
+    /// Child discarded by optimistic-map replay (after a finite heuristic,
+    /// exactly where the sequential loop counts it).
+    Pruned,
+    /// Child to create and push.
+    Kept { action: ActionId, set: ChildSet, g2: f64, cost: SetCost },
+}
+
+/// A worker's result for one packet.
+enum Expansion {
+    /// Achiever-loop events of an inner-node expansion.
+    Children(Vec<ChildOut>),
+    /// Terminal candidate validation outcome.
+    Candidate {
+        tail: Vec<ActionId>,
+        solved: Option<Box<ConcreteExecution>>,
+        fallback: Option<Box<ConcreteExecution>>,
+        dur: std::time::Duration,
+    },
+}
+
+/// Run the batch-synchronous parallel RG search on `threads` workers.
+/// Prefer [`crate::rg::search_with_threads`], which dispatches
+/// `threads <= 1` to the sequential path.
+pub fn search(
+    task: &PlanningTask,
+    plrg: &Plrg,
+    slrg: &mut Slrg<'_>,
+    cfg: &RgConfig,
+    threads: usize,
+) -> RgResult {
+    let threads = threads.max(2);
+    let mut result = RgResult::empty();
+
+    // --- initialization: byte-for-byte the sequential prologue ---
+    let goal_props: Vec<PropId> =
+        task.goal_props.iter().copied().filter(|&p| !task.initially(p)).collect();
+    if goal_props.is_empty() {
+        let exec = concretize(task, &[], &std::collections::HashMap::new())
+            .expect("empty plan always executes");
+        result.plan = Some((Vec::new(), 0.0, exec));
+        return result;
+    }
+    let goal = slrg.pool_mut().intern(goal_props);
+    let h0 = match cfg.heuristic {
+        Heuristic::Slrg => slrg.achievement_cost_id(goal).bound,
+        Heuristic::PlrgMax => plrg.set_cost(slrg.pool().props_of(goal)),
+        Heuristic::Blind => {
+            if plrg.set_cost(slrg.pool().props_of(goal)).is_finite() {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        }
+    };
+    if !h0.is_finite() {
+        return result; // logically unsolvable
+    }
+
+    let mut nodes: Vec<RgNode> = Vec::new();
+    let mut open: BinaryHeap<OpenEntry> = BinaryHeap::new();
+    let mut counter = 0u64;
+    nodes.push(RgNode { action: ActionId(0), parent: ROOT, set: goal, g: 0.0 });
+    result.nodes_created += 1;
+    open.push((Reverse(h0.to_bits()), 0f64.to_bits(), Reverse(counter), 0));
+
+    // --- parallel machinery ---
+    let slrg_budget = slrg.budget();
+    let replay_index = Arc::new(ReplayIndex::new(task));
+    let fallback_found = AtomicBool::new(false);
+    // Workers read the global pool + memo during fan-out; the committer
+    // writes them between rounds. The phases are disjoint, so the lock is
+    // uncontended — it exists to prove the aliasing safe.
+    let shared = RwLock::new(slrg);
+    let (res_tx, res_rx) = mpsc::channel::<(u32, Expansion)>();
+    // Expansions by node idx, computed this or an earlier round and not
+    // yet consumed by the commit loop.
+    let mut cache: HashMap<u32, Expansion> = HashMap::new();
+    let batch_cap = threads * BATCH_PER_THREAD;
+    let mut batch: Vec<OpenEntry> = Vec::with_capacity(batch_cap);
+    let mut work_since_check = 0usize;
+    let cfg = *cfg;
+
+    std::thread::scope(|s| {
+        let mut round_txs = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = mpsc::channel::<Arc<Round>>();
+            round_txs.push(tx);
+            let res_tx = res_tx.clone();
+            let shared = &shared;
+            let fallback_found = &fallback_found;
+            let index = Arc::clone(&replay_index);
+            s.spawn(move || {
+                let mut private = Slrg::new(task, plrg, slrg_budget);
+                let mut scratch = ReplayScratch::with_index(index);
+                let mut stage = StagePool::new();
+                while let Ok(round) = rx.recv() {
+                    let guard = shared.read().expect("committer never panics with the lock");
+                    let global: &Slrg<'_> = &guard;
+                    stage.reset(global.pool().len());
+                    loop {
+                        let i = round.next.fetch_add(1, Ordering::Relaxed);
+                        let Some(p) = round.packets.get(i) else { break };
+                        let exp = if p.set == SetId::EMPTY {
+                            expand_candidate(task, &cfg, p, fallback_found)
+                        } else {
+                            expand_node(
+                                task,
+                                plrg,
+                                &cfg,
+                                global,
+                                &mut private,
+                                &mut scratch,
+                                &mut stage,
+                                p,
+                            )
+                        };
+                        if res_tx.send((p.idx, exp)).is_err() {
+                            return; // search ended, committer gone
+                        }
+                    }
+                }
+            });
+        }
+        // only workers hold result senders now: a dead worker fleet
+        // surfaces as a recv error instead of a hang
+        drop(res_tx);
+
+        let mut finished = false;
+        while !finished {
+            // ---- pop: the K sequentially-next frontier entries ----
+            batch.clear();
+            while batch.len() < batch_cap {
+                match open.pop() {
+                    Some(e) => batch.push(e),
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                break; // frontier drained
+            }
+            result.par_rounds += 1;
+
+            // ---- fan-out: expand entries without a cached result ----
+            let t_expand = Instant::now();
+            let mut packets: Vec<Packet> = Vec::new();
+            for &(_, _, _, idx) in &batch {
+                if cache.contains_key(&idx) {
+                    continue;
+                }
+                let n = &nodes[idx as usize];
+                packets.push(Packet { idx, set: n.set, g: n.g, tail: collect_tail(&nodes, idx) });
+            }
+            let expected = packets.len();
+            if expected > 0 {
+                let round = Arc::new(Round { packets, next: AtomicUsize::new(0) });
+                for tx in &round_txs {
+                    let _ = tx.send(Arc::clone(&round));
+                }
+                for _ in 0..expected {
+                    let (idx, exp) = res_rx.recv().expect("a worker thread died");
+                    cache.insert(idx, exp);
+                }
+            }
+            result.par_expand_time += t_expand.elapsed();
+
+            // ---- commit: replay the sequential loop over the batch ----
+            let t_merge = Instant::now();
+            let mut guard = shared.write().expect("workers never panic with the lock");
+            let slrg: &mut Slrg<'_> = &mut guard;
+            'commit: for pos in 0..batch.len() {
+                let entry = batch[pos];
+                if pos > 0 {
+                    if let Some(&top) = open.peek() {
+                        if top > entry {
+                            // a child committed this round outranks the
+                            // rest of the batch — the sequential search
+                            // would pop it next. Resynchronize; cached
+                            // expansions survive for the re-pop.
+                            for &e in &batch[pos..] {
+                                open.push(e);
+                            }
+                            break 'commit;
+                        }
+                    }
+                }
+                let (Reverse(f_bits), _, _, idx) = entry;
+                let popped_f = f64::from_bits(f_bits);
+                result.par_batch_nodes += 1;
+                if result.nodes_created >= cfg.max_nodes {
+                    result.budget_exhausted = true;
+                    result.best_open_f = Some(popped_f);
+                    for &e in &batch[pos + 1..] {
+                        open.push(e);
+                    }
+                    finished = true;
+                    break 'commit;
+                }
+                if let Some(deadline) = cfg.deadline {
+                    work_since_check += 1;
+                    if work_since_check >= DEADLINE_CHECK_STRIDE {
+                        work_since_check = 0;
+                        if Instant::now() >= deadline {
+                            result.budget_exhausted = true;
+                            result.deadline_hit = true;
+                            result.best_open_f = Some(popped_f);
+                            for &e in &batch[pos + 1..] {
+                                open.push(e);
+                            }
+                            finished = true;
+                            break 'commit;
+                        }
+                    }
+                }
+                result.expansions += 1;
+                let exp = cache.remove(&idx).expect("every batch entry was expanded");
+                match exp {
+                    Expansion::Candidate { tail, solved, fallback, dur } => {
+                        result.concretize_calls += 1;
+                        result.concretize_time += dur;
+                        if let Some(exec) = solved {
+                            result.plan = Some((tail, nodes[idx as usize].g, *exec));
+                            for &e in &batch[pos + 1..] {
+                                open.push(e);
+                            }
+                            finished = true;
+                            break 'commit;
+                        }
+                        result.candidate_rejects += 1;
+                        if cfg.relaxed_fallback && result.fallback.is_none() {
+                            if let Some(exec) = fallback {
+                                result.fallback = Some((tail, nodes[idx as usize].g, *exec));
+                                fallback_found.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        if result.candidate_rejects >= cfg.max_candidate_rejects {
+                            result.budget_exhausted = true;
+                            result.best_open_f = Some(popped_f);
+                            for &e in &batch[pos + 1..] {
+                                open.push(e);
+                            }
+                            finished = true;
+                            break 'commit;
+                        }
+                    }
+                    Expansion::Children(children) => {
+                        for c in children {
+                            match c {
+                                ChildOut::Pruned => result.replay_prunes += 1,
+                                ChildOut::Kept { action, set, g2, cost } => {
+                                    let child_set = match set {
+                                        ChildSet::Known(id) => id,
+                                        ChildSet::Fresh(props) => {
+                                            slrg.pool_mut().intern_sorted(&props)
+                                        }
+                                    };
+                                    if cfg.heuristic == Heuristic::Slrg {
+                                        slrg.memo_insert(child_set, cost);
+                                    }
+                                    let child_idx = nodes.len() as u32;
+                                    nodes.push(RgNode {
+                                        action,
+                                        parent: idx,
+                                        set: child_set,
+                                        g: g2,
+                                    });
+                                    result.nodes_created += 1;
+                                    if cfg.deadline.is_some() {
+                                        work_since_check += 1;
+                                    }
+                                    counter += 1;
+                                    open.push((
+                                        Reverse((g2 + cost.bound).to_bits()),
+                                        g2.to_bits(),
+                                        Reverse(counter),
+                                        child_idx,
+                                    ));
+                                    if nodes.len() >= cfg.max_nodes {
+                                        result.budget_exhausted = true;
+                                        for &e in &batch[pos + 1..] {
+                                            open.push(e);
+                                        }
+                                        finished = true;
+                                        break 'commit;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            drop(guard);
+            result.par_merge_time += t_merge.elapsed();
+        }
+        // round_txs drop here: workers see the hangup and exit, the scope
+        // joins them
+    });
+
+    result.open_left = open.len();
+    if result.plan.is_none() && result.best_open_f.is_none() {
+        result.best_open_f = open.peek().map(|&(Reverse(f_bits), ..)| f64::from_bits(f_bits));
+    }
+    result.par_spec_waste = cache.len();
+    result
+}
+
+/// Terminal candidate validation, identical to the sequential branch:
+/// full replay from the initial state, greedy concretization, and (when
+/// degradation is on and no fallback has been committed yet) the relaxed
+/// re-binding attempt.
+fn expand_candidate(
+    task: &PlanningTask,
+    cfg: &RgConfig,
+    p: &Packet,
+    fallback_found: &AtomicBool,
+) -> Expansion {
+    let t = Instant::now();
+    let mut solved = None;
+    let mut fb = None;
+    if let Ok(map) = replay_tail(task, &p.tail, Some(&task.init_values)) {
+        match concretize(task, &p.tail, &map) {
+            Ok(exec) => solved = Some(Box::new(exec)),
+            Err(_) => {
+                // the flag only ever flips after a fallback was *committed*,
+                // so skipping here can never starve the commit loop of a
+                // fallback it still wants — it just saves the grid scan
+                if cfg.relaxed_fallback && !fallback_found.load(Ordering::Relaxed) {
+                    if let Ok(exec) = concretize_relaxed(task, &p.tail, &map) {
+                        fb = Some(Box::new(exec));
+                    }
+                }
+            }
+        }
+    }
+    Expansion::Candidate { tail: p.tail.clone(), solved, fallback: fb, dur: t.elapsed() }
+}
+
+/// Inner-node expansion against the frozen round snapshot: the sequential
+/// achiever loop with the global pool replaced by a [`StagePool`] overlay
+/// and the global SLRG replaced by memo-snapshot reads + a private oracle.
+#[allow(clippy::too_many_arguments)]
+fn expand_node<'t>(
+    task: &'t PlanningTask,
+    plrg: &'t Plrg,
+    cfg: &RgConfig,
+    global: &Slrg<'_>,
+    private: &mut Slrg<'t>,
+    scratch: &mut ReplayScratch,
+    stage: &mut StagePool,
+    p: &Packet,
+) -> Expansion {
+    let pool = global.pool();
+    if cfg.replay_pruning {
+        scratch.begin_expansion(&p.tail);
+    }
+    let target = select_prop(plrg, pool.props_of(p.set));
+    let parent = stage.adopt(p.set);
+    let mut out = Vec::new();
+    for &a in task.achievers(target) {
+        if !plrg.usable(a) {
+            continue;
+        }
+        if p.tail.contains(&a) {
+            continue;
+        }
+        let act = task.action(a);
+        let child = stage.regress(pool, parent, &act.adds, &act.preconds, |q| task.initially(q));
+        let g2 = p.g + act.cost;
+        let cost = match cfg.heuristic {
+            // global memo snapshot first; a miss (always, for sets fresh
+            // this round) runs the pure query on the private oracle
+            Heuristic::Slrg => {
+                match stage.as_base(child).and_then(|id| global.cached_cost_id(id)) {
+                    Some(c) => c,
+                    None => private.achievement_cost_sorted(stage.props_of(pool, child)),
+                }
+            }
+            Heuristic::PlrgMax => {
+                SetCost { bound: plrg.set_cost(stage.props_of(pool, child)), exact: false }
+            }
+            Heuristic::Blind => {
+                let finite = plrg.set_cost(stage.props_of(pool, child)).is_finite();
+                SetCost { bound: if finite { 0.0 } else { f64::INFINITY }, exact: false }
+            }
+        };
+        if !cost.bound.is_finite() {
+            continue;
+        }
+        if cfg.replay_pruning && scratch.child_tail_fails(task, a, &p.tail) {
+            out.push(ChildOut::Pruned);
+            continue;
+        }
+        let set = match stage.as_base(child) {
+            Some(id) => ChildSet::Known(id),
+            None => ChildSet::Fresh(stage.props_of(pool, child).to_vec()),
+        };
+        out.push(ChildOut::Kept { action: a, set, g2, cost });
+    }
+    Expansion::Children(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rg;
+    use sekitei_compile::compile;
+    use sekitei_model::LevelScenario;
+    use sekitei_topology::scenarios;
+
+    fn both(sc: LevelScenario, cfg: &RgConfig, threads: usize) -> (RgResult, RgResult) {
+        let p = scenarios::tiny(sc);
+        let task = compile(&p).unwrap();
+        let plrg = Plrg::build(&task);
+        let mut s1 = Slrg::new(&task, &plrg, 50_000);
+        let seq = rg::search(&task, &plrg, &mut s1, cfg);
+        let mut s2 = Slrg::new(&task, &plrg, 50_000);
+        let par = search(&task, &plrg, &mut s2, cfg, threads);
+        (seq, par)
+    }
+
+    fn assert_same(seq: &RgResult, par: &RgResult, label: &str) {
+        assert_eq!(seq.nodes_created, par.nodes_created, "{label}: nodes");
+        assert_eq!(seq.expansions, par.expansions, "{label}: expansions");
+        assert_eq!(seq.open_left, par.open_left, "{label}: open_left");
+        assert_eq!(seq.replay_prunes, par.replay_prunes, "{label}: prunes");
+        assert_eq!(seq.candidate_rejects, par.candidate_rejects, "{label}: rejects");
+        assert_eq!(seq.budget_exhausted, par.budget_exhausted, "{label}: budget");
+        assert_eq!(
+            seq.best_open_f.map(f64::to_bits),
+            par.best_open_f.map(f64::to_bits),
+            "{label}: bound"
+        );
+        match (&seq.plan, &par.plan) {
+            (None, None) => {}
+            (Some((pa, ca, _)), Some((pb, cb, _))) => {
+                assert_eq!(pa, pb, "{label}: plan actions");
+                assert_eq!(ca.to_bits(), cb.to_bits(), "{label}: plan cost");
+            }
+            _ => panic!("{label}: solvability disagrees"),
+        }
+    }
+
+    #[test]
+    fn tiny_all_scenarios_match_sequential() {
+        let cfg = RgConfig::default();
+        for sc in LevelScenario::ALL {
+            for threads in [2, 3, 8] {
+                let (seq, par) = both(sc, &cfg, threads);
+                assert_same(&seq, &par, &format!("tiny/{sc:?} t{threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn tight_node_budget_matches_sequential() {
+        let cfg = RgConfig { max_nodes: 40, ..RgConfig::default() };
+        for sc in [LevelScenario::A, LevelScenario::E] {
+            let (seq, par) = both(sc, &cfg, 4);
+            assert_same(&seq, &par, &format!("tight tiny/{sc:?}"));
+        }
+    }
+
+    #[test]
+    fn spec_waste_only_on_truncated_searches() {
+        // a drained search consumes every expansion it computed
+        let (_, par) = both(LevelScenario::A, &RgConfig::default(), 4);
+        assert_eq!(par.par_spec_waste, 0, "drained search must consume all expansions");
+        assert!(par.par_rounds > 0);
+    }
+}

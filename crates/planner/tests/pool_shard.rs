@@ -1,0 +1,107 @@
+//! Property test for the sharded-interning merge of the parallel RG
+//! search: interning a sequence of sets through per-worker [`StagePool`]
+//! overlays over a frozen base and then committing the fresh ones back in
+//! canonical sequence order must produce *exactly* the `SetId → props`
+//! mapping that sequential interning of the same sequence produces — same
+//! ids per element, same pool contents, same pool length.
+
+use proptest::prelude::*;
+use sekitei_model::PropId;
+use sekitei_planner::pool::{SetPool, StagePool};
+
+/// A random canonical (sorted, deduped, non-empty) proposition set over a
+/// small vocabulary — small enough that duplicates across the sequence are
+/// common, which is the interesting case for interning.
+fn arb_set() -> impl Strategy<Value = Vec<PropId>> {
+    proptest::collection::vec(0u32..24, 1..6).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v.into_iter().map(PropId).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Round-robin sharding across `workers` stage overlays, then an
+    /// in-order commit, equals sequential interning.
+    #[test]
+    fn sharded_then_merged_equals_sequential(
+        base_sets in proptest::collection::vec(arb_set(), 0..12),
+        round_sets in proptest::collection::vec(arb_set(), 1..40),
+        workers in 1usize..5,
+    ) {
+        // --- sequential oracle ---
+        let mut seq = SetPool::new();
+        for s in &base_sets {
+            seq.intern_sorted(s);
+        }
+        let seq_ids: Vec<_> = round_sets.iter().map(|s| seq.intern_sorted(s)).collect();
+
+        // --- sharded: freeze the base, fan out, commit in order ---
+        let mut pool = SetPool::new();
+        for s in &base_sets {
+            pool.intern_sorted(s);
+        }
+        let mut stages: Vec<StagePool> = (0..workers).map(|_| StagePool::new()).collect();
+        for st in &mut stages {
+            st.reset(pool.len());
+        }
+        // worker w interns elements w, w+workers, ... against the frozen
+        // base; fresh sets surface as owned props, known ones as base ids
+        let worker_out: Vec<Result<sekitei_planner::SetId, Vec<PropId>>> = round_sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let st = &mut stages[i % workers];
+                let id = st.intern_sorted(&pool, s);
+                match st.as_base(id) {
+                    Some(base) => Ok(base),
+                    None => Err(st.props_of(&pool, id).to_vec()),
+                }
+            })
+            .collect();
+        // the committer replays the canonical sequence order
+        let par_ids: Vec<_> = worker_out
+            .into_iter()
+            .map(|r| match r {
+                Ok(id) => id,
+                Err(props) => pool.intern_sorted(&props),
+            })
+            .collect();
+
+        prop_assert_eq!(&par_ids, &seq_ids, "per-element ids diverged");
+        prop_assert_eq!(pool.len(), seq.len(), "pool sizes diverged");
+        for i in 0..round_sets.len() {
+            prop_assert_eq!(
+                pool.props_of(par_ids[i]),
+                seq.props_of(seq_ids[i]),
+                "props behind element {} diverged", i
+            );
+        }
+    }
+
+    /// A stage overlay never aliases: staged ids resolve to the props that
+    /// were interned, and base hits resolve through the base pool.
+    #[test]
+    fn stage_overlay_is_consistent(
+        base_sets in proptest::collection::vec(arb_set(), 0..8),
+        sets in proptest::collection::vec(arb_set(), 1..20),
+    ) {
+        let mut pool = SetPool::new();
+        for s in &base_sets {
+            pool.intern_sorted(s);
+        }
+        let mut stage = StagePool::new();
+        stage.reset(pool.len());
+        for s in &sets {
+            let id = stage.intern_sorted(&pool, s);
+            prop_assert_eq!(stage.props_of(&pool, id), s.as_slice());
+            if let Some(base) = stage.as_base(id) {
+                prop_assert_eq!(pool.props_of(base), s.as_slice());
+            }
+            // re-interning is stable
+            prop_assert_eq!(stage.intern_sorted(&pool, s), id);
+        }
+    }
+}

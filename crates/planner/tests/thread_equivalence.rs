@@ -1,0 +1,210 @@
+//! Cross-thread determinism suite: the batch-synchronous parallel RG
+//! search (`--search-threads N`) must return the *same* answer as the
+//! sequential search for every thread count — identical plan actions,
+//! bit-identical cost lower bound and admissible frontier bound, and
+//! identical RG counters (nodes, expansions, prunes, rejects, open list).
+//! Only wall-clock timing and the purely observational `par_*` metrics may
+//! differ. The `1`-thread run is additionally pinned to the boxed
+//! reference implementation, anchoring the whole chain
+//! `reference ≡ sequential ≡ parallel(N)`.
+
+use sekitei_compile::{compile, PlanningTask};
+use sekitei_model::LevelScenario;
+use sekitei_planner::reference::search_reference;
+use sekitei_planner::rg::{search_with_threads, Heuristic, RgConfig, RgResult};
+use sekitei_planner::{Plrg, Slrg};
+use sekitei_topology::scenarios;
+
+const SLRG_BUDGET: usize = 50_000;
+const THREADS: [usize; 3] = [2, 4, 8];
+
+fn run(task: &PlanningTask, cfg: &RgConfig, threads: usize) -> Option<RgResult> {
+    let plrg = Plrg::build(task);
+    if !plrg.solvable(task) {
+        return None;
+    }
+    let mut slrg = Slrg::new(task, &plrg, SLRG_BUDGET);
+    Some(search_with_threads(task, &plrg, &mut slrg, cfg, threads))
+}
+
+fn assert_same(seq: &RgResult, par: &RgResult, label: &str) {
+    assert_eq!(seq.nodes_created, par.nodes_created, "{label}: nodes_created");
+    assert_eq!(seq.expansions, par.expansions, "{label}: expansions");
+    assert_eq!(seq.open_left, par.open_left, "{label}: open_left");
+    assert_eq!(seq.replay_prunes, par.replay_prunes, "{label}: replay_prunes");
+    assert_eq!(seq.candidate_rejects, par.candidate_rejects, "{label}: candidate_rejects");
+    assert_eq!(seq.budget_exhausted, par.budget_exhausted, "{label}: budget_exhausted");
+    assert_eq!(seq.deadline_hit, par.deadline_hit, "{label}: deadline_hit");
+    assert_eq!(
+        seq.best_open_f.map(f64::to_bits),
+        par.best_open_f.map(f64::to_bits),
+        "{label}: best_open_f (bit-identical)"
+    );
+    match (&seq.plan, &par.plan) {
+        (None, None) => {}
+        (Some((pa, ca, _)), Some((pb, cb, _))) => {
+            assert_eq!(pa, pb, "{label}: plan actions");
+            assert_eq!(ca.to_bits(), cb.to_bits(), "{label}: plan cost (bit-identical)");
+        }
+        (a, b) => panic!("{label}: plan presence differs: {:?} vs {:?}", a.is_some(), b.is_some()),
+    }
+    match (&seq.fallback, &par.fallback) {
+        (None, None) => {}
+        (Some((pa, ca, _)), Some((pb, cb, _))) => {
+            assert_eq!(pa, pb, "{label}: fallback actions");
+            assert_eq!(ca.to_bits(), cb.to_bits(), "{label}: fallback cost");
+        }
+        (a, b) => {
+            panic!("{label}: fallback presence differs: {:?} vs {:?}", a.is_some(), b.is_some())
+        }
+    }
+}
+
+fn check(task: &PlanningTask, cfg: &RgConfig, label: &str) {
+    let Some(seq) = run(task, cfg, 1) else { return };
+    for threads in THREADS {
+        let par = run(task, cfg, threads).expect("solvability is thread-independent");
+        assert_same(&seq, &par, &format!("{label}/t{threads}"));
+    }
+}
+
+#[test]
+fn tiny_all_scenarios_all_thread_counts() {
+    for sc in LevelScenario::ALL {
+        let task = compile(&scenarios::tiny(sc)).unwrap();
+        check(&task, &RgConfig::default(), &format!("tiny/{sc:?}/default"));
+    }
+}
+
+#[test]
+fn small_all_scenarios_all_thread_counts() {
+    // Small/A burns its full candidate-reject budget; cap nodes so the
+    // suite stays fast while still exercising the exhaustion path at
+    // every thread count.
+    let cfg = RgConfig { max_nodes: 20_000, ..RgConfig::default() };
+    for sc in LevelScenario::ALL {
+        let task = compile(&scenarios::small(sc)).unwrap();
+        check(&task, &cfg, &format!("small/{sc:?}/capped"));
+    }
+}
+
+#[test]
+fn heuristics_match_across_thread_counts() {
+    for h in [Heuristic::PlrgMax, Heuristic::Blind] {
+        let cfg = RgConfig { heuristic: h, max_nodes: 20_000, ..RgConfig::default() };
+        for sc in [LevelScenario::B, LevelScenario::D] {
+            let task = compile(&scenarios::tiny(sc)).unwrap();
+            check(&task, &cfg, &format!("tiny/{sc:?}/{h:?}"));
+        }
+    }
+}
+
+#[test]
+fn no_replay_pruning_matches_across_thread_counts() {
+    let cfg = RgConfig { replay_pruning: false, ..RgConfig::default() };
+    for sc in [LevelScenario::B, LevelScenario::C, LevelScenario::E] {
+        let task = compile(&scenarios::tiny(sc)).unwrap();
+        check(&task, &cfg, &format!("tiny/{sc:?}/no-pruning"));
+    }
+}
+
+#[test]
+fn tight_budgets_cut_off_identically() {
+    // budget exhaustion must trip at the same committed pop / node for
+    // every thread count, and report the same admissible bound
+    for max_nodes in [40, 400] {
+        let cfg = RgConfig { max_nodes, ..RgConfig::default() };
+        let task = compile(&scenarios::small(LevelScenario::E)).unwrap();
+        check(&task, &cfg, &format!("small/E/max_nodes={max_nodes}"));
+    }
+    let cfg = RgConfig { max_candidate_rejects: 3, ..RgConfig::default() };
+    let task = compile(&scenarios::small(LevelScenario::A)).unwrap();
+    check(&task, &cfg, "small/A/max_rejects=3");
+}
+
+#[test]
+fn relaxed_fallback_matches_across_thread_counts() {
+    // the degradation path: Tiny/A rejects every candidate but captures a
+    // relaxed-bound fallback; it must be the same candidate at any width
+    let cfg = RgConfig { relaxed_fallback: true, ..RgConfig::default() };
+    let task = compile(&scenarios::tiny(LevelScenario::A)).unwrap();
+    let seq = run(&task, &cfg, 1).unwrap();
+    assert!(seq.fallback.is_some(), "Tiny/A must yield a degraded fallback");
+    check(&task, &cfg, "tiny/A/fallback");
+}
+
+#[test]
+fn parallel_matches_boxed_reference_on_tiny() {
+    // close the chain: parallel(4) against the original boxed-SetKey
+    // implementation directly, not just via the sequential middleman
+    for sc in LevelScenario::ALL {
+        let task = compile(&scenarios::tiny(sc)).unwrap();
+        let plrg = Plrg::build(&task);
+        if !plrg.solvable(&task) {
+            continue;
+        }
+        let cfg = RgConfig::default();
+        let mut slrg = Slrg::new(&task, &plrg, SLRG_BUDGET);
+        let par = search_with_threads(&task, &plrg, &mut slrg, &cfg, 4);
+        let reference = search_reference(&task, &plrg, SLRG_BUDGET, &cfg);
+        let label = format!("tiny/{sc:?}/vs-reference");
+        assert_eq!(par.nodes_created, reference.nodes_created, "{label}: nodes_created");
+        assert_eq!(par.open_left, reference.open_left, "{label}: open_left");
+        assert_eq!(par.replay_prunes, reference.replay_prunes, "{label}: replay_prunes");
+        assert_eq!(par.candidate_rejects, reference.candidate_rejects, "{label}: rejects");
+        assert_eq!(par.expansions, reference.expansions, "{label}: expansions");
+        match (&par.plan, &reference.plan) {
+            (None, None) => {}
+            (Some((pa, ca, _)), Some((pb, cb, _))) => {
+                assert_eq!(pa, pb, "{label}: plan actions");
+                assert_eq!(ca.to_bits(), cb.to_bits(), "{label}: cost");
+            }
+            (a, b) => {
+                panic!("{label}: plan presence differs: {:?} vs {:?}", a.is_some(), b.is_some())
+            }
+        }
+    }
+}
+
+#[test]
+fn facade_plan_matches_across_thread_counts() {
+    // end-to-end through the Planner facade, the way the CLI/server/churn
+    // reach the knob
+    use sekitei_planner::{Planner, PlannerConfig};
+    for sc in LevelScenario::ALL {
+        let problem = scenarios::tiny(sc);
+        let base = Planner::default().plan(&problem).unwrap();
+        for threads in THREADS {
+            let planner =
+                Planner::new(PlannerConfig { search_threads: threads, ..Default::default() });
+            let out = planner.plan(&problem).unwrap();
+            let label = format!("facade tiny/{sc:?}/t{threads}");
+            assert_eq!(base.stats.rg_nodes, out.stats.rg_nodes, "{label}: rg_nodes");
+            assert_eq!(base.stats.rg_open_left, out.stats.rg_open_left, "{label}: open_left");
+            assert_eq!(base.stats.replay_prunes, out.stats.replay_prunes, "{label}: prunes");
+            assert_eq!(
+                base.stats.candidate_rejects, out.stats.candidate_rejects,
+                "{label}: rejects"
+            );
+            assert_eq!(
+                base.stats.best_bound.map(f64::to_bits),
+                out.stats.best_bound.map(f64::to_bits),
+                "{label}: best_bound"
+            );
+            match (&base.plan, &out.plan) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.to_string(), b.to_string(), "{label}: plan text");
+                    assert_eq!(
+                        a.cost_lower_bound.to_bits(),
+                        b.cost_lower_bound.to_bits(),
+                        "{label}: cost"
+                    );
+                }
+                (a, b) => {
+                    panic!("{label}: plan presence differs: {:?} vs {:?}", a.is_some(), b.is_some())
+                }
+            }
+        }
+    }
+}
