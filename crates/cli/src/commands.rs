@@ -8,11 +8,12 @@ use sekitei_topology::scenarios::{self, NetSize};
 
 const USAGE: &str = "usage:
   sekitei plan (<spec-file> | --scenario <size-level>) [--plrg-heuristic]
-               [--no-replay-pruning] [--max-nodes N] [--deadline-ms N]
-               [--search-threads N] [--degrade] [--validate] [--quiet]
-               [--profile] [--trace-json FILE]
-  sekitei batch <spec-file>... [--threads N] [--search-threads N]
+               [--no-replay-pruning] [--no-prune] [--max-nodes N]
+               [--deadline-ms N] [--search-threads N] [--degrade]
                [--validate] [--quiet] [--profile] [--trace-json FILE]
+  sekitei batch <spec-file>... [--threads N] [--search-threads N]
+               [--no-prune] [--validate] [--quiet] [--profile]
+               [--trace-json FILE]
   sekitei serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
                [--cache-cap N] [--max-nodes N] [--deadline-ms N]
                [--search-threads N] [--no-degrade]
@@ -74,6 +75,13 @@ fn parse_config(flags: &[String]) -> Result<(PlannerConfig, bool, bool), String>
         match flags[i].as_str() {
             "--plrg-heuristic" => cfg.heuristic = Heuristic::PlrgMax,
             "--no-replay-pruning" => cfg.replay_pruning = false,
+            "--no-prune" => {
+                // escape hatch for the search-quality pruning layer:
+                // dominance, symmetry breaking and g-aware reopening off
+                cfg.dominance = false;
+                cfg.symmetry = false;
+                cfg.reopen = false;
+            }
             "--validate" => validate = true,
             "--quiet" => quiet = true,
             "--max-nodes" => {
@@ -285,6 +293,11 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                 let v = args.get(i).ok_or("--search-threads needs a value")?;
                 cfg.search_threads = parse_search_threads(v)?;
             }
+            "--no-prune" => {
+                cfg.dominance = false;
+                cfg.symmetry = false;
+                cfg.reopen = false;
+            }
             "--quiet" => quiet = true,
             "--validate" => validate = true,
             "--trace-json" => {
@@ -458,6 +471,9 @@ fn report_wire_outcome(outcome: &sekitei_spec::WireOutcome, cache_hit: bool) {
             println!("no plan found");
             if let Some(b) = outcome.best_bound {
                 println!("(optimal cost ≥ {b:.2})");
+            }
+            if outcome.stats.budget_exhausted {
+                println!("(search budget exhausted — the instance may still be solvable)");
             }
         }
     }
@@ -867,6 +883,26 @@ mod tests {
         let bp = bin_path.to_str().unwrap().to_string();
         dispatch(&[s(&["encode"]), vec![sp, bp.clone()]].concat()).unwrap();
         dispatch(&[s(&["decode"]), vec![bp]].concat()).unwrap();
+    }
+
+    #[test]
+    fn no_prune_escape_hatch() {
+        // `--no-prune` must parse on both plan and batch and still solve
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("sekitei_cli_noprune.spec");
+        let p = scenarios::tiny(LevelScenario::B);
+        std::fs::write(&spec_path, sekitei_spec::print_problem(&p)).unwrap();
+        let sp = spec_path.to_str().unwrap().to_string();
+        dispatch(
+            &[s(&["plan"]), vec![sp.clone()], s(&["--no-prune", "--validate", "--quiet"])].concat(),
+        )
+        .unwrap();
+        dispatch(&[s(&["batch"]), vec![sp], s(&["--no-prune", "--quiet"])].concat()).unwrap();
+        // and the flag actually flips the config off
+        let (cfg, _, _) = parse_config(&s(&["--no-prune"])).unwrap();
+        assert!(!cfg.dominance && !cfg.symmetry && !cfg.reopen);
+        let (cfg, _, _) = parse_config(&[]).unwrap();
+        assert!(cfg.dominance && cfg.symmetry && cfg.reopen, "pruning defaults on");
     }
 
     #[test]

@@ -89,8 +89,18 @@ pub fn compile(problem: &CppProblem) -> Result<PlanningTask, CompileError> {
         ctx.build_goals();
         ctx.finalize(start);
     }
+    {
+        let _g = sekitei_obs::span("symmetry");
+        ctx.task.orbits = crate::symmetry::node_orbits(&ctx.task, problem.network.num_nodes());
+        ctx.task.sig_classes =
+            crate::symmetry::signature_classes(&ctx.task, problem.network.num_nodes());
+    }
     sekitei_obs::event("ground_actions", ctx.task.num_actions() as u64);
     sekitei_obs::event("level_combos_pruned", ctx.pruned as u64);
+    sekitei_obs::event(
+        "symmetry_orbits",
+        ctx.task.orbits.orbits().filter(|m| m.len() > 1).count() as u64,
+    );
     Ok(ctx.task)
 }
 

@@ -9,9 +9,11 @@
 #![forbid(unsafe_code)]
 
 pub mod ground;
+pub mod symmetry;
 pub mod task;
 
 pub use ground::{compile, CompileError};
+pub use symmetry::{node_orbits, signature_classes, NodeOrbits};
 pub use task::{
     AchieverIndex, ActionKind, CompileStats, GVarData, GroundAction, PlanningTask, PropData,
 };

@@ -211,6 +211,16 @@ pub struct PlanningTask {
     pub goal_props: Vec<PropId>,
     /// Achievers of every proposition, in one flat CSR arena.
     pub achievers: AchieverIndex,
+    /// Network-node equivalence classes under verified task automorphisms
+    /// (see [`crate::symmetry`]); the search uses them to expand one
+    /// placement representative per orbit. Derived data — excluded from
+    /// [`PlanningTask::fingerprint`].
+    pub orbits: crate::symmetry::NodeOrbits,
+    /// Unverified signature-level node classes (see
+    /// [`crate::symmetry::signature_classes`]); the search's lossy drain
+    /// mode coarsens its symmetry rule to these. Derived data — excluded
+    /// from [`PlanningTask::fingerprint`].
+    pub sig_classes: crate::symmetry::NodeOrbits,
     /// Compilation statistics.
     pub stats: CompileStats,
     pub(crate) prop_index: HashMap<PropData, PropId>,

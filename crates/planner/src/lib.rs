@@ -26,6 +26,7 @@ pub mod diff;
 pub mod plan;
 pub mod plrg;
 pub mod pool;
+mod prune;
 pub mod reference;
 pub mod replay;
 pub mod rg;
@@ -93,6 +94,21 @@ pub struct PlannerConfig {
     /// only wall-clock and the purely observational `par_*` trace
     /// metrics differ.
     pub search_threads: usize,
+    /// Drain-mode duplicate detection ([`RgConfig::dominance`]): once the
+    /// drain trigger fires on a budget-bound run, drop nodes whose open
+    /// set was already reached with no-larger cost. Inert on runs that
+    /// never hit the trigger. On by default — the differential suite
+    /// (`tests/pruning_equivalence.rs`) holds plan costs bit-identical to
+    /// the unpruned reference; `--no-prune` is the CLI escape hatch.
+    pub dominance: bool,
+    /// Orbit symmetry breaking ([`RgConfig::symmetry`]): expand one
+    /// placement representative per verified network-node equivalence
+    /// class. On by default.
+    pub symmetry: bool,
+    /// g-aware reopening ([`RgConfig::reopen`]): in drain mode, strictly
+    /// better arrivals at a seen open set supersede the stored entry
+    /// instead of being blocked by it. On by default.
+    pub reopen: bool,
 }
 
 impl Default for PlannerConfig {
@@ -106,6 +122,9 @@ impl Default for PlannerConfig {
             deadline: None,
             degrade: false,
             search_threads: 1,
+            dominance: true,
+            symmetry: true,
+            reopen: true,
         }
     }
 }
@@ -127,6 +146,15 @@ pub struct PlannerStats {
     pub rg_open_left: usize,
     /// RG nodes pruned by optimistic-map replay.
     pub replay_prunes: usize,
+    /// RG nodes pruned by drain-mode duplicate detection
+    /// ([`PlannerConfig::dominance`]).
+    pub dominance_pruned: usize,
+    /// RG achievers skipped by orbit symmetry breaking
+    /// ([`PlannerConfig::symmetry`]).
+    pub symmetry_pruned: usize,
+    /// RG closed-set entries superseded by strictly better arrivals in
+    /// drain mode ([`PlannerConfig::reopen`]).
+    pub reopened: usize,
     /// Candidate plans rejected at terminal validation.
     pub candidate_rejects: usize,
     /// Total wall time including compilation (col 9, first).
@@ -152,7 +180,8 @@ impl std::fmt::Display for PlannerStats {
         write!(
             f,
             "{} ground actions ({} pruned), PLRG {}/{}, SLRG {}, RG {}/{} \
-             ({} replay-pruned, {} candidates rejected), time {:?} ({:?} search){}",
+             ({} replay-pruned, {} dominance-pruned, {} symmetry-pruned, \
+             {} reopened, {} candidates rejected), time {:?} ({:?} search){}",
             self.total_actions,
             self.compile.pruned,
             self.plrg_props,
@@ -161,6 +190,9 @@ impl std::fmt::Display for PlannerStats {
             self.rg_nodes,
             self.rg_open_left,
             self.replay_prunes,
+            self.dominance_pruned,
+            self.symmetry_pruned,
+            self.reopened,
             self.candidate_rejects,
             self.total_time,
             self.search_time,
@@ -304,6 +336,10 @@ impl Planner {
                 replay_pruning: self.config.replay_pruning,
                 deadline: self.config.deadline.map(|d| t0 + d),
                 relaxed_fallback: self.config.degrade,
+                dominance: self.config.dominance,
+                symmetry: self.config.symmetry,
+                reopen: self.config.reopen,
+                ..RgConfig::default()
             };
             let r = {
                 let _g = sekitei_obs::span("rg");
@@ -337,6 +373,9 @@ impl Planner {
                     sekitei_obs::event("rg_expansions", r.expansions as u64);
                     sekitei_obs::event("rg_open_left", r.open_left as u64);
                     sekitei_obs::event("replay_prunes", r.replay_prunes as u64);
+                    sekitei_obs::event("rg_dominance_pruned", r.dominance_pruned as u64);
+                    sekitei_obs::event("rg_symmetry_pruned", r.symmetry_pruned as u64);
+                    sekitei_obs::event("rg_reopened", r.reopened as u64);
                     sekitei_obs::event("candidate_rejects", r.candidate_rejects as u64);
                     sekitei_obs::event("slrg_memo_hits", st.cache_hits as u64);
                     sekitei_obs::event("pool_sets", slrg.pool().len() as u64);
@@ -373,6 +412,9 @@ impl Planner {
             stats.rg_nodes = r.nodes_created;
             stats.rg_open_left = r.open_left;
             stats.replay_prunes = r.replay_prunes;
+            stats.dominance_pruned = r.dominance_pruned;
+            stats.symmetry_pruned = r.symmetry_pruned;
+            stats.reopened = r.reopened;
             stats.candidate_rejects = r.candidate_rejects;
             stats.budget_exhausted = r.budget_exhausted;
             stats.deadline_hit = r.deadline_hit;

@@ -40,6 +40,18 @@
 //! consumes is, by the purity argument above, exactly what the sequential
 //! loop would have computed in place.
 //!
+//! The pruning layer splits along the same seam. Symmetry breaking and
+//! replay pruning are pure functions of `(task, tail, set, drain)` and
+//! run in the workers; the [`DomTable`], the `dominated` marks, the
+//! drain-mode flip and its depth horizon are commit-order state and live
+//! with the committer, which replays each decision in the sequential
+//! slot. Since worker expansion *behavior* depends on the drain flag
+//! (exact orbits vs. coarse signature classes for symmetry), cached
+//! expansions are tagged with the flag they were computed under; when the
+//! flip lands mid-batch the committer drops the stale tail of the batch
+//! and the next round recomputes it under the new mode — the flip happens
+//! at most once per search, so that costs one round.
+//!
 //! [`SetPool`]: crate::pool::SetPool
 //! [`StagePool`]: crate::pool::StagePool
 //! [`ReplayIndex`]: crate::replay::ReplayIndex
@@ -47,6 +59,7 @@
 use crate::concretize::{concretize, concretize_relaxed, ConcreteExecution};
 use crate::plrg::Plrg;
 use crate::pool::{SetId, StagePool};
+use crate::prune::{DomTable, UsedNodes};
 use crate::replay::{replay_tail, ReplayIndex, ReplayScratch};
 use crate::rg::{
     collect_tail, select_prop, Heuristic, RgConfig, RgNode, RgResult, DEADLINE_CHECK_STRIDE, ROOT,
@@ -86,6 +99,11 @@ struct Packet {
 struct Round {
     packets: Vec<Packet>,
     next: AtomicUsize,
+    /// Drain-mode flag as committed at round start. Expansion behavior
+    /// (exact orbit vs. coarse signature-class symmetry) depends on it,
+    /// so each cached expansion records the flag it was computed under;
+    /// the committer discards stale entries when the flag flips.
+    drain: bool,
 }
 
 /// A child's proposition set as seen from a worker's frozen snapshot.
@@ -101,7 +119,11 @@ enum ChildOut {
     /// Child discarded by optimistic-map replay (after a finite heuristic,
     /// exactly where the sequential loop counts it).
     Pruned,
-    /// Child to create and push.
+    /// Achiever skipped by node-symmetry breaking (before regression, so
+    /// symmetry-pruned children never intern sets — pool identity).
+    SymPruned,
+    /// Child to create and push. The committer owns the [`DomTable`] and
+    /// replays the drain-mode duplicate decision in commit order.
     Kept { action: ActionId, set: ChildSet, g2: f64, cost: SetCost },
 }
 
@@ -159,7 +181,7 @@ pub fn search(
     let mut nodes: Vec<RgNode> = Vec::new();
     let mut open: BinaryHeap<OpenEntry> = BinaryHeap::new();
     let mut counter = 0u64;
-    nodes.push(RgNode { action: ActionId(0), parent: ROOT, set: goal, g: 0.0 });
+    nodes.push(RgNode { action: ActionId(0), parent: ROOT, set: goal, g: 0.0, depth: 0 });
     result.nodes_created += 1;
     open.push((Reverse(h0.to_bits()), 0f64.to_bits(), Reverse(counter), 0));
 
@@ -173,12 +195,22 @@ pub fn search(
     let shared = RwLock::new(slrg);
     let (res_tx, res_rx) = mpsc::channel::<(u32, Expansion)>();
     // Expansions by node idx, computed this or an earlier round and not
-    // yet consumed by the commit loop.
-    let mut cache: HashMap<u32, Expansion> = HashMap::new();
+    // yet consumed by the commit loop, tagged with the drain flag they
+    // were computed under (inner-node expansion depends on it).
+    let mut cache: HashMap<u32, (bool, Expansion)> = HashMap::new();
     let batch_cap = threads * BATCH_PER_THREAD;
     let mut batch: Vec<OpenEntry> = Vec::with_capacity(batch_cap);
     let mut work_since_check = 0usize;
     let cfg = *cfg;
+
+    // pruning layer, owned by the committer (commit-order state); the
+    // flags and tables mirror the sequential search exactly
+    let dom_on = cfg.dominance && cfg.replay_pruning;
+    let drain_enabled = dom_on && cfg.reopen;
+    let mut drain = false;
+    let mut dom = DomTable::new(cfg.reopen);
+    let mut dominated: Vec<bool> = vec![false]; // parallel to `nodes`
+    let mut evicted: Vec<u32> = Vec::new();
 
     std::thread::scope(|s| {
         let mut round_txs = Vec::with_capacity(threads);
@@ -193,6 +225,7 @@ pub fn search(
                 let mut private = Slrg::new(task, plrg, slrg_budget);
                 let mut scratch = ReplayScratch::with_index(index);
                 let mut stage = StagePool::new();
+                let mut used = UsedNodes::new(task.orbits.num_nodes());
                 while let Ok(round) = rx.recv() {
                     let guard = shared.read().expect("committer never panics with the lock");
                     let global: &Slrg<'_> = &guard;
@@ -211,6 +244,8 @@ pub fn search(
                                 &mut private,
                                 &mut scratch,
                                 &mut stage,
+                                &mut used,
+                                round.drain,
                                 p,
                             )
                         };
@@ -244,21 +279,37 @@ pub fn search(
             let t_expand = Instant::now();
             let mut packets: Vec<Packet> = Vec::new();
             for &(_, _, _, idx) in &batch {
-                if cache.contains_key(&idx) {
-                    continue;
+                match cache.get(&idx) {
+                    // a cached inner expansion from before a drain flip is
+                    // stale (wrong replay/symmetry mode): recompute
+                    Some((flag, Expansion::Children(_))) if *flag != drain => {
+                        cache.remove(&idx);
+                        result.par_spec_waste += 1;
+                    }
+                    Some(_) => continue,
+                    None => {}
                 }
                 let n = &nodes[idx as usize];
+                // entries the commit loop will skip anyway (monotone
+                // decisions: dominated marks and the drain flip never
+                // revert, so a build-time skip is also a commit-time skip)
+                if dom_on && dominated[idx as usize] {
+                    continue;
+                }
+                if drain && n.set != SetId::EMPTY && n.depth >= cfg.drain_depth as u32 {
+                    continue;
+                }
                 packets.push(Packet { idx, set: n.set, g: n.g, tail: collect_tail(&nodes, idx) });
             }
             let expected = packets.len();
             if expected > 0 {
-                let round = Arc::new(Round { packets, next: AtomicUsize::new(0) });
+                let round = Arc::new(Round { packets, next: AtomicUsize::new(0), drain });
                 for tx in &round_txs {
                     let _ = tx.send(Arc::clone(&round));
                 }
                 for _ in 0..expected {
                     let (idx, exp) = res_rx.recv().expect("a worker thread died");
-                    cache.insert(idx, exp);
+                    cache.insert(idx, (drain, exp));
                 }
             }
             result.par_expand_time += t_expand.elapsed();
@@ -311,8 +362,40 @@ pub fn search(
                         }
                     }
                 }
+                // drain flip: a pure function of committed counters, so it
+                // fires in exactly the sequential slot
+                if drain_enabled
+                    && !drain
+                    && (result.candidate_rejects >= cfg.drain_after_rejects
+                        || result.nodes_created >= cfg.drain_after_nodes)
+                {
+                    drain = true;
+                    result.drain_mode = true;
+                }
+                if dom_on && dominated[idx as usize] {
+                    continue; // superseded by a strictly better arrival
+                }
+                if drain
+                    && nodes[idx as usize].set != SetId::EMPTY
+                    && nodes[idx as usize].depth >= cfg.drain_depth as u32
+                {
+                    result.drain_depth_pruned += 1;
+                    continue;
+                }
+                // a cached inner expansion computed under the other drain
+                // flag is stale: drop it and resynchronize — the next
+                // round's fan-out recomputes it under the current flag
+                if matches!(cache.get(&idx), Some((flag, Expansion::Children(_))) if *flag != drain)
+                {
+                    cache.remove(&idx);
+                    result.par_spec_waste += 1;
+                    for &e in &batch[pos..] {
+                        open.push(e);
+                    }
+                    break 'commit;
+                }
                 result.expansions += 1;
-                let exp = cache.remove(&idx).expect("every batch entry was expanded");
+                let (_, exp) = cache.remove(&idx).expect("every batch entry was expanded");
                 match exp {
                     Expansion::Candidate { tail, solved, fallback, dur } => {
                         result.concretize_calls += 1;
@@ -346,6 +429,7 @@ pub fn search(
                         for c in children {
                             match c {
                                 ChildOut::Pruned => result.replay_prunes += 1,
+                                ChildOut::SymPruned => result.symmetry_pruned += 1,
                                 ChildOut::Kept { action, set, g2, cost } => {
                                     let child_set = match set {
                                         ChildSet::Known(id) => id,
@@ -356,13 +440,35 @@ pub fn search(
                                     if cfg.heuristic == Heuristic::Slrg {
                                         slrg.memo_insert(child_set, cost);
                                     }
+                                    // drain-mode g-aware duplicate
+                                    // detection, replayed in commit order
+                                    // (candidates are never gated)
+                                    if drain && dom_on && child_set != SetId::EMPTY {
+                                        evicted.clear();
+                                        if dom.check_and_insert(
+                                            child_set,
+                                            g2,
+                                            nodes.len() as u32,
+                                            &mut evicted,
+                                        ) {
+                                            result.dominance_pruned += 1;
+                                            continue;
+                                        }
+                                        for &e in &evicted {
+                                            dominated[e as usize] = true;
+                                            result.reopened += 1;
+                                        }
+                                    }
                                     let child_idx = nodes.len() as u32;
+                                    let depth = nodes[idx as usize].depth + 1;
                                     nodes.push(RgNode {
                                         action,
                                         parent: idx,
                                         set: child_set,
                                         g: g2,
+                                        depth,
                                     });
+                                    dominated.push(false);
                                     result.nodes_created += 1;
                                     if cfg.deadline.is_some() {
                                         work_since_check += 1;
@@ -399,7 +505,11 @@ pub fn search(
     if result.plan.is_none() && result.best_open_f.is_none() {
         result.best_open_f = open.peek().map(|&(Reverse(f_bits), ..)| f64::from_bits(f_bits));
     }
-    result.par_spec_waste = cache.len();
+    result.par_spec_waste += cache.len();
+    // same lossy-drain contract as the sequential search
+    if result.drain_mode && result.plan.is_none() {
+        result.budget_exhausted = true;
+    }
     result
 }
 
@@ -437,6 +547,9 @@ fn expand_candidate(
 /// Inner-node expansion against the frozen round snapshot: the sequential
 /// achiever loop with the global pool replaced by a [`StagePool`] overlay
 /// and the global SLRG replaced by memo-snapshot reads + a private oracle.
+/// Symmetry breaking and replay pruning are pure functions of
+/// `(task, tail, set, drain)`, so they run here; the drain-mode duplicate
+/// decisions that depend on commit order stay with the committer.
 #[allow(clippy::too_many_arguments)]
 fn expand_node<'t>(
     task: &'t PlanningTask,
@@ -446,11 +559,28 @@ fn expand_node<'t>(
     private: &mut Slrg<'t>,
     scratch: &mut ReplayScratch,
     stage: &mut StagePool,
+    used: &mut UsedNodes,
+    drain: bool,
     p: &Packet,
 ) -> Expansion {
     let pool = global.pool();
     if cfg.replay_pruning {
         scratch.begin_expansion(&p.tail);
+    }
+    let sym_here = if drain {
+        cfg.symmetry && task.sig_classes.nontrivial()
+    } else {
+        cfg.symmetry && task.orbits.nontrivial()
+    };
+    let orbit_table = if drain { &task.sig_classes } else { &task.orbits };
+    if sym_here {
+        used.begin();
+        for &aid in &p.tail {
+            used.mark_action(task, aid);
+        }
+        for &q in pool.props_of(p.set) {
+            used.mark_prop(task, q);
+        }
     }
     let target = select_prop(plrg, pool.props_of(p.set));
     let parent = stage.adopt(p.set);
@@ -460,6 +590,10 @@ fn expand_node<'t>(
             continue;
         }
         if p.tail.contains(&a) {
+            continue;
+        }
+        if sym_here && used.shadowed_by_sibling(task, orbit_table, a) {
+            out.push(ChildOut::SymPruned);
             continue;
         }
         let act = task.action(a);
@@ -524,6 +658,11 @@ mod tests {
         assert_eq!(seq.replay_prunes, par.replay_prunes, "{label}: prunes");
         assert_eq!(seq.candidate_rejects, par.candidate_rejects, "{label}: rejects");
         assert_eq!(seq.budget_exhausted, par.budget_exhausted, "{label}: budget");
+        assert_eq!(seq.dominance_pruned, par.dominance_pruned, "{label}: dominance");
+        assert_eq!(seq.symmetry_pruned, par.symmetry_pruned, "{label}: symmetry");
+        assert_eq!(seq.reopened, par.reopened, "{label}: reopened");
+        assert_eq!(seq.drain_mode, par.drain_mode, "{label}: drain mode");
+        assert_eq!(seq.drain_depth_pruned, par.drain_depth_pruned, "{label}: drain depth");
         assert_eq!(
             seq.best_open_f.map(f64::to_bits),
             par.best_open_f.map(f64::to_bits),
@@ -556,6 +695,39 @@ mod tests {
         for sc in [LevelScenario::A, LevelScenario::E] {
             let (seq, par) = both(sc, &cfg, 4);
             assert_same(&seq, &par, &format!("tight tiny/{sc:?}"));
+        }
+    }
+
+    #[test]
+    fn pruning_on_matches_sequential() {
+        let cfg = RgConfig { dominance: true, symmetry: true, reopen: true, ..RgConfig::default() };
+        for sc in LevelScenario::ALL {
+            for threads in [2, 3, 8] {
+                let (seq, par) = both(sc, &cfg, threads);
+                assert_same(&seq, &par, &format!("pruned tiny/{sc:?} t{threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn drain_flip_matches_sequential() {
+        // force the drain flip to land mid-search so the stale-cache
+        // resynchronization path actually runs
+        for after in [1, 5, 20, 60] {
+            let cfg = RgConfig {
+                dominance: true,
+                symmetry: true,
+                reopen: true,
+                drain_after_nodes: after,
+                drain_after_rejects: 1,
+                ..RgConfig::default()
+            };
+            for sc in [LevelScenario::A, LevelScenario::B, LevelScenario::E] {
+                for threads in [2, 4] {
+                    let (seq, par) = both(sc, &cfg, threads);
+                    assert_same(&seq, &par, &format!("drain@{after} tiny/{sc:?} t{threads}"));
+                }
+            }
         }
     }
 

@@ -35,6 +35,11 @@ fn assert_same(seq: &RgResult, par: &RgResult, label: &str) {
     assert_eq!(seq.candidate_rejects, par.candidate_rejects, "{label}: candidate_rejects");
     assert_eq!(seq.budget_exhausted, par.budget_exhausted, "{label}: budget_exhausted");
     assert_eq!(seq.deadline_hit, par.deadline_hit, "{label}: deadline_hit");
+    assert_eq!(seq.dominance_pruned, par.dominance_pruned, "{label}: dominance_pruned");
+    assert_eq!(seq.symmetry_pruned, par.symmetry_pruned, "{label}: symmetry_pruned");
+    assert_eq!(seq.reopened, par.reopened, "{label}: reopened");
+    assert_eq!(seq.drain_mode, par.drain_mode, "{label}: drain_mode");
+    assert_eq!(seq.drain_depth_pruned, par.drain_depth_pruned, "{label}: drain_depth_pruned");
     assert_eq!(
         seq.best_open_f.map(f64::to_bits),
         par.best_open_f.map(f64::to_bits),
@@ -85,6 +90,19 @@ fn small_all_scenarios_all_thread_counts() {
     for sc in LevelScenario::ALL {
         let task = compile(&scenarios::small(sc)).unwrap();
         check(&task, &cfg, &format!("small/{sc:?}/capped"));
+    }
+}
+
+#[test]
+fn pruning_layer_matches_across_thread_counts() {
+    // full pruning stack — dominance, symmetry breaking, g-reopening and
+    // (on Small/A, which exhausts its reject budget) the drain-mode flip
+    // with its coarse symmetry and depth horizon — must replay
+    // identically at every thread count
+    let cfg = RgConfig { dominance: true, symmetry: true, reopen: true, ..RgConfig::default() };
+    for sc in LevelScenario::ALL {
+        let task = compile(&scenarios::small(sc)).unwrap();
+        check(&task, &cfg, &format!("small/{sc:?}/pruned"));
     }
 }
 

@@ -7,10 +7,11 @@
 //! 1. **compiled-task tier** — the decoded problem plus its compiled
 //!    [`PlanningTask`]; a hit skips grounding and leveling and goes
 //!    straight to search.
-//! 2. **outcome tier** — the fully encoded response payload of a
-//!    *completed* (non-budget-exhausted) run; a hit skips everything.
-//!    Budget- or deadline-tripped outcomes are timing-dependent and are
-//!    never cached.
+//! 2. **outcome tier** — the fully encoded response payload of any run
+//!    the wall clock didn't cut short; a hit skips everything. Node- and
+//!    reject-budget exhaustion is a deterministic function of the problem
+//!    and config, so those outcomes cache and replay soundly — only
+//!    deadline-tripped outcomes are timing-dependent and never cached.
 //!
 //! Both tiers are FIFO-bounded: small, predictable memory and no
 //! scan-resistance machinery a planning workload doesn't need.

@@ -307,9 +307,11 @@ fn handle_plan(state: &ServeState, problem_bytes: &[u8]) -> Vec<u8> {
         let _g = sekitei_obs::span("encode");
         encode_outcome(&wire).to_vec()
     };
-    if !outcome.stats.budget_exhausted {
-        // completed outcomes are deterministic; tripped ones depend on
-        // wall-clock luck and must never be replayed from cache
+    if !outcome.stats.deadline_hit {
+        // outcomes are deterministic unless the wall clock cut the search
+        // short: node- and reject-budget exhaustion is a pure function of
+        // the problem and config, so those outcomes cache and replay
+        // soundly — only deadline-tripped ones depend on timing luck
         state.outcomes.lock().unwrap().insert(key, Arc::new(sko.clone()));
     }
     state.stats.record_served(t_req.elapsed().as_micros() as u64);

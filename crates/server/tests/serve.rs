@@ -85,6 +85,54 @@ fn serves_64_concurrent_requests_without_rejections() {
     join.join().unwrap().unwrap();
 }
 
+#[test]
+fn budget_exhausted_outcome_serves_warm_from_cache() {
+    // node- and reject-budget exhaustion is deterministic, so the outcome
+    // caches and the warm repeat is a byte-identical hit
+    let cfg = ServerConfig {
+        workers: 1,
+        planner: PlannerConfig { max_nodes: 500, degrade: false, ..PlannerConfig::default() },
+        ..ServerConfig::default()
+    };
+    let (addr, _, join) = start(cfg);
+    let mut conn = Connection::connect(addr).unwrap();
+    let p = scenarios::small(LevelScenario::A);
+    let (cold, hit_cold) = conn.plan(&p).unwrap();
+    assert!(!hit_cold);
+    assert!(cold.stats.budget_exhausted, "Small/A must exhaust a 500-node budget");
+    assert!(!cold.stats.deadline_hit);
+    let (warm, hit_warm) = conn.plan(&p).unwrap();
+    assert!(hit_warm, "budget-exhausted outcomes must hit the cache");
+    assert_eq!(cold, warm, "cached outcome must be byte-identical");
+    request_shutdown(addr).unwrap();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn deadline_tripped_outcome_is_never_cached() {
+    // a 1 ms deadline trips on the wall clock, which must keep the
+    // outcome out of the cache — the repeat is a fresh (cold) run
+    let cfg = ServerConfig {
+        workers: 1,
+        planner: PlannerConfig {
+            deadline: Some(Duration::from_millis(1)),
+            degrade: false,
+            ..PlannerConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let (addr, _, join) = start(cfg);
+    let mut conn = Connection::connect(addr).unwrap();
+    let p = scenarios::large(LevelScenario::A);
+    let (cold, hit_cold) = conn.plan(&p).unwrap();
+    assert!(!hit_cold);
+    assert!(cold.stats.deadline_hit, "Large/A cannot finish in 1ms");
+    let (_, hit_warm) = conn.plan(&p).unwrap();
+    assert!(!hit_warm, "deadline-tripped outcomes must never replay from cache");
+    request_shutdown(addr).unwrap();
+    join.join().unwrap().unwrap();
+}
+
 // debug builds search Large/A too slowly to surface even one rejected
 // candidate inside the deadline, leaving degradation nothing to ship
 #[cfg_attr(debug_assertions, ignore = "release-only deadline-timing test")]
