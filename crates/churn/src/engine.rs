@@ -21,7 +21,7 @@
 //! non-reproducible report.
 
 use crate::event::{apply, ChurnEvent};
-use sekitei_compile::PlanningTask;
+use sekitei_compile::{compile, ActionKind, PlanningTask};
 use sekitei_model::{adapt_problem, AdaptConfig, CppProblem};
 use sekitei_planner::{plan_diff, Plan, Planner, PlannerConfig};
 use sekitei_sim::{existing_from_plan, plan_ops, plan_sources, simulate, DeployOp, SourceValue};
@@ -324,7 +324,7 @@ pub fn run(
         let t0 = Instant::now();
         let repaired = {
             let _g = sekitei_obs::span("repair");
-            repair(&planner, &current, &dep, &cfg.adapt)
+            repair(&planner, &cfg.planner, &current, &dep, &cfg.adapt)
         };
         let wall = t0.elapsed();
         // wall-clock stays out of the deterministic stdout rendering; the
@@ -383,23 +383,51 @@ pub fn run(
 /// carry over unchanged).
 fn repair(
     planner: &Planner,
+    planner_cfg: &PlannerConfig,
     current: &CppProblem,
     dep: &Deployment,
     adapt_cfg: &AdaptConfig,
 ) -> Option<(RepairRoute, Deployment)> {
     let existing = existing_from_plan(current, &dep.plan);
     let adapted = adapt_problem(current, &existing, adapt_cfg);
-    if let Ok(o) = planner.plan(&adapted) {
-        if let Some(plan) = o.plan {
-            let d = Deployment::new(&adapted, &o.task, plan);
-            if simulate(current, &d.sources, &d.ops).ok {
-                return Some((RepairRoute::Adapt, d));
-            }
+    // anytime mode seeds the SLS incumbent near the pre-churn deployment:
+    // the greedy constructor breaks ties toward the current plan's action
+    // kinds, so a repair under pressure starts from "move as little as
+    // possible" rather than from scratch
+    let hint: Vec<ActionKind> = if planner_cfg.anytime {
+        dep.plan.steps.iter().map(|s| s.kind.clone()).collect()
+    } else {
+        Vec::new()
+    };
+    if let Some((task, plan)) = plan_for_repair(planner, planner_cfg, &adapted, &hint) {
+        let d = Deployment::new(&adapted, &task, plan);
+        if simulate(current, &d.sources, &d.ops).ok {
+            return Some((RepairRoute::Adapt, d));
         }
     }
-    let o = planner.plan(current).ok()?;
-    let d = Deployment::new(current, &o.task, o.plan?);
+    let (task, plan) = plan_for_repair(planner, planner_cfg, current, &hint)?;
+    let d = Deployment::new(current, &task, plan);
     simulate(current, &d.sources, &d.ops).ok.then_some((RepairRoute::Scratch, d))
+}
+
+/// One repair-planning attempt: the exact planner, or the anytime
+/// portfolio (hinted toward the pre-churn deployment) when configured.
+fn plan_for_repair(
+    planner: &Planner,
+    planner_cfg: &PlannerConfig,
+    problem: &CppProblem,
+    hint: &[ActionKind],
+) -> Option<(PlanningTask, Plan)> {
+    if planner_cfg.anytime {
+        let task = compile(problem).ok()?;
+        let a = sekitei_anytime::plan_task_hinted(problem, task, planner_cfg, Instant::now(), hint);
+        let plan = a.outcome.plan?;
+        Some((a.outcome.task, plan))
+    } else {
+        let o = planner.plan(problem).ok()?;
+        let plan = o.plan?;
+        Some((o.task, plan))
+    }
 }
 
 /// Map violations to deployment sites: the op at the violating step, or

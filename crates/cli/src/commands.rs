@@ -10,6 +10,7 @@ const USAGE: &str = "usage:
   sekitei plan (<spec-file> | --scenario <size-level>) [--plrg-heuristic]
                [--no-replay-pruning] [--no-prune] [--max-nodes N]
                [--deadline-ms N] [--search-threads N] [--degrade]
+               [--anytime] [--sls-seed N] [--sls-restarts N]
                [--validate] [--quiet] [--profile] [--trace-json FILE]
   sekitei batch <spec-file>... [--threads N] [--search-threads N]
                [--no-prune] [--validate] [--quiet] [--profile]
@@ -17,6 +18,7 @@ const USAGE: &str = "usage:
   sekitei serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
                [--cache-cap N] [--max-nodes N] [--deadline-ms N]
                [--search-threads N] [--no-degrade]
+               [--anytime] [--sls-seed N] [--sls-restarts N]
   sekitei request (<spec-file> | --stats | --shutdown) [--addr HOST:PORT]
   sekitei check <spec-file>
   sekitei compile <spec-file> [--dump]
@@ -27,7 +29,8 @@ const USAGE: &str = "usage:
   sekitei churn [--scenario <tiny|small|large>] [--level <A|B|C|D|E>]
                [--seed N] [--events N] [--trace FILE] [--emit-trace]
                [--max-nodes N] [--deadline-ms N] [--search-threads N]
-               [--no-degrade] [--keep-cost X] [--migration-factor Y] [--quiet]
+               [--no-degrade] [--anytime] [--sls-seed N] [--sls-restarts N]
+               [--keep-cost X] [--migration-factor Y] [--quiet]
                [--profile] [--trace-json FILE]
   sekitei doctor <spec-file>
   sekitei suggest <spec-file> [--headroom H] [--apply]
@@ -101,6 +104,18 @@ fn parse_config(flags: &[String]) -> Result<(PlannerConfig, bool, bool), String>
                 cfg.search_threads = parse_search_threads(v)?;
             }
             "--degrade" => cfg.degrade = true,
+            "--anytime" => cfg.anytime = true,
+            "--sls-seed" => {
+                i += 1;
+                let v = flags.get(i).ok_or("--sls-seed needs a value")?;
+                cfg.sls_seed = v.parse().map_err(|_| format!("bad --sls-seed value `{v}`"))?;
+            }
+            "--sls-restarts" => {
+                i += 1;
+                let v = flags.get(i).ok_or("--sls-restarts needs a value")?;
+                cfg.sls_restarts =
+                    v.parse().map_err(|_| format!("bad --sls-restarts value `{v}`"))?;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -190,6 +205,13 @@ fn report_outcome(
                 "reserved bandwidth: LAN {:.1}, WAN {:.1}; total CPU {:.1}",
                 m.reserved_lan_bw, m.reserved_wan_bw, m.total_cpu
             );
+            if let Some(gap) = s.optimality_gap {
+                if gap > 0.0 {
+                    println!("optimality gap: ≤ {gap:.2}");
+                } else {
+                    println!("optimality gap: 0.00 (proved)");
+                }
+            }
             if validate {
                 let report = validate_plan(problem, &outcome.task, plan);
                 if report.ok {
@@ -242,7 +264,14 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
             f if f.starts_with("--") => {
                 flags.push(f.to_string());
                 // value-taking planner flags: keep the value with its flag
-                if matches!(f, "--max-nodes" | "--deadline-ms" | "--search-threads") {
+                if matches!(
+                    f,
+                    "--max-nodes"
+                        | "--deadline-ms"
+                        | "--search-threads"
+                        | "--sls-seed"
+                        | "--sls-restarts"
+                ) {
                     i += 1;
                     if let Some(v) = args.get(i) {
                         flags.push(v.clone());
@@ -264,7 +293,11 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
         (None, None) => return Err(USAGE.into()),
     };
     obs.begin();
-    let planned = Planner::new(cfg).plan(&problem).map_err(|e| e.to_string());
+    let planned = if cfg.anytime {
+        sekitei_anytime::plan(&problem, &cfg).map(|a| a.outcome).map_err(|e| e.to_string())
+    } else {
+        Planner::new(cfg).plan(&problem).map_err(|e| e.to_string())
+    };
     let emitted = obs.finish("plan");
     let outcome = planned?;
     emitted?;
@@ -396,6 +429,19 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     parse_search_threads(&need(args.get(i), "--search-threads")?)?;
             }
             "--no-degrade" => cfg.planner.degrade = false,
+            "--anytime" => cfg.planner.anytime = true,
+            "--sls-seed" => {
+                i += 1;
+                let v = need(args.get(i), "--sls-seed")?;
+                cfg.planner.sls_seed =
+                    v.parse().map_err(|_| format!("bad --sls-seed value `{v}`"))?;
+            }
+            "--sls-restarts" => {
+                i += 1;
+                let v = need(args.get(i), "--sls-restarts")?;
+                cfg.planner.sls_restarts =
+                    v.parse().map_err(|_| format!("bad --sls-restarts value `{v}`"))?;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -465,6 +511,13 @@ fn report_wire_outcome(outcome: &sekitei_spec::WireOutcome, cache_hit: bool) {
             }
             for (gvar, value) in &plan.source_values {
                 println!("  source var #{gvar} = {value}");
+            }
+            if let Some(gap) = outcome.optimality_gap {
+                if gap > 0.0 {
+                    println!("optimality gap: ≤ {gap:.2}");
+                } else {
+                    println!("optimality gap: 0.00 (proved)");
+                }
             }
         }
         None => {
@@ -752,6 +805,19 @@ fn cmd_churn(args: &[String]) -> Result<(), String> {
                     parse_search_threads(&need(args.get(i), "--search-threads")?)?;
             }
             "--no-degrade" => cfg.planner.degrade = false,
+            "--anytime" => cfg.planner.anytime = true,
+            "--sls-seed" => {
+                i += 1;
+                let v = need(args.get(i), "--sls-seed")?;
+                cfg.planner.sls_seed =
+                    v.parse().map_err(|_| format!("bad --sls-seed value `{v}`"))?;
+            }
+            "--sls-restarts" => {
+                i += 1;
+                let v = need(args.get(i), "--sls-restarts")?;
+                cfg.planner.sls_restarts =
+                    v.parse().map_err(|_| format!("bad --sls-restarts value `{v}`"))?;
+            }
             "--keep-cost" => {
                 i += 1;
                 let v = need(args.get(i), "--keep-cost")?;

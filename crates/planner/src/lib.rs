@@ -44,6 +44,7 @@ pub use diff::{plan_diff, PlanDiff};
 pub use plan::{plan_metrics, Plan, PlanMetrics, PlanStep};
 pub use plrg::Plrg;
 pub use pool::{SetId, SetPool};
+pub use prune::IncumbentBound;
 pub use reference::{search_reference, ReferenceOutcome};
 pub use replay::{replay_tail, ReplayFail, ReplayScratch, ResourceMap};
 pub use rg::{Heuristic, RgConfig, RgResult};
@@ -109,6 +110,24 @@ pub struct PlannerConfig {
     /// better arrivals at a seen open set supersede the stored entry
     /// instead of being blocked by it. On by default.
     pub reopen: bool,
+    /// Anytime portfolio mode (`crates/anytime`): race the exact RG
+    /// search against a seeded greedy constructor + stochastic
+    /// local-search lane sharing a monotone incumbent cost, and return
+    /// whichever validated answer is available when the search concludes
+    /// or the deadline trips. Plain-data flag here; the orchestration
+    /// lives in the `sekitei-anytime` crate (which sits *above* the
+    /// planner), so [`Planner::plan`] itself ignores it — callers
+    /// (cli/server/churn) route to the anytime facade when set.
+    pub anytime: bool,
+    /// Seed of the anytime SLS lane's `SplitMix64` stream
+    /// (`sekitei-util`). With a fixed seed the lane's full rollout
+    /// schedule — and therefore the final incumbent, the returned plan
+    /// and the reported gap — is byte-identical across runs and thread
+    /// counts.
+    pub sls_seed: u64,
+    /// Restart count of the anytime SLS lane (each restart runs a fixed
+    /// rollout schedule with simulated-annealing-style acceptance).
+    pub sls_restarts: usize,
 }
 
 impl Default for PlannerConfig {
@@ -125,6 +144,9 @@ impl Default for PlannerConfig {
             dominance: true,
             symmetry: true,
             reopen: true,
+            anytime: false,
+            sls_seed: 0,
+            sls_restarts: 3,
         }
     }
 }
@@ -173,6 +195,21 @@ pub struct PlannerStats {
     /// frontier. `None` means either a plan was found (its
     /// `cost_lower_bound` is the bound) or infeasibility was proven.
     pub best_bound: Option<f64>,
+    /// True when the RG search stopped because the frontier's minimum `f`
+    /// strictly exceeded a shared anytime incumbent cost — a proof that
+    /// the incumbent beats every plan the exact search could still return
+    /// ([`RgResult::incumbent_cutoff`]). Never set outside anytime mode.
+    pub incumbent_cutoff: bool,
+    /// Root heuristic `h(goal)`: a deterministic admissible lower bound on
+    /// any plan's cost, independent of where a wall-clock deadline landed
+    /// ([`RgResult::root_h`]). `None` when the search never seeded a root.
+    pub root_bound: Option<f64>,
+    /// Gap between the returned plan's cost lower bound and the best known
+    /// admissible bound on the optimal cost, when both exist:
+    /// `max(0, cost − bound)`. `0.0` means the plan is proven optimal (or
+    /// proven at least as cheap as any exact plan, for anytime
+    /// incumbents); `None` means no plan or no usable bound.
+    pub optimality_gap: Option<f64>,
 }
 
 impl std::fmt::Display for PlannerStats {
@@ -200,6 +237,8 @@ impl std::fmt::Display for PlannerStats {
                 " [deadline hit]"
             } else if self.budget_exhausted {
                 " [budget exhausted]"
+            } else if self.incumbent_cutoff {
+                " [incumbent cutoff]"
             } else {
                 ""
             },
@@ -313,6 +352,18 @@ impl Planner {
 
     /// Solve an already-compiled task (`t0` anchors total-time reporting).
     pub fn plan_task(&self, task: PlanningTask, t0: Instant) -> PlanOutcome {
+        self.plan_task_bounded(task, t0, IncumbentBound::none())
+    }
+
+    /// [`Planner::plan_task`] with an anytime incumbent upper bound shared
+    /// with a concurrently-running SLS lane (see [`IncumbentBound`]). With
+    /// [`IncumbentBound::none`] this is exactly `plan_task`.
+    pub fn plan_task_bounded(
+        &self,
+        task: PlanningTask,
+        t0: Instant,
+        incumbent: IncumbentBound<'_>,
+    ) -> PlanOutcome {
         let t_search = Instant::now();
         let plrg = {
             let _g = sekitei_obs::span("plrg");
@@ -344,12 +395,13 @@ impl Planner {
             let r = {
                 let _g = sekitei_obs::span("rg");
                 let search_t0 = sekitei_obs::now_ns();
-                let r = rg::search_with_threads(
+                let r = rg::search_with_threads_bounded(
                     &task,
                     &plrg,
                     &mut slrg,
                     &rg_cfg,
                     self.config.search_threads,
+                    incumbent,
                 );
                 // SLRG queries and candidate concretization interleave with
                 // RG expansions, so their externally-measured totals enter
@@ -385,6 +437,9 @@ impl Planner {
                     if r.deadline_hit {
                         sekitei_obs::event("deadline_hit", 1);
                     }
+                    if r.incumbent_cutoff {
+                        sekitei_obs::event("incumbent_cutoff", 1);
+                    }
                     if r.par_rounds > 0 {
                         // parallel-search phase breakdown: fan-out and
                         // commit wall time enter as aggregate child spans
@@ -418,7 +473,9 @@ impl Planner {
             stats.candidate_rejects = r.candidate_rejects;
             stats.budget_exhausted = r.budget_exhausted;
             stats.deadline_hit = r.deadline_hit;
+            stats.incumbent_cutoff = r.incumbent_cutoff;
             stats.best_bound = r.best_open_f;
+            stats.root_bound = Some(r.root_h);
             match r.plan {
                 Some((actions, cost, exec)) => {
                     Some(Plan::from_actions(&task, &actions, cost, exec))
@@ -436,6 +493,20 @@ impl Planner {
         } else {
             None
         };
+        // gap accounting: an accepted optimal plan is its own bound; a
+        // degraded fallback measures against the frontier bound the search
+        // left behind. Anytime incumbents overwrite this in the facade
+        // (`crates/anytime`) with their deterministic gap rules.
+        stats.optimality_gap = match &plan {
+            Some(p) if !p.degraded => Some(0.0),
+            Some(p) => stats.best_bound.map(|b| (p.cost_lower_bound - b).max(0.0)),
+            None => None,
+        };
+        if sekitei_obs::enabled() {
+            if let Some(gap) = stats.optimality_gap {
+                sekitei_obs::event("optimality_gap_milli", (gap * 1000.0).round() as u64);
+            }
+        }
         stats.search_time = t_search.elapsed();
         stats.total_time = t0.elapsed();
         PlanOutcome { plan, stats, task }

@@ -37,6 +37,67 @@ use crate::pool::SetId;
 use sekitei_compile::{ActionKind, PlanningTask, PropData};
 use sekitei_model::{ActionId, NodeId, PropId};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper-bound hook for the anytime portfolio: a shared monotone incumbent
+/// cost (f64 bits in an atomic, `+∞` when no incumbent exists) published
+/// by the stochastic local-search lane and consulted by both RG paths at
+/// pop/commit time.
+///
+/// Soundness: A* pops nodes in nondecreasing `f` order, so when the node
+/// in hand satisfies `f > incumbent` *strictly*, every plan the remaining
+/// search could return costs at least `f` — strictly worse than the
+/// already-validated incumbent — and the whole search can stop. A node
+/// whose `f` is below (or equal to) the incumbent is never cut, which is
+/// exactly the "never prunes a node whose f is below the incumbent"
+/// contract. Ties continue searching so an equal-cost exact plan is still
+/// found and preferred.
+///
+/// The cutoff *terminates* the search rather than skipping individual
+/// nodes: a skip would perturb the FIFO tie-break counters and desync the
+/// sequential trajectory the parallel path replays. Termination leaves
+/// the committed prefix byte-identical to an unbounded run; only where
+/// the trajectory *ends* depends on the incumbent's arrival time, and the
+/// planner facade's final-selection rule makes the returned plan and gap
+/// invariant to that timing (see `crates/anytime`).
+#[derive(Clone, Copy)]
+pub struct IncumbentBound<'a>(Option<&'a AtomicU64>);
+
+impl<'a> IncumbentBound<'a> {
+    /// No incumbent sharing: every query answers "keep searching".
+    pub fn none() -> Self {
+        IncumbentBound(None)
+    }
+
+    /// Bound backed by a shared atomic holding `f64::to_bits` of the best
+    /// validated incumbent cost (`f64::INFINITY.to_bits()` initially).
+    pub fn shared(cell: &'a AtomicU64) -> Self {
+        IncumbentBound(Some(cell))
+    }
+
+    /// Current incumbent cost (`+∞` when none).
+    pub fn load(&self) -> f64 {
+        match self.0 {
+            Some(cell) => f64::from_bits(cell.load(Ordering::Relaxed)),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// True when a node popped at `f` proves the remaining search cannot
+    /// beat the incumbent (strict comparison — see the type doc).
+    pub fn cuts(&self, f: f64) -> bool {
+        match self.0 {
+            Some(cell) => f > f64::from_bits(cell.load(Ordering::Relaxed)),
+            None => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for IncumbentBound<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IncumbentBound({})", self.load())
+    }
+}
 
 struct DomEntry {
     g: f64,

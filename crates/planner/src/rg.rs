@@ -29,6 +29,7 @@
 use crate::concretize::{concretize, concretize_relaxed, ConcreteExecution};
 use crate::plrg::Plrg;
 use crate::pool::SetId;
+use crate::prune::IncumbentBound;
 use crate::replay::{replay_tail, ReplayScratch};
 use crate::slrg::Slrg;
 use sekitei_compile::PlanningTask;
@@ -191,6 +192,19 @@ pub struct RgResult {
     /// True when the wall-clock deadline tripped (implies
     /// `budget_exhausted`).
     pub deadline_hit: bool,
+    /// True when the search stopped because the popped node's `f` strictly
+    /// exceeded a shared anytime incumbent cost
+    /// ([`crate::prune::IncumbentBound`]): a *proof* that no remaining plan
+    /// beats the incumbent, not a budget verdict. Never set outside
+    /// anytime mode.
+    pub incumbent_cutoff: bool,
+    /// The root heuristic `h(goal)` — an admissible lower bound on *any*
+    /// plan's cost that, unlike `best_open_f`, does not depend on where a
+    /// wall-clock deadline happened to land, so deadline-hit gap reporting
+    /// stays run-to-run deterministic. `0.0` when the search never seeded
+    /// a root (trivial or empty-goal tasks), `+∞` when the goal is
+    /// logically unsolvable.
+    pub root_h: f64,
     /// Minimum `f` over the open list at exit when no plan was returned —
     /// an admissible lower bound on the cost of any plan the truncated
     /// search could still have found. `None` when a plan was returned or
@@ -244,6 +258,8 @@ impl RgResult {
             expansions: 0,
             budget_exhausted: false,
             deadline_hit: false,
+            incumbent_cutoff: false,
+            root_h: 0.0,
             best_open_f: None,
             fallback: None,
             concretize_time: std::time::Duration::ZERO,
@@ -281,15 +297,40 @@ pub fn search_with_threads(
     cfg: &RgConfig,
     threads: usize,
 ) -> RgResult {
+    search_with_threads_bounded(task, plrg, slrg, cfg, threads, IncumbentBound::none())
+}
+
+/// [`search_with_threads`] with an anytime incumbent upper bound shared
+/// with a concurrently-running SLS lane (see [`crate::prune::IncumbentBound`]
+/// for the soundness and determinism contract).
+pub fn search_with_threads_bounded(
+    task: &PlanningTask,
+    plrg: &Plrg,
+    slrg: &mut Slrg<'_>,
+    cfg: &RgConfig,
+    threads: usize,
+    incumbent: IncumbentBound<'_>,
+) -> RgResult {
     if threads <= 1 {
-        search(task, plrg, slrg, cfg)
+        search_bounded(task, plrg, slrg, cfg, incumbent)
     } else {
-        crate::rg_par::search(task, plrg, slrg, cfg, threads)
+        crate::rg_par::search(task, plrg, slrg, cfg, threads, incumbent)
     }
 }
 
 /// Run the RG search.
 pub fn search(task: &PlanningTask, plrg: &Plrg, slrg: &mut Slrg<'_>, cfg: &RgConfig) -> RgResult {
+    search_bounded(task, plrg, slrg, cfg, IncumbentBound::none())
+}
+
+/// [`search`] with an anytime incumbent upper bound.
+pub fn search_bounded(
+    task: &PlanningTask,
+    plrg: &Plrg,
+    slrg: &mut Slrg<'_>,
+    cfg: &RgConfig,
+    incumbent: IncumbentBound<'_>,
+) -> RgResult {
     let mut result = RgResult::empty();
 
     let goal_props: Vec<PropId> =
@@ -326,6 +367,7 @@ pub fn search(task: &PlanningTask, plrg: &Plrg, slrg: &mut Slrg<'_>, cfg: &RgCon
     };
 
     let h0 = h_of(slrg, goal);
+    result.root_h = h0;
     if !h0.is_finite() {
         return result; // logically unsolvable
     }
@@ -375,6 +417,13 @@ pub fn search(task: &PlanningTask, plrg: &Plrg, slrg: &mut Slrg<'_>, cfg: &RgCon
                     break;
                 }
             }
+        }
+        // anytime incumbent cutoff: strictly past the incumbent, nothing
+        // left in the frontier can beat it — a proof, not a budget verdict
+        if incumbent.cuts(popped_f) {
+            result.incumbent_cutoff = true;
+            result.best_open_f = Some(popped_f);
+            break;
         }
         if drain_enabled
             && !drain

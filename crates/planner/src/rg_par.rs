@@ -59,7 +59,7 @@
 use crate::concretize::{concretize, concretize_relaxed, ConcreteExecution};
 use crate::plrg::Plrg;
 use crate::pool::{SetId, StagePool};
-use crate::prune::{DomTable, UsedNodes};
+use crate::prune::{DomTable, IncumbentBound, UsedNodes};
 use crate::replay::{replay_tail, ReplayIndex, ReplayScratch};
 use crate::rg::{
     collect_tail, select_prop, Heuristic, RgConfig, RgNode, RgResult, DEADLINE_CHECK_STRIDE, ROOT,
@@ -149,6 +149,7 @@ pub fn search(
     slrg: &mut Slrg<'_>,
     cfg: &RgConfig,
     threads: usize,
+    incumbent: IncumbentBound<'_>,
 ) -> RgResult {
     let threads = threads.max(2);
     let mut result = RgResult::empty();
@@ -174,6 +175,7 @@ pub fn search(
             }
         }
     };
+    result.root_h = h0;
     if !h0.is_finite() {
         return result; // logically unsolvable
     }
@@ -361,6 +363,20 @@ pub fn search(
                             break 'commit;
                         }
                     }
+                }
+                // anytime incumbent cutoff — the sequential slot, replayed
+                // at commit time so the committed prefix stays a prefix of
+                // the sequential trajectory (the atomic is only *read*
+                // here; its value never feeds any committed decision other
+                // than where the trajectory ends)
+                if incumbent.cuts(popped_f) {
+                    result.incumbent_cutoff = true;
+                    result.best_open_f = Some(popped_f);
+                    for &e in &batch[pos + 1..] {
+                        open.push(e);
+                    }
+                    finished = true;
+                    break 'commit;
                 }
                 // drain flip: a pure function of committed counters, so it
                 // fires in exactly the sequential slot
@@ -647,7 +663,7 @@ mod tests {
         let mut s1 = Slrg::new(&task, &plrg, 50_000);
         let seq = rg::search(&task, &plrg, &mut s1, cfg);
         let mut s2 = Slrg::new(&task, &plrg, 50_000);
-        let par = search(&task, &plrg, &mut s2, cfg, threads);
+        let par = search(&task, &plrg, &mut s2, cfg, threads, IncumbentBound::none());
         (seq, par)
     }
 

@@ -35,6 +35,7 @@ pub fn outcome_to_wire(o: &PlanOutcome) -> WireOutcome {
                 .collect(),
         }),
         best_bound: o.stats.best_bound,
+        optimality_gap: o.stats.optimality_gap,
         stats: WireStats {
             total_actions: o.stats.total_actions as u64,
             plrg_props: o.stats.plrg_props as u64,

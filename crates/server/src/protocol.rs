@@ -347,7 +347,12 @@ mod tests {
             queue_p50_us: 15,
             queue_p99_us: 250,
         };
-        let outcome = WireOutcome { plan: None, best_bound: Some(2.5), stats: Default::default() };
+        let outcome = WireOutcome {
+            plan: None,
+            best_bound: Some(2.5),
+            optimality_gap: None,
+            stats: Default::default(),
+        };
         for r in [
             Response::Outcome { cache_hit: true, outcome },
             Response::Stats(snapshot),

@@ -89,6 +89,7 @@ struct ServeState {
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     planner: Planner,
+    planner_cfg: PlannerConfig,
     tasks: Mutex<BoundedCache<Arc<(CppProblem, PlanningTask)>>>,
     outcomes: Mutex<BoundedCache<Arc<Vec<u8>>>>,
 }
@@ -136,6 +137,7 @@ impl Server {
             stop: Arc::clone(&self.stop),
             stats: Arc::clone(&self.stats),
             planner: Planner::new(self.cfg.planner),
+            planner_cfg: self.cfg.planner,
             tasks: Mutex::new(BoundedCache::new(self.cfg.cache_cap)),
             outcomes: Mutex::new(BoundedCache::new(self.cfg.cache_cap)),
         };
@@ -286,12 +288,27 @@ fn handle_plan(state: &ServeState, problem_bytes: &[u8]) -> Vec<u8> {
 
     // `t_req` anchors both the reported total time and the deadline, so
     // whatever the cache tiers saved is returned to the search budget
-    let outcome = {
+    let (outcome, incumbent_used) = {
         let _g = sekitei_obs::span("search");
-        state.planner.plan_task(entry.1.clone(), t_req)
+        if state.planner_cfg.anytime {
+            // race the exact search against the SLS lane; a deadline hit
+            // returns the best sim-validated incumbent with a finite gap
+            // instead of the weaker concretize_relaxed degraded path
+            let a =
+                sekitei_anytime::plan_task(&entry.0, entry.1.clone(), &state.planner_cfg, t_req);
+            (a.outcome, a.incumbent_used)
+        } else {
+            (state.planner.plan_task(entry.1.clone(), t_req), false)
+        }
     };
     let mut wire = outcome_to_wire(&outcome);
-    if outcome.plan.as_ref().is_some_and(|p| p.degraded) {
+    if incumbent_used {
+        // the incumbent already passed the full simulator inside the lane;
+        // count degraded service when its sources bound at relaxed values
+        if outcome.plan.as_ref().is_some_and(|p| p.degraded) {
+            state.stats.record_degraded();
+        }
+    } else if outcome.plan.as_ref().is_some_and(|p| p.degraded) {
         let _g = sekitei_obs::span("validate");
         let plan = outcome.plan.as_ref().expect("checked above");
         let report = sekitei_sim::validate_plan(&entry.0, &outcome.task, plan);

@@ -372,6 +372,10 @@ pub struct WireOutcome {
     /// Admissible lower bound on the optimal cost when no optimal plan was
     /// returned.
     pub best_bound: Option<f64>,
+    /// Optimality gap of the returned plan against the best admissible
+    /// bound (`0.0` when the plan is proved optimal; present whenever the
+    /// planner could bound it — anytime incumbents and degraded plans).
+    pub optimality_gap: Option<f64>,
     /// Run statistics.
     pub stats: WireStats,
 }
@@ -427,6 +431,13 @@ pub fn encode_outcome(o: &WireOutcome) -> Bytes {
     }
     b.put_u8(st.budget_exhausted as u8);
     b.put_u8(st.deadline_hit as u8);
+    match o.optimality_gap {
+        None => b.put_u8(0),
+        Some(x) => {
+            b.put_u8(1);
+            b.put_f64(x);
+        }
+    }
     b.freeze()
 }
 
@@ -484,12 +495,18 @@ pub fn decode_outcome(mut buf: &[u8]) -> Result<WireOutcome, SpecError> {
     }
     let budget_exhausted = get_u8(b)? != 0;
     let deadline_hit = get_u8(b)? != 0;
+    let optimality_gap = match get_u8(b)? {
+        0 => None,
+        1 => Some(get_f64(b)?),
+        x => return Err(SpecError::wire(format!("bad gap tag {x}"))),
+    };
     if !b.is_empty() {
         return Err(SpecError::wire("trailing bytes after outcome"));
     }
     Ok(WireOutcome {
         plan,
         best_bound,
+        optimality_gap,
         stats: WireStats {
             total_actions: words[0],
             plrg_props: words[1],
@@ -791,6 +808,7 @@ mod tests {
                 source_values: vec![(7, 92.5)],
             }),
             best_bound: Some(1.25),
+            optimality_gap: Some(0.1),
             stats: WireStats {
                 total_actions: 96,
                 plrg_props: 40,

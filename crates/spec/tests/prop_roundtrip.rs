@@ -134,13 +134,15 @@ fn outcome_from_seed(seed: u64, with_plan: bool, nsteps: usize) -> WireOutcome {
             })
             .collect(),
         cost_lower_bound: r.f(100.0),
-        degraded: r.word() % 2 == 0,
+        degraded: r.word().is_multiple_of(2),
         source_values: (0..r.word() % 4).map(|_| ((r.word() % 4096) as u32, r.f(200.0))).collect(),
     });
-    let best_bound = (r.word() % 2 == 0).then(|| r.f(50.0));
+    let best_bound = (r.word().is_multiple_of(2)).then(|| r.f(50.0));
+    let optimality_gap = (r.word().is_multiple_of(2)).then(|| r.f(25.0));
     WireOutcome {
         plan,
         best_bound,
+        optimality_gap,
         stats: WireStats {
             total_actions: r.word() % 100_000,
             plrg_props: r.word() % 100_000,
@@ -152,8 +154,8 @@ fn outcome_from_seed(seed: u64, with_plan: bool, nsteps: usize) -> WireOutcome {
             candidate_rejects: r.word() % 100_000,
             total_time_us: r.word() % 10_000_000,
             search_time_us: r.word() % 10_000_000,
-            budget_exhausted: r.word() % 2 == 0,
-            deadline_hit: r.word() % 2 == 0,
+            budget_exhausted: r.word().is_multiple_of(2),
+            deadline_hit: r.word().is_multiple_of(2),
         },
     }
 }

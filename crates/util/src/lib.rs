@@ -1,0 +1,14 @@
+//! # sekitei-util
+//!
+//! Dependency-free utilities shared across the workspace. Today that is
+//! exactly one thing: the seeded [`rng::SplitMix64`] generator that both
+//! the churn event generator and the anytime planner's stochastic
+//! local-search lane draw from, so every seeded component in the stack
+//! uses one audited implementation with one reference test.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod rng;
+
+pub use rng::SplitMix64;
