@@ -55,6 +55,7 @@ pub mod sls;
 
 pub use sls::{Incumbent, SlsStats};
 
+use sekitei_cert as cert;
 use sekitei_compile::{compile, ActionKind, PlanningTask};
 use sekitei_model::CppProblem;
 use sekitei_planner::{IncumbentBound, PlanError, PlanOutcome, Planner, PlannerConfig};
@@ -152,25 +153,54 @@ pub fn plan_task_hinted(
             _ => false,
         };
         if !exact_wins {
-            let gap = if armed {
+            let (gap, gap_basis) = if armed {
                 // deterministic under a deadline: measured against the
                 // root bound, never the timing-dependent frontier bound
                 match outcome.stats.root_bound {
-                    Some(rb) if rb.is_finite() => (inc.cost - rb).max(0.0),
-                    _ => 0.0,
+                    Some(rb) if rb.is_finite() => {
+                        ((inc.cost - rb).max(0.0), cert::GapBasis::RootBound)
+                    }
+                    Some(_) => (0.0, cert::GapBasis::RootBound),
+                    _ => (0.0, cert::GapBasis::Proved),
                 }
             } else if outcome.stats.budget_exhausted {
                 // deterministic exhaustion: the frontier bound stands
                 match outcome.stats.best_bound {
-                    Some(b) => (inc.cost - b).max(0.0),
-                    None => 0.0,
+                    Some(b) => ((inc.cost - b).max(0.0), cert::GapBasis::FrontierBound),
+                    None => (0.0, cert::GapBasis::Proved),
                 }
             } else {
                 // the exact search proved no (cheaper) greedy-valid plan
                 // exists — the incumbent is optimal-or-better
-                0.0
+                (0.0, cert::GapBasis::Proved)
             };
-            outcome.plan = Some(inc.plan);
+            // re-certify: the incumbent replaces whatever the exact lane
+            // produced, so it gets its own certificate under the anytime
+            // gap rules just applied
+            let mut inc_plan = inc.plan;
+            let trail = cert::BoundTrail {
+                plan_cost: inc_plan.cost_lower_bound,
+                root_bound: outcome.stats.root_bound,
+                frontier_bound: outcome.stats.best_bound,
+                gap_basis,
+                claimed_gap: Some(gap),
+                incumbent_cutoff: outcome.stats.incumbent_cutoff,
+                budget_exhausted: outcome.stats.budget_exhausted,
+                deadline_hit: outcome.stats.deadline_hit,
+                drain_mode: outcome.stats.drain_mode,
+                dominance: cfg.dominance,
+                symmetry: cfg.symmetry,
+            };
+            let actions: Vec<_> = inc_plan.steps.iter().map(|s| s.action).collect();
+            inc_plan.certificate = Some(cert::emit(
+                &outcome.task,
+                &actions,
+                &inc_plan.execution.source_values,
+                &inc_plan.execution.ledger,
+                cert::OutcomeClass::AnytimeIncumbent,
+                trail,
+            ));
+            outcome.plan = Some(inc_plan);
             outcome.stats.optimality_gap = Some(gap);
             incumbent_used = true;
             if sekitei_obs::enabled() {

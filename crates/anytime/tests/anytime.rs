@@ -68,6 +68,20 @@ fn deadline_small_a_returns_validated_incumbent() {
 }
 
 #[test]
+fn incumbent_certificate_verifies_with_its_reported_gap() {
+    let problem = scenarios::small(LevelScenario::A);
+    let a = sekitei_anytime::plan(&problem, &anytime_cfg(Some(250))).expect("compiles");
+    let plan = a.outcome.plan.as_ref().expect("anytime plan on Small/A");
+    let cert = plan.certificate.as_ref().expect("anytime plan carries a certificate");
+    let rep = sekitei_cert::check_certificate(&a.outcome.task, cert).unwrap();
+    if a.incumbent_used {
+        assert_eq!(rep.outcome, sekitei_cert::OutcomeClass::AnytimeIncumbent);
+    }
+    // the certified gap is the reported gap, not a parallel claim
+    assert_eq!(cert.bound.claimed_gap, a.outcome.stats.optimality_gap);
+}
+
+#[test]
 fn deadline_large_a_returns_validated_incumbent() {
     let problem = scenarios::large(LevelScenario::A);
     let a = sekitei_anytime::plan(&problem, &anytime_cfg(Some(250))).expect("compiles");

@@ -44,6 +44,14 @@
 //! * `adapt-repair`   — replan the *adapted* problem (keep/migrate cost
 //!   structure around the existing placements),
 //! * `scratch-repair` — replan the mutated problem from scratch.
+//!
+//! A seventh pair prices the proof-carrying-plan layer on every size
+//! (scenarios with a plan, planned once outside the timed region):
+//!
+//! * `cert-emit`  — package a `PlanCertificate` from the ledger the
+//!   planner already produced (witness scan + ledger copy),
+//! * `cert-check` — the independent checker re-deriving the execution
+//!   from the compiled task (`nodes` = ledger entries re-derived).
 
 use sekitei_compile::compile;
 use sekitei_model::resource::names::LBW;
@@ -239,6 +247,47 @@ fn repair_once(size: NetSize, sc: LevelScenario) -> Option<[PhaseRow; 2]> {
     ])
 }
 
+/// One certificate-layer measurement: plan once (degrade on, like the
+/// serving path), then time packaging the certificate from the existing
+/// ledger (`cert-emit`) and independently re-checking it against the
+/// compiled task (`cert-check`), min of `REPS` each. `None` when the
+/// scenario yields no plan.
+fn cert_once(size: NetSize, sc: LevelScenario) -> Option<[PhaseRow; 2]> {
+    let p = scenarios::problem(size, sc);
+    let planner =
+        Planner::new(sekitei_planner::PlannerConfig { degrade: true, ..Default::default() });
+    let o = planner.plan(&p).ok()?;
+    let plan = o.plan?;
+    let cert = plan.certificate.as_ref()?;
+    let actions: Vec<_> = plan.steps.iter().map(|s| s.action).collect();
+
+    let mut emit_ms = f64::INFINITY;
+    let mut check_ms = f64::INFINITY;
+    let mut entries = 0usize;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let emitted = sekitei_cert::emit(
+            &o.task,
+            &actions,
+            &plan.execution.source_values,
+            &plan.execution.ledger,
+            cert.outcome,
+            cert.bound,
+        );
+        emit_ms = emit_ms.min(t.elapsed().as_secs_f64() * 1e3);
+
+        let t = Instant::now();
+        let report = sekitei_cert::check_certificate(&o.task, &emitted)
+            .expect("issued certificate verifies");
+        check_ms = check_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        entries = report.ledger_entries;
+    }
+    Some([
+        PhaseRow { wall_ms: emit_ms, nodes: plan.steps.len(), budget_exhausted: false },
+        PhaseRow { wall_ms: check_ms, nodes: entries, budget_exhausted: false },
+    ])
+}
+
 /// Cross-check the wall-clock phase accounting above against the tracing
 /// layer before benching: with tracing on, the per-phase self times summed
 /// from the trace must fit inside the `plan` span, which must fit inside
@@ -423,6 +472,21 @@ fn main() {
             let label = format!("{}/{}", size.label(), sc.label());
             for (phase, row) in REPAIR_PHASES.iter().zip(best) {
                 println!("{:<10}{:<15}{:>6.3}{:>10}", label, phase, row.wall_ms, row.nodes);
+                records.push((label.clone(), phase, row));
+            }
+        }
+    }
+
+    // certificate layer on every size: emission packages the planner's
+    // own ledger, the check re-derives it independently — both are
+    // microseconds next to the search that produced the plan
+    const CERT_PHASES: [&str; 2] = ["cert-emit", "cert-check"];
+    for size in NetSize::ALL {
+        for sc in LevelScenario::ALL {
+            let Some(rows) = cert_once(size, sc) else { continue };
+            let label = format!("{}/{}", size.label(), sc.label());
+            for (phase, row) in CERT_PHASES.iter().zip(rows) {
+                println!("{:<10}{:<11}{:>10.3}{:>10}", label, phase, row.wall_ms, row.nodes);
                 records.push((label.clone(), phase, row));
             }
         }

@@ -1,0 +1,173 @@
+//! Certificate construction.
+//!
+//! [`emit`] packages a ledger the planner produced while binding;
+//! [`certify_by_execution`] re-derives the ledger with the checker's own
+//! executor (used by churn re-certification and tests, where the planner's
+//! trace is not trusted); [`rebind`] transports a certificate onto a
+//! freshly compiled task by name, for re-certifying repairs against a
+//! mutated network.
+
+use crate::{
+    check, BoundTrail, CertStep, CertViolation, GapBasis, GoalWitness, OutcomeClass,
+    PlanCertificate, PrecondWitness, Provenance, ResourceLedger,
+};
+use sekitei_compile::PlanningTask;
+use sekitei_model::{ActionId, GVarId, PropId};
+use std::collections::HashMap;
+
+/// Compute precondition and goal witnesses for a monotone action sequence.
+///
+/// Propositions are never deleted, so the first adder (or `Init`) is a
+/// valid witness for every later consumer.
+fn witnesses(
+    task: &PlanningTask,
+    actions: &[ActionId],
+) -> (Vec<Vec<PrecondWitness>>, Vec<GoalWitness>) {
+    let mut added_by: Vec<Option<u32>> = vec![None; task.num_props()];
+    let provenance = |added_by: &[Option<u32>], p: PropId| match added_by[p.index()] {
+        Some(k) => Provenance::Step(k),
+        None => Provenance::Init,
+    };
+    let mut per_step = Vec::with_capacity(actions.len());
+    for (i, &aid) in actions.iter().enumerate() {
+        let act = task.action(aid);
+        per_step.push(
+            act.preconds
+                .iter()
+                .map(|&p| PrecondWitness { prop: p, by: provenance(&added_by, p) })
+                .collect(),
+        );
+        for &p in &act.adds {
+            if added_by[p.index()].is_none() {
+                added_by[p.index()] = Some(i as u32);
+            }
+        }
+    }
+    let goals = task
+        .goal_props
+        .iter()
+        .map(|&p| GoalWitness { prop: p, by: provenance(&added_by, p) })
+        .collect();
+    (per_step, goals)
+}
+
+/// Package a certificate from a ledger the planner already produced.
+///
+/// The ledger rows must be action-ordered and parallel to `actions`
+/// (one row per step, one write per effect). Nothing is re-executed
+/// here — the certificate is only as good as the ledger, which is the
+/// point: [`crate::check_certificate`] independently re-derives it.
+pub fn emit(
+    task: &PlanningTask,
+    actions: &[ActionId],
+    sources: &[(GVarId, f64)],
+    ledger: &ResourceLedger,
+    outcome: OutcomeClass,
+    bound: BoundTrail,
+) -> PlanCertificate {
+    let (mut per_step, goals) = witnesses(task, actions);
+    let steps = actions
+        .iter()
+        .enumerate()
+        .map(|(i, &aid)| CertStep {
+            action: aid,
+            name: task.action(aid).name.clone(),
+            preconds: std::mem::take(&mut per_step[i]),
+            writes: ledger.rows.get(i).map(|r| r.writes.clone()).unwrap_or_default(),
+        })
+        .collect();
+    PlanCertificate {
+        version: crate::CERT_VERSION,
+        task_fingerprint: task.fingerprint(),
+        outcome,
+        steps,
+        sources: sources.to_vec(),
+        goals,
+        bound,
+    }
+}
+
+/// Build a certificate by running the checker's own executor.
+///
+/// Fails with the exact violation the checker would report if the action
+/// sequence does not execute at the given sources — used where the plan
+/// trace is *not* trusted (churn re-certification, adversarial tests).
+pub fn certify_by_execution(
+    task: &PlanningTask,
+    actions: &[ActionId],
+    sources: &[(GVarId, f64)],
+    outcome: OutcomeClass,
+    bound: BoundTrail,
+) -> Result<PlanCertificate, CertViolation> {
+    let rows = check::execute_against(task, actions, sources, None)?;
+    let ledger = ResourceLedger {
+        rows: rows.into_iter().map(|writes| crate::LedgerRow { writes }).collect(),
+    };
+    Ok(emit(task, actions, sources, &ledger, outcome, bound))
+}
+
+/// Transport `cert` onto `new_task` (a fresh compile of a mutated
+/// network) and re-certify by execution.
+///
+/// Actions are matched by ground name and sources by their [`GVarData`]
+/// identity — raw indices are meaningless across compiles because marker
+/// resources shift the dense numbering. The rebound certificate claims no
+/// optimality (`GapBasis::Unbounded`): a repair is feasibility-certified
+/// against the *current* network, nothing more.
+///
+/// [`GVarData`]: sekitei_compile::GVarData
+pub fn rebind(
+    cert: &PlanCertificate,
+    old_task: &PlanningTask,
+    new_task: &PlanningTask,
+) -> Result<PlanCertificate, CertViolation> {
+    let by_name: HashMap<&str, ActionId> = (0..new_task.num_actions())
+        .map(|i| {
+            let id = ActionId::from_index(i);
+            (new_task.action(id).name.as_str(), id)
+        })
+        .collect();
+    let actions = cert
+        .steps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            by_name
+                .get(s.name.as_str())
+                .copied()
+                .ok_or_else(|| CertViolation::UnknownAction { step: i, name: s.name.clone() })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let sources = cert
+        .sources
+        .iter()
+        .map(|&(v, x)| {
+            if v.index() >= old_task.gvars.len() {
+                return Err(CertViolation::Malformed(format!(
+                    "source names variable #{} of {}",
+                    v.index(),
+                    old_task.gvars.len()
+                )));
+            }
+            let data = &old_task.gvars[v.index()];
+            new_task.gvar_id(data).map(|nv| (nv, x)).ok_or_else(|| {
+                CertViolation::SourceOutOfRange { var: old_task.gvar_name(v).to_string(), value: x }
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let plan_cost: f64 = actions.iter().map(|&a| new_task.action(a).cost).sum();
+    let bound = BoundTrail {
+        plan_cost,
+        root_bound: None,
+        frontier_bound: None,
+        gap_basis: GapBasis::Unbounded,
+        claimed_gap: None,
+        incumbent_cutoff: false,
+        budget_exhausted: false,
+        deadline_hit: false,
+        drain_mode: false,
+        dominance: false,
+        symmetry: false,
+    };
+    certify_by_execution(new_task, &actions, &sources, OutcomeClass::ChurnRepair, bound)
+}

@@ -21,6 +21,7 @@
 //! non-reproducible report.
 
 use crate::event::{apply, ChurnEvent};
+use sekitei_cert::{check_certificate, rebind, PlanCertificate};
 use sekitei_compile::{compile, ActionKind, PlanningTask};
 use sekitei_model::{adapt_problem, AdaptConfig, CppProblem};
 use sekitei_planner::{plan_diff, Plan, Planner, PlannerConfig};
@@ -72,6 +73,11 @@ pub struct Repair {
     pub moved: usize,
     /// True when the planner returned a degraded (relaxed-bound) plan.
     pub degraded: bool,
+    /// The repair's certificate, rebound onto a fresh compile of the
+    /// *mutated, unadapted* problem and checked before adoption. The
+    /// engine refuses to adopt a candidate whose certificate does not
+    /// re-check, so an adopted repair always carries one.
+    pub certificate: Option<PlanCertificate>,
     /// Repair wall-clock (measured; excluded from deterministic output).
     pub wall: Duration,
 }
@@ -148,6 +154,10 @@ pub struct ChurnSummary {
     pub degraded_repairs: usize,
     /// Events where no repair was found.
     pub failed_repairs: usize,
+    /// Repairs whose certificate was rebound and re-checked against the
+    /// mutated network before adoption (always equals `repairs()` — the
+    /// engine rejects candidates that fail re-certification).
+    pub recertified_repairs: usize,
     /// Placements kept across all repairs.
     pub kept: usize,
     /// Components moved across all repairs.
@@ -177,7 +187,7 @@ impl ChurnSummary {
         format!(
             "events          {}\n\
              faults          {}\n\
-             repairs         {} (adapt {}, scratch {}, degraded {})\n\
+             repairs         {} (adapt {}, scratch {}, degraded {}, recertified {})\n\
              failed repairs  {}\n\
              plan churn      kept {}, moved {}\n\
              availability    {:.1}% ({}/{} time units)\n",
@@ -187,6 +197,7 @@ impl ChurnSummary {
             self.adapt_repairs,
             self.scratch_repairs,
             self.degraded_repairs,
+            self.recertified_repairs,
             self.failed_repairs,
             self.kept,
             self.moved,
@@ -222,6 +233,9 @@ pub struct ChurnReport {
     pub records: Vec<EventRecord>,
     /// Aggregates.
     pub summary: ChurnSummary,
+    /// Certificate of the initial (pre-churn) deployment, exactly as the
+    /// planner emitted it.
+    pub initial_certificate: Option<PlanCertificate>,
 }
 
 /// A live deployment: the plan plus its simulator realization.
@@ -283,6 +297,7 @@ pub fn run(
 
     let outcome = planner.plan(&current).map_err(|e| ChurnError::Plan(e.to_string()))?;
     let plan = outcome.plan.ok_or(ChurnError::Unsolvable)?;
+    let initial_certificate = plan.certificate.clone();
     let mut dep = Deployment::new(&current, &outcome.task, plan);
     debug_assert!(simulate(&current, &dep.sources, &dep.ops).ok);
 
@@ -340,11 +355,13 @@ pub fn run(
                     kept: diff.kept.len(),
                     moved: diff.moved.len(),
                     degraded: new_dep.plan.degraded,
+                    certificate: new_dep.plan.certificate.clone(),
                     wall,
                 };
                 summary.kept += repair.kept;
                 summary.moved += repair.moved;
                 summary.degraded_repairs += usize::from(repair.degraded);
+                summary.recertified_repairs += usize::from(repair.certificate.is_some());
                 match route {
                     RepairRoute::Adapt => {
                         summary.adapt_repairs += 1;
@@ -373,7 +390,7 @@ pub fn run(
         summary.up_time += 1;
     }
     summary.total_time = events.last().map_or(1, |e| e.t + 1);
-    Ok(ChurnReport { records, summary })
+    Ok(ChurnReport { records, summary, initial_certificate })
 }
 
 /// Attempt a repair of `dep` against the mutated `current` problem:
@@ -402,12 +419,38 @@ fn repair(
     if let Some((task, plan)) = plan_for_repair(planner, planner_cfg, &adapted, &hint) {
         let d = Deployment::new(&adapted, &task, plan);
         if simulate(current, &d.sources, &d.ops).ok {
-            return Some((RepairRoute::Adapt, d));
+            if let Some(d) = recertify(current, &task, d) {
+                return Some((RepairRoute::Adapt, d));
+            }
         }
     }
     let (task, plan) = plan_for_repair(planner, planner_cfg, current, &hint)?;
     let d = Deployment::new(current, &task, plan);
-    simulate(current, &d.sources, &d.ops).ok.then_some((RepairRoute::Scratch, d))
+    if !simulate(current, &d.sources, &d.ops).ok {
+        return None;
+    }
+    recertify(current, &task, d).map(|d| (RepairRoute::Scratch, d))
+}
+
+/// Re-certify a repair candidate against the mutated network: rebind the
+/// planner's certificate from the task it was planned against (which may
+/// be the *adapted* problem's, whose marker resources shift every index)
+/// onto a fresh compile of the unadapted `current` problem, then run the
+/// independent checker on the result. A candidate that cannot produce a
+/// checkable certificate is rejected — the loop falls through to the next
+/// route or reports the deployment down, so every adopted repair is
+/// auditable offline against the network it actually runs on.
+fn recertify(
+    current: &CppProblem,
+    planned_task: &PlanningTask,
+    mut d: Deployment,
+) -> Option<Deployment> {
+    let cert = d.plan.certificate.as_ref()?;
+    let fresh = compile(current).ok()?;
+    let rebound = rebind(cert, planned_task, &fresh).ok()?;
+    check_certificate(&fresh, &rebound).ok()?;
+    d.plan.certificate = Some(rebound);
+    Some(d)
 }
 
 /// One repair-planning attempt: the exact planner, or the anytime

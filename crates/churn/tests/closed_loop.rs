@@ -111,6 +111,103 @@ fn empty_trace_is_all_uptime() {
 }
 
 #[test]
+fn every_repair_is_recertified_against_the_mutated_network() {
+    let p = scenarios::tiny(LevelScenario::C);
+    let prof = scenarios::churn_profile(NetSize::Tiny, &p);
+    let events = generate(&p.network, &prof, 7, 30);
+    let report = engine::run(&p, &events, &ChurnConfig::default()).unwrap();
+    assert!(report.summary.repairs() >= 1, "seed 7 must force a repair");
+    assert_eq!(
+        report.summary.recertified_repairs,
+        report.summary.repairs(),
+        "the engine must refuse any repair it cannot re-certify"
+    );
+
+    // the initial deployment's certificate checks against the pristine task
+    let init = report.initial_certificate.as_ref().expect("initial plan carries a certificate");
+    let task0 = sekitei_compile::compile(&p).unwrap();
+    sekitei_cert::check_certificate(&task0, init).unwrap();
+
+    // replay the mutations and re-check every adopted repair with the
+    // independent checker against the network as it was at that event
+    let baseline = p.network.clone();
+    let mut current = p.clone();
+    let mut checked = 0usize;
+    for (r, ev) in report.records.iter().zip(&events) {
+        sekitei_churn::apply(&ev.mutation, &mut current.network, &baseline);
+        if let Outcome::Repaired(rep) = &r.outcome {
+            let cert = rep.certificate.as_ref().expect("adopted repairs carry a certificate");
+            let task = sekitei_compile::compile(&current).unwrap();
+            assert_eq!(
+                cert.task_fingerprint,
+                task.fingerprint(),
+                "repair certificate must be bound to the mutated network, not the pre-churn one"
+            );
+            let check = sekitei_cert::check_certificate(&task, cert).unwrap();
+            assert_eq!(check.outcome, sekitei_cert::OutcomeClass::ChurnRepair);
+            assert!(!check.gap_proved, "repairs are feasibility-only certificates");
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, report.summary.repairs());
+}
+
+#[test]
+fn stale_certificate_fails_against_mutated_network() {
+    // hand-built staleness: certify the pre-churn deployment, squeeze the
+    // WAN link below the plan's 65-unit reservation, and demand the old
+    // certificate fail against the mutated network
+    let p = scenarios::tiny(LevelScenario::C);
+    let report = engine::run(&p, &[], &ChurnConfig::default()).unwrap();
+    let cert = report.initial_certificate.unwrap();
+
+    let mut mutated = p.clone();
+    let trace = parse_trace("@1 link n0 n1 lbw 60\n", &p.network).unwrap();
+    sekitei_churn::apply(&trace[0].mutation, &mut mutated.network, &p.network);
+    let task = sekitei_compile::compile(&mutated).unwrap();
+
+    // first line of defence: the task fingerprint covers capacities
+    let err = sekitei_cert::check_certificate(&task, &cert).unwrap_err();
+    assert!(
+        matches!(err, sekitei_cert::CertViolation::FingerprintMismatch { .. }),
+        "stale certificate must fail the fingerprint check, got: {err}"
+    );
+
+    // even a forged fingerprint cannot survive: the capacity change
+    // shifts ground-action enumeration (name mismatch at the old index)
+    // and the claimed ledger was computed against the old 70-unit
+    // capacity (execution mismatch if the indices happen to line up)
+    let mut forged = cert.clone();
+    forged.task_fingerprint = task.fingerprint();
+    let err = sekitei_cert::check_certificate(&task, &forged).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            sekitei_cert::CertViolation::ActionNameMismatch { .. }
+                | sekitei_cert::CertViolation::UnknownAction { .. }
+                | sekitei_cert::CertViolation::ResourceNegative { .. }
+                | sekitei_cert::CertViolation::ConditionFailed { .. }
+                | sekitei_cert::CertViolation::LedgerMismatch { .. }
+        ),
+        "forged fingerprint must still fail, got: {err}"
+    );
+
+    // rebinding matches actions by *name*, so it survives the index
+    // shuffle — and must then fail in execution, because the plan
+    // reserves 65 units on a link that now has 60
+    let old_task = sekitei_compile::compile(&p).unwrap();
+    let err = sekitei_cert::rebind(&cert, &old_task, &task).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            sekitei_cert::CertViolation::ResourceNegative { .. }
+                | sekitei_cert::CertViolation::ConditionFailed { .. }
+        ),
+        "rebound stale plan must fail execution on the squeezed link, got: {err}"
+    );
+}
+
+#[test]
 fn unsolvable_initial_problem_is_an_error() {
     // Scenario A (unleveled) is the paper's canonical greedy failure.
     // With graceful degradation (the churn default) a relaxed-bound plan

@@ -12,14 +12,16 @@ const USAGE: &str = "usage:
                [--deadline-ms N] [--search-threads N] [--degrade]
                [--anytime] [--sls-seed N] [--sls-restarts N]
                [--validate] [--quiet] [--profile] [--trace-json FILE]
+               [--emit-cert FILE]
   sekitei batch <spec-file>... [--threads N] [--search-threads N]
                [--no-prune] [--validate] [--quiet] [--profile]
-               [--trace-json FILE]
+               [--trace-json FILE] [--emit-cert FILE]
   sekitei serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
                [--cache-cap N] [--max-nodes N] [--deadline-ms N]
                [--search-threads N] [--no-degrade]
                [--anytime] [--sls-seed N] [--sls-restarts N]
   sekitei request (<spec-file> | --stats | --shutdown) [--addr HOST:PORT]
+  sekitei verify-cert <spec-file> <cert-file>
   sekitei check <spec-file>
   sekitei compile <spec-file> [--dump]
   sekitei scenario <tiny|small|large> <A|B|C|D|E> [--emit] [--validate]
@@ -31,7 +33,7 @@ const USAGE: &str = "usage:
                [--max-nodes N] [--deadline-ms N] [--search-threads N]
                [--no-degrade] [--anytime] [--sls-seed N] [--sls-restarts N]
                [--keep-cost X] [--migration-factor Y] [--quiet]
-               [--profile] [--trace-json FILE]
+               [--profile] [--trace-json FILE] [--emit-cert FILE]
   sekitei doctor <spec-file>
   sekitei suggest <spec-file> [--headroom H] [--apply]
   sekitei dot <spec-file> [--plan]
@@ -45,6 +47,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("request") => cmd_request(&args[1..]),
+        Some("verify-cert") => cmd_verify_cert(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("scenario") => cmd_scenario(&args[1..]),
@@ -243,9 +246,21 @@ fn report_outcome(
     Ok(())
 }
 
+/// Write a plan's certificate to `path` in the SKC1 wire form. Errors when
+/// the outcome carried no certificate (no plan was found, or the plan
+/// predates certificate emission).
+fn write_cert(path: &str, cert: Option<&sekitei_cert::PlanCertificate>) -> Result<(), String> {
+    let cert = cert.ok_or_else(|| format!("no certificate to emit to `{path}` (no plan)"))?;
+    let bytes = sekitei_cert::encode_certificate(cert);
+    std::fs::write(path, &bytes).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    println!("wrote certificate ({} bytes) to {path}", bytes.len());
+    Ok(())
+}
+
 fn cmd_plan(args: &[String]) -> Result<(), String> {
     let mut path: Option<String> = None;
     let mut scenario: Option<(NetSize, LevelScenario)> = None;
+    let mut emit_cert: Option<String> = None;
     let mut obs = ObsOpts::default();
     let mut flags: Vec<String> = Vec::new();
     let mut i = 0;
@@ -255,6 +270,10 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
                 i += 1;
                 let v = args.get(i).ok_or("--scenario needs a value like small-b")?;
                 scenario = Some(parse_size_level(v)?);
+            }
+            "--emit-cert" => {
+                i += 1;
+                emit_cert = Some(args.get(i).ok_or("--emit-cert needs a file path")?.clone());
             }
             "--trace-json" => {
                 i += 1;
@@ -301,7 +320,11 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
     let emitted = obs.finish("plan");
     let outcome = planned?;
     emitted?;
-    report_outcome(&problem, &outcome, validate, quiet)
+    report_outcome(&problem, &outcome, validate, quiet)?;
+    if let Some(path) = &emit_cert {
+        write_cert(path, outcome.plan.as_ref().and_then(|p| p.certificate.as_ref()))?;
+    }
+    Ok(())
 }
 
 fn cmd_batch(args: &[String]) -> Result<(), String> {
@@ -310,6 +333,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let mut cfg = PlannerConfig::default();
     let mut quiet = false;
     let mut validate = false;
+    let mut emit_cert: Option<String> = None;
     let mut obs = ObsOpts::default();
     let mut i = 0;
     while i < args.len() {
@@ -333,6 +357,10 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             }
             "--quiet" => quiet = true,
             "--validate" => validate = true,
+            "--emit-cert" => {
+                i += 1;
+                emit_cert = Some(args.get(i).ok_or("--emit-cert needs a file path")?.clone());
+            }
             "--trace-json" => {
                 i += 1;
                 obs.trace_json = Some(args.get(i).ok_or("--trace-json needs a file path")?.clone());
@@ -356,13 +384,21 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     // the profile table sums every instance's "plan" span into one breakdown
     obs.finish("plan")?;
     let mut failures = 0usize;
-    for ((file, problem), outcome) in files.iter().zip(&problems).zip(outcomes) {
+    for (idx, ((file, problem), outcome)) in files.iter().zip(&problems).zip(outcomes).enumerate() {
         println!("=== {file} ===");
         match outcome {
             Ok(o) => {
                 if let Err(e) = report_outcome(problem, &o, validate, quiet) {
                     eprintln!("{e}");
                     failures += 1;
+                } else if let Some(base) = &emit_cert {
+                    // one certificate per instance, suffixed by position
+                    let path = format!("{base}.{idx}");
+                    let cert = o.plan.as_ref().and_then(|p| p.certificate.as_ref());
+                    if let Err(e) = write_cert(&path, cert) {
+                        eprintln!("{e}");
+                        failures += 1;
+                    }
                 }
             }
             Err(e) => {
@@ -490,6 +526,22 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
             let (outcome, cache_hit) =
                 request_plan(addr.as_str(), &problem).map_err(|e| e.to_string())?;
             report_wire_outcome(&outcome, cache_hit);
+            if let Some(bytes) = &outcome.certificate {
+                // the client compiles the task itself, so the check is
+                // independent of everything the server claimed
+                let task = compile(&problem).map_err(|e| e.to_string())?;
+                let cert = sekitei_cert::decode_certificate(bytes)
+                    .map_err(|e| format!("served certificate undecodable: {e}"))?;
+                let rep = sekitei_cert::check_certificate(&task, &cert)
+                    .map_err(|v| format!("served certificate INVALID: {v}"))?;
+                println!(
+                    "certificate: verified ({} outcome, {} steps, {} ledger entries, gap {})",
+                    rep.outcome,
+                    rep.steps,
+                    rep.ledger_entries,
+                    if rep.gap_proved { "proved" } else { "advisory" },
+                );
+            }
             Ok(())
         }
         _ => Err(format!("request needs exactly one of <spec-file>, --stats, --shutdown\n{USAGE}")),
@@ -525,6 +577,16 @@ fn report_wire_outcome(outcome: &sekitei_spec::WireOutcome, cache_hit: bool) {
             if let Some(b) = outcome.best_bound {
                 println!("(optimal cost ≥ {b:.2})");
             }
+            // parity with `plan`: older servers shipped a gap even after
+            // dropping a sim-rejected plan — surface it rather than
+            // silently discarding the field
+            if let Some(gap) = outcome.optimality_gap {
+                if gap > 0.0 {
+                    println!("optimality gap: ≤ {gap:.2}");
+                } else {
+                    println!("optimality gap: 0.00 (proved)");
+                }
+            }
             if outcome.stats.budget_exhausted {
                 println!("(search budget exhausted — the instance may still be solvable)");
             }
@@ -541,6 +603,36 @@ fn report_wire_outcome(outcome: &sekitei_spec::WireOutcome, cache_hit: bool) {
         if s.budget_exhausted && !s.deadline_hit { " [budget exhausted]" } else { "" },
         if cache_hit { " [cache hit]" } else { "" },
     );
+}
+
+fn cmd_verify_cert(args: &[String]) -> Result<(), String> {
+    use sekitei_cert::{check_certificate, decode_certificate};
+
+    let (spec, cert_path) = match args {
+        [s, c] => (s, c),
+        _ => return Err(format!("verify-cert needs <spec-file> <cert-file>\n{USAGE}")),
+    };
+    // spec + compiler only — the checker shares no code with the search,
+    // so a verify-cert pass is an independent audit of the plan
+    let problem = load(spec)?;
+    let task = compile(&problem).map_err(|e| e.to_string())?;
+    let bytes = std::fs::read(cert_path).map_err(|e| format!("cannot read `{cert_path}`: {e}"))?;
+    let cert = decode_certificate(&bytes).map_err(|e| format!("{cert_path}: {e}"))?;
+    let report = check_certificate(&task, &cert)
+        .map_err(|v| format!("{cert_path}: certificate INVALID: {v}"))?;
+    println!(
+        "{cert_path}: certificate OK — {} outcome, {} steps, {} ledger entries, cost ≥ {:.2}, gap {}",
+        report.outcome,
+        report.steps,
+        report.ledger_entries,
+        cert.bound.plan_cost,
+        match cert.bound.claimed_gap {
+            Some(g) if report.gap_proved => format!("≤ {g:.2} (proved)"),
+            Some(g) => format!("≤ {g:.2} (advisory)"),
+            None => "unbounded (feasibility only)".into(),
+        }
+    );
+    Ok(())
 }
 
 fn cmd_check(args: &[String]) -> Result<(), String> {
@@ -745,6 +837,7 @@ fn cmd_churn(args: &[String]) -> Result<(), String> {
     let mut events = 50usize;
     let mut trace_file: Option<String> = None;
     let mut emit_trace = false;
+    let mut emit_cert: Option<String> = None;
     let mut quiet = false;
     let mut cfg = ChurnConfig::default();
     let mut obs = ObsOpts::default();
@@ -782,6 +875,10 @@ fn cmd_churn(args: &[String]) -> Result<(), String> {
                 trace_file = Some(need(args.get(i), "--trace")?);
             }
             "--emit-trace" => emit_trace = true,
+            "--emit-cert" => {
+                i += 1;
+                emit_cert = Some(need(args.get(i), "--emit-cert")?);
+            }
             "--max-nodes" => {
                 i += 1;
                 let v = need(args.get(i), "--max-nodes")?;
@@ -872,6 +969,11 @@ fn cmd_churn(args: &[String]) -> Result<(), String> {
     print!("{}", report.summary.render());
     // wall-clock: real but not reproducible, so stderr only
     eprint!("{}", report.summary.render_timing());
+    if let Some(path) = &emit_cert {
+        // the initial deployment's certificate; repairs carry their own
+        // (re-bound) certificates in the per-event records
+        write_cert(path, report.initial_certificate.as_ref())?;
+    }
     Ok(())
 }
 
@@ -1268,6 +1370,109 @@ mod tests {
         .unwrap();
         assert!(dispatch(&[s(&["plan"]), vec![sp], s(&["--bogus"])].concat()).is_err());
         assert!(dispatch(&s(&["plan", "/nonexistent/x.spec"])).is_err());
+    }
+
+    #[test]
+    fn verify_cert_roundtrip() {
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("sekitei_cli_cert.spec");
+        let p = scenarios::tiny(LevelScenario::C);
+        std::fs::write(&spec_path, sekitei_spec::print_problem(&p)).unwrap();
+        let sp = spec_path.to_str().unwrap().to_string();
+        let cert_path = dir.join("sekitei_cli_cert.skc1");
+        let cp = cert_path.to_str().unwrap().to_string();
+
+        dispatch(
+            &[s(&["plan"]), vec![sp.clone()], s(&["--quiet", "--emit-cert"]), vec![cp.clone()]]
+                .concat(),
+        )
+        .unwrap();
+        dispatch(&[s(&["verify-cert"]), vec![sp.clone(), cp.clone()]].concat()).unwrap();
+
+        // a single flipped byte must be caught with a nonzero exit
+        let mut bytes = std::fs::read(&cert_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        let bad_path = dir.join("sekitei_cli_cert_bad.skc1");
+        std::fs::write(&bad_path, &bytes).unwrap();
+        let bp = bad_path.to_str().unwrap().to_string();
+        assert!(dispatch(&[s(&["verify-cert"]), vec![sp.clone(), bp]].concat()).is_err());
+
+        // a certificate for a different problem fails the fingerprint
+        let other_path = dir.join("sekitei_cli_cert_other.spec");
+        std::fs::write(
+            &other_path,
+            sekitei_spec::print_problem(&scenarios::tiny(LevelScenario::D)),
+        )
+        .unwrap();
+        let op = other_path.to_str().unwrap().to_string();
+        assert!(dispatch(&[s(&["verify-cert"]), vec![op, cp.clone()]].concat()).is_err());
+
+        // argument errors
+        assert!(dispatch(&s(&["verify-cert"])).is_err());
+        assert!(dispatch(&[s(&["verify-cert"]), vec![sp.clone()]].concat()).is_err());
+        assert!(dispatch(&[s(&["verify-cert"]), vec![sp, "/nonexistent.skc1".into()]].concat())
+            .is_err());
+    }
+
+    #[test]
+    fn emit_cert_on_batch_and_churn() {
+        let dir = std::env::temp_dir();
+        let spec_path = dir.join("sekitei_cli_cert_batch.spec");
+        let p = scenarios::tiny(LevelScenario::C);
+        std::fs::write(&spec_path, sekitei_spec::print_problem(&p)).unwrap();
+        let sp = spec_path.to_str().unwrap().to_string();
+
+        // batch writes one certificate per instance, suffixed by position
+        let base = dir.join("sekitei_cli_cert_batch.skc1");
+        let bp = base.to_str().unwrap().to_string();
+        dispatch(
+            &[
+                s(&["batch"]),
+                vec![sp.clone(), sp.clone()],
+                s(&["--quiet", "--emit-cert"]),
+                vec![bp.clone()],
+            ]
+            .concat(),
+        )
+        .unwrap();
+        for i in 0..2 {
+            let each = format!("{bp}.{i}");
+            dispatch(&[s(&["verify-cert"]), vec![sp.clone(), each]].concat()).unwrap();
+        }
+
+        // churn emits the initial deployment's certificate (defaults run
+        // the tiny/C scenario, which `sp` holds the spec of)
+        let churn_cert = dir.join("sekitei_cli_cert_churn.skc1");
+        let chp = churn_cert.to_str().unwrap().to_string();
+        dispatch(
+            &[
+                s(&["churn", "--scenario", "tiny", "--seed", "7", "--events", "5", "--quiet"]),
+                s(&["--emit-cert"]),
+                vec![chp.clone()],
+            ]
+            .concat(),
+        )
+        .unwrap();
+        dispatch(&[s(&["verify-cert"]), vec![sp, chp]].concat()).unwrap();
+
+        // an unsolvable instance has no certificate to emit
+        let bad_spec = dir.join("sekitei_cli_cert_unsolvable.spec");
+        let mut q = scenarios::tiny(LevelScenario::A);
+        q.sources.clear();
+        std::fs::write(&bad_spec, sekitei_spec::print_problem(&q)).unwrap();
+        let qp = bad_spec.to_str().unwrap().to_string();
+        let none = dir.join("sekitei_cli_cert_none.skc1");
+        assert!(dispatch(
+            &[
+                s(&["plan"]),
+                vec![qp],
+                s(&["--quiet", "--emit-cert"]),
+                vec![none.to_str().unwrap().into()]
+            ]
+            .concat()
+        )
+        .is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! sekitei serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!              [--cache-cap N] [--deadline-ms N] [--no-degrade]
 //! sekitei request (<spec-file> | --stats | --shutdown) [--addr HOST:PORT]
+//! sekitei verify-cert <spec-file> <cert-file>
 //! sekitei check <spec-file>
 //! sekitei compile <spec-file> [--dump]
 //! sekitei scenario <tiny|small|large> <A|B|C|D|E> [--emit] [--validate]

@@ -13,6 +13,7 @@
 //! and every goal demand is met at these concrete values.
 
 use crate::replay::ResourceMap;
+use sekitei_cert::{LedgerRow, ResourceLedger};
 use sekitei_compile::{GVarData, PlanningTask};
 use sekitei_model::{ActionId, AssignOp, GVarId, Interval};
 use std::collections::HashMap;
@@ -66,8 +67,10 @@ pub struct ConcreteExecution {
     pub source_values: Vec<(GVarId, f64)>,
     /// Final value of every touched variable.
     pub final_state: HashMap<GVarId, f64>,
-    /// Per step, the post-state of every variable the action wrote.
-    pub per_step: Vec<Vec<(GVarId, f64)>>,
+    /// The resource ledger: per step, the post-value of every variable the
+    /// action wrote, recorded *as the execution binds* — this is the row
+    /// data a [`sekitei_cert::PlanCertificate`] carries verbatim.
+    pub ledger: ResourceLedger,
 }
 
 /// Greedily concretize and exactly execute `plan`.
@@ -135,8 +138,8 @@ fn execute(
         }
     }
 
-    // exact forward execution
-    let mut per_step = Vec::with_capacity(plan.len());
+    // exact forward execution, recording the ledger as it binds
+    let mut ledger = ResourceLedger { rows: Vec::with_capacity(plan.len()) };
     for (step, &aid) in plan.iter().enumerate() {
         let act = task.action(aid);
         // reads must be defined
@@ -178,10 +181,10 @@ fn execute(
             state.insert(e.target, new);
             written.push((e.target, new));
         }
-        per_step.push(written);
+        ledger.rows.push(LedgerRow { writes: written });
     }
 
-    Ok(ConcreteExecution { source_values, final_state: state, per_step })
+    Ok(ConcreteExecution { source_values, final_state: state, ledger })
 }
 
 /// Degraded-mode concretization for the serving path: bind sources to *any*
@@ -419,19 +422,22 @@ mod tests {
     }
 
     #[test]
-    fn per_step_trace_shapes() {
+    fn ledger_row_shapes() {
         let p = scenarios::tiny(LevelScenario::C);
         let task = compile(&p).unwrap();
         let plan = figure4(&task);
         let map = replay_tail(&task, &plan, Some(&task.init_values)).unwrap();
         let exec = concretize(&task, &plan, &map).unwrap();
-        assert_eq!(exec.per_step.len(), plan.len());
+        assert_eq!(exec.ledger.rows.len(), plan.len());
         // every step wrote something except the pure-condition client
-        for (i, w) in exec.per_step.iter().enumerate() {
+        for (i, row) in exec.ledger.rows.iter().enumerate() {
             if i + 1 < plan.len() {
-                assert!(!w.is_empty(), "step {i} wrote nothing");
+                assert!(!row.writes.is_empty(), "step {i} wrote nothing");
             }
+            // one write per effect, in effect order — the certificate contract
+            assert_eq!(row.writes.len(), task.action(plan[i]).effects.len());
         }
+        assert!(exec.ledger.entries() > 0);
     }
 
     #[test]

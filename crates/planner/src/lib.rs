@@ -52,6 +52,8 @@ pub use setkey::SetKey;
 pub use slrg::{SetCost, Slrg, SlrgStats};
 pub use viz::{network_dot, plan_dot};
 
+pub use sekitei_cert as cert;
+
 use sekitei_compile::{compile, CompileError, CompileStats, PlanningTask};
 use sekitei_model::CppProblem;
 use std::time::{Duration, Instant};
@@ -190,6 +192,13 @@ pub struct PlannerStats {
     /// True if specifically the wall-clock deadline tripped the search
     /// (implies `budget_exhausted`).
     pub deadline_hit: bool,
+    /// True when the RG search's lossy drain mode engaged: nodes were
+    /// dropped by g-aware duplicate detection and coarse signature
+    /// symmetry, so [`PlannerStats::best_bound`] is *advisory*, not an
+    /// admissible bound on the optimum ([`RgResult::drain_mode`]). The
+    /// certificate's bound trail records this so a checker can tell a
+    /// proved gap from a best-effort one.
+    pub drain_mode: bool,
     /// Admissible lower bound on the optimal plan cost at search exit when
     /// no optimal plan was returned: the minimum f over the unexplored
     /// frontier. `None` means either a plan was found (its
@@ -473,6 +482,7 @@ impl Planner {
             stats.candidate_rejects = r.candidate_rejects;
             stats.budget_exhausted = r.budget_exhausted;
             stats.deadline_hit = r.deadline_hit;
+            stats.drain_mode = r.drain_mode;
             stats.incumbent_cutoff = r.incumbent_cutoff;
             stats.best_bound = r.best_open_f;
             stats.root_bound = Some(r.root_h);
@@ -507,6 +517,43 @@ impl Planner {
                 sekitei_obs::event("optimality_gap_milli", (gap * 1000.0).round() as u64);
             }
         }
+        // certificate emission: package the ledger the accepted execution
+        // recorded while binding, plus the bound trail justifying the gap
+        // computed above
+        let plan = plan.map(|mut p| {
+            let gap_basis = if !p.degraded {
+                cert::GapBasis::Proved
+            } else if stats.best_bound.is_some() {
+                cert::GapBasis::FrontierBound
+            } else {
+                cert::GapBasis::Unbounded
+            };
+            let trail = cert::BoundTrail {
+                plan_cost: p.cost_lower_bound,
+                root_bound: stats.root_bound,
+                frontier_bound: stats.best_bound,
+                gap_basis,
+                claimed_gap: stats.optimality_gap,
+                incumbent_cutoff: stats.incumbent_cutoff,
+                budget_exhausted: stats.budget_exhausted,
+                deadline_hit: stats.deadline_hit,
+                drain_mode: stats.drain_mode,
+                dominance: self.config.dominance,
+                symmetry: self.config.symmetry,
+            };
+            let class =
+                if p.degraded { cert::OutcomeClass::Degraded } else { cert::OutcomeClass::Exact };
+            let actions: Vec<_> = p.steps.iter().map(|s| s.action).collect();
+            p.certificate = Some(cert::emit(
+                &task,
+                &actions,
+                &p.execution.source_values,
+                &p.execution.ledger,
+                class,
+                trail,
+            ));
+            p
+        });
         stats.search_time = t_search.elapsed();
         stats.total_time = t0.elapsed();
         PlanOutcome { plan, stats, task }

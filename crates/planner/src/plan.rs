@@ -33,6 +33,11 @@ pub struct Plan {
     /// interval-feasible candidate with relaxed source binding) rather than
     /// the optimal greedy-validated search exit.
     pub degraded: bool,
+    /// The machine-checkable certificate for this plan, attached by the
+    /// planning facade (and re-issued by the anytime portfolio / churn
+    /// re-certification). `None` only for plans assembled outside the
+    /// facade, e.g. directly from a raw RG search result in tests.
+    pub certificate: Option<sekitei_cert::PlanCertificate>,
 }
 
 impl Plan {
@@ -55,7 +60,7 @@ impl Plan {
                 }
             })
             .collect();
-        Plan { steps, cost_lower_bound: cost, execution, degraded: false }
+        Plan { steps, cost_lower_bound: cost, execution, degraded: false, certificate: None }
     }
 
     /// Number of actions (Table 2 col 3).

@@ -50,6 +50,11 @@ pub fn outcome_to_wire(o: &PlanOutcome) -> WireOutcome {
             budget_exhausted: o.stats.budget_exhausted,
             deadline_hit: o.stats.deadline_hit,
         },
+        certificate: o
+            .plan
+            .as_ref()
+            .and_then(|p| p.certificate.as_ref())
+            .map(sekitei_cert::encode_certificate),
     }
 }
 

@@ -352,6 +352,7 @@ mod tests {
             best_bound: Some(2.5),
             optimality_gap: None,
             stats: Default::default(),
+            certificate: None,
         };
         for r in [
             Response::Outcome { cache_hit: true, outcome },

@@ -316,8 +316,11 @@ fn handle_plan(state: &ServeState, problem_bytes: &[u8]) -> Vec<u8> {
             state.stats.record_degraded();
         } else {
             // never ship a degraded plan the simulator rejects — fall back
-            // to bound-only, which is still a useful answer
+            // to bound-only, which is still a useful answer. The gap and
+            // certificate describe the dropped plan, so they go with it.
             wire.plan = None;
+            wire.optimality_gap = None;
+            wire.certificate = None;
         }
     }
     let sko = {

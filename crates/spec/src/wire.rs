@@ -378,6 +378,11 @@ pub struct WireOutcome {
     pub optimality_gap: Option<f64>,
     /// Run statistics.
     pub stats: WireStats,
+    /// The plan's machine-checkable certificate in its opaque `SKC1` byte
+    /// form (`sekitei-cert` speaks the encoding; the spec crate ships it
+    /// verbatim). Present whenever `plan` is — exact, cached, degraded and
+    /// anytime responses all carry one.
+    pub certificate: Option<Vec<u8>>,
 }
 
 /// Encode an outcome to bytes.
@@ -436,6 +441,14 @@ pub fn encode_outcome(o: &WireOutcome) -> Bytes {
         Some(x) => {
             b.put_u8(1);
             b.put_f64(x);
+        }
+    }
+    match &o.certificate {
+        None => b.put_u8(0),
+        Some(c) => {
+            b.put_u8(1);
+            b.put_u32(c.len() as u32);
+            b.put_slice(c);
         }
     }
     b.freeze()
@@ -500,6 +513,19 @@ pub fn decode_outcome(mut buf: &[u8]) -> Result<WireOutcome, SpecError> {
         1 => Some(get_f64(b)?),
         x => return Err(SpecError::wire(format!("bad gap tag {x}"))),
     };
+    let certificate = match get_u8(b)? {
+        0 => None,
+        1 => {
+            let n = get_u32(b)? as usize;
+            if n > 1 << 22 {
+                return Err(SpecError::wire("certificate too long"));
+            }
+            let mut c = vec![0u8; n];
+            take(b, &mut c)?;
+            Some(c)
+        }
+        x => return Err(SpecError::wire(format!("bad certificate tag {x}"))),
+    };
     if !b.is_empty() {
         return Err(SpecError::wire("trailing bytes after outcome"));
     }
@@ -507,6 +533,7 @@ pub fn decode_outcome(mut buf: &[u8]) -> Result<WireOutcome, SpecError> {
         plan,
         best_bound,
         optimality_gap,
+        certificate,
         stats: WireStats {
             total_actions: words[0],
             plrg_props: words[1],
@@ -823,6 +850,7 @@ mod tests {
                 budget_exhausted: true,
                 deadline_hit: true,
             },
+            certificate: with_plan.then(|| b"SKC1-opaque-blob".to_vec()),
         }
     }
 

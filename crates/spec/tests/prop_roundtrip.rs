@@ -139,10 +139,13 @@ fn outcome_from_seed(seed: u64, with_plan: bool, nsteps: usize) -> WireOutcome {
     });
     let best_bound = (r.word().is_multiple_of(2)).then(|| r.f(50.0));
     let optimality_gap = (r.word().is_multiple_of(2)).then(|| r.f(25.0));
+    let certificate = (r.word().is_multiple_of(2))
+        .then(|| (0..r.word() % 64).map(|_| (r.word() & 0xff) as u8).collect::<Vec<u8>>());
     WireOutcome {
         plan,
         best_bound,
         optimality_gap,
+        certificate,
         stats: WireStats {
             total_actions: r.word() % 100_000,
             plrg_props: r.word() % 100_000,
