@@ -1,0 +1,58 @@
+//! `server_load` — sustained serving throughput and tail latency.
+//!
+//! Starts a planning server in-process on an ephemeral port, drives the
+//! seeded load generator at it, and writes `BENCH_server.json` with the
+//! throughput, latency and outcome-class rows. The deterministic report
+//! goes to stdout (byte-identical per seed), timing to stderr.
+//!
+//! Usage: `server_load [REQUESTS] [CONNECTIONS] [SEED]`
+//! (defaults: 100000 requests, 4 connections, seed 0xC0FFEE).
+
+use sekitei_model::LevelScenario;
+use sekitei_server::{
+    loadgen, request_shutdown, LoadgenConfig, ScenarioItem, Server, ServerConfig,
+};
+use sekitei_topology::scenarios::{self, NetSize};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let requests: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let connections: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0xC0FFEE);
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig { workers: connections.max(1), ..ServerConfig::default() },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let join = std::thread::spawn(move || server.run());
+
+    let corpus: Vec<ScenarioItem> =
+        [LevelScenario::A, LevelScenario::B, LevelScenario::C, LevelScenario::D, LevelScenario::E]
+            .into_iter()
+            .map(|sc| {
+                ScenarioItem::new(format!("Tiny/{sc:?}"), scenarios::problem(NetSize::Tiny, sc))
+            })
+            .collect();
+
+    let cfg = LoadgenConfig {
+        requests,
+        connections,
+        seed,
+        zipf_s: 1.1,
+        pipeline: 8,
+        rate_per_s: None,
+        burst: 1,
+        verify_every: 1_000,
+    };
+    let report = loadgen::run(&cfg, addr, &corpus).expect("loadgen run");
+
+    print!("{}", report.deterministic);
+    eprint!("{}", report.timing);
+    std::fs::write("BENCH_server.json", &report.bench_json).expect("write BENCH_server.json");
+    eprintln!("wrote BENCH_server.json");
+
+    request_shutdown(addr).expect("shutdown");
+    join.join().unwrap().expect("server exits cleanly");
+}

@@ -20,7 +20,12 @@ const USAGE: &str = "usage:
                [--cache-cap N] [--max-nodes N] [--deadline-ms N]
                [--search-threads N] [--no-degrade]
                [--anytime] [--sls-seed N] [--sls-restarts N]
-  sekitei request (<spec-file> | --stats | --shutdown) [--addr HOST:PORT]
+  sekitei request (<spec-file> | --stats | --metrics | --flight | --shutdown)
+               [--addr HOST:PORT] [--profile]
+  sekitei loadgen [--addr HOST:PORT] [--requests N] [--connections N]
+               [--seed N] [--zipf-s X] [--pipeline N] [--rate R] [--burst N]
+               [--verify-every N] [--corpus <tiny|small|large>]
+               [--bench-json FILE]
   sekitei verify-cert <spec-file> <cert-file>
   sekitei check <spec-file>
   sekitei compile <spec-file> [--dump]
@@ -47,6 +52,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("request") => cmd_request(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("verify-cert") => cmd_verify_cert(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
@@ -167,6 +173,8 @@ impl ObsOpts {
         }
         let trace = sekitei_obs::take_trace();
         sekitei_obs::disable();
+        // a saturated ring silently truncates the trace — surface it
+        trace.warn_if_dropped();
         if let Some(path) = &self.trace_json {
             std::fs::write(path, trace.to_json_lines())
                 .map_err(|e| format!("cannot write `{path}`: {e}"))?;
@@ -490,12 +498,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_request(args: &[String]) -> Result<(), String> {
-    use sekitei_server::{request_plan, request_shutdown, request_stats};
+    use sekitei_server::{
+        request_flight_recorder, request_metrics, request_shutdown, request_stats, Connection,
+    };
 
     let mut addr = DEFAULT_ADDR.to_string();
     let mut file: Option<String> = None;
     let mut stats = false;
+    let mut metrics = false;
+    let mut flight = false;
     let mut shutdown = false;
+    let mut profile = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -504,29 +517,72 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
                 addr = args.get(i).cloned().ok_or("--addr needs a value")?;
             }
             "--stats" => stats = true,
+            "--metrics" => metrics = true,
+            "--flight" => flight = true,
             "--shutdown" => shutdown = true,
+            "--profile" => profile = true,
             f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
             f => file = Some(f.to_string()),
         }
         i += 1;
     }
-    match (file, stats, shutdown) {
-        (None, true, false) => {
+    match (file, stats, metrics, flight, shutdown) {
+        (None, true, false, false, false) => {
             let s = request_stats(addr.as_str()).map_err(|e| e.to_string())?;
             println!("{s}");
             Ok(())
         }
-        (None, false, true) => {
+        (None, false, true, false, false) => {
+            let text = request_metrics(addr.as_str()).map_err(|e| e.to_string())?;
+            // validate before showing: a scrape the parser rejects is a
+            // server bug worth failing loudly on
+            sekitei_obs::parse_exposition(&text)
+                .map_err(|e| format!("served exposition invalid: {e}"))?;
+            print!("{text}");
+            Ok(())
+        }
+        (None, false, false, true, false) => {
+            let text = request_flight_recorder(addr.as_str()).map_err(|e| e.to_string())?;
+            let dump = sekitei_server::parse_dump(&text)
+                .map_err(|e| format!("served flight dump invalid: {e}"))?;
+            print!("{text}");
+            eprintln!(
+                "flight recorder: {} records, {} exemplars, {} evicted",
+                dump.records.len(),
+                dump.exemplars.len(),
+                dump.evicted
+            );
+            Ok(())
+        }
+        (None, false, false, false, true) => {
             request_shutdown(addr.as_str()).map_err(|e| e.to_string())?;
             println!("server at {addr} shut down");
             Ok(())
         }
-        (Some(path), false, false) => {
+        (Some(path), false, false, false, false) => {
+            let t_parse = std::time::Instant::now();
             let problem = load(&path)?;
-            let (outcome, cache_hit) =
-                request_plan(addr.as_str(), &problem).map_err(|e| e.to_string())?;
-            report_wire_outcome(&outcome, cache_hit);
-            if let Some(bytes) = &outcome.certificate {
+            let parse_us = t_parse.elapsed().as_micros() as u64;
+
+            let t_encode = std::time::Instant::now();
+            let bytes = sekitei_spec::encode(&problem);
+            let encode_us = t_encode.elapsed().as_micros() as u64;
+            // fingerprint as trace id: the id shows up verbatim in the
+            // server's flight records, so a tail-latency exemplar can be
+            // tied back to this exact request
+            let trace_id = sekitei_server::content_hash(&bytes).max(1);
+
+            let t_connect = std::time::Instant::now();
+            let mut conn = Connection::connect(addr.as_str()).map_err(|e| e.to_string())?;
+            let connect_us = t_connect.elapsed().as_micros() as u64;
+
+            let t_rtt = std::time::Instant::now();
+            let served =
+                conn.plan_bytes_traced(&bytes, trace_id, profile).map_err(|e| e.to_string())?;
+            let rtt_us = t_rtt.elapsed().as_micros() as u64;
+
+            report_wire_outcome(&served.outcome, served.cache_hit);
+            if let Some(bytes) = &served.outcome.certificate {
                 // the client compiles the task itself, so the check is
                 // independent of everything the server claimed
                 let task = compile(&problem).map_err(|e| e.to_string())?;
@@ -542,10 +598,175 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
                     if rep.gap_proved { "proved" } else { "advisory" },
                 );
             }
+            if profile {
+                eprint!(
+                    "{}",
+                    stitched_profile(
+                        trace_id,
+                        &[
+                            ("parse", parse_us),
+                            ("encode", encode_us),
+                            ("connect", connect_us),
+                            ("exchange", rtt_us),
+                        ],
+                        rtt_us,
+                        &served.phases,
+                    )
+                );
+            }
             Ok(())
         }
-        _ => Err(format!("request needs exactly one of <spec-file>, --stats, --shutdown\n{USAGE}")),
+        _ => Err(format!(
+            "request needs exactly one of <spec-file>, --stats, --metrics, --flight, --shutdown\n{USAGE}"
+        )),
     }
+}
+
+/// Render the client's own phases with the server's self-time table
+/// stitched in under `exchange`, so one table covers the full request
+/// path: wire + queueing on the client side, planning phases on the
+/// server side.
+fn stitched_profile(
+    trace_id: u64,
+    client: &[(&str, u64)],
+    rtt_us: u64,
+    server: &[sekitei_spec::WirePhase],
+) -> String {
+    let mut out = format!("profile for trace {trace_id:#018x} (client + server):\n");
+    for (name, us) in client {
+        out.push_str(&format!("  client {name:<12} {:>10.1} µs\n", *us as f64));
+        if *name == "exchange" {
+            let mut server_us_total = 0.0;
+            for phase in server {
+                let us = phase.self_ns as f64 / 1_000.0;
+                server_us_total += us;
+                out.push_str(&format!(
+                    "    server {:<12} {us:>10.1} µs  ×{}\n",
+                    phase.name, phase.count
+                ));
+            }
+            if !server.is_empty() {
+                let wire_us = rtt_us as f64 - server_us_total;
+                out.push_str(&format!(
+                    "    wire + framing   {:>10.1} µs  (exchange − server self-times)\n",
+                    wire_us.max(0.0)
+                ));
+            }
+        }
+    }
+    if server.is_empty() {
+        out.push_str("  (server returned no phase table — is it older than the profile flag?)\n");
+    }
+    out
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    use sekitei_server::{loadgen, LoadgenConfig, ScenarioItem};
+    use std::net::ToSocketAddrs;
+
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut cfg = LoadgenConfig::default();
+    let mut corpus_size = NetSize::Tiny;
+    let mut bench_json: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let need = |v: Option<&String>, flag: &str| {
+            v.cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = need(args.get(i), "--addr")?;
+            }
+            "--requests" => {
+                i += 1;
+                let v = need(args.get(i), "--requests")?;
+                cfg.requests = v.parse().map_err(|_| format!("bad --requests value `{v}`"))?;
+            }
+            "--connections" => {
+                i += 1;
+                let v = need(args.get(i), "--connections")?;
+                cfg.connections =
+                    v.parse().map_err(|_| format!("bad --connections value `{v}`"))?;
+            }
+            "--seed" => {
+                i += 1;
+                let v = need(args.get(i), "--seed")?;
+                cfg.seed = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
+            }
+            "--zipf-s" => {
+                i += 1;
+                let v = need(args.get(i), "--zipf-s")?;
+                cfg.zipf_s = v.parse().map_err(|_| format!("bad --zipf-s value `{v}`"))?;
+            }
+            "--pipeline" => {
+                i += 1;
+                let v = need(args.get(i), "--pipeline")?;
+                cfg.pipeline = v.parse().map_err(|_| format!("bad --pipeline value `{v}`"))?;
+            }
+            "--rate" => {
+                i += 1;
+                let v = need(args.get(i), "--rate")?;
+                cfg.rate_per_s = Some(v.parse().map_err(|_| format!("bad --rate value `{v}`"))?);
+            }
+            "--burst" => {
+                i += 1;
+                let v = need(args.get(i), "--burst")?;
+                cfg.burst = v.parse().map_err(|_| format!("bad --burst value `{v}`"))?;
+            }
+            "--verify-every" => {
+                i += 1;
+                let v = need(args.get(i), "--verify-every")?;
+                cfg.verify_every =
+                    v.parse().map_err(|_| format!("bad --verify-every value `{v}`"))?;
+            }
+            "--corpus" => {
+                i += 1;
+                corpus_size = match need(args.get(i), "--corpus")?.as_str() {
+                    "tiny" => NetSize::Tiny,
+                    "small" => NetSize::Small,
+                    "large" => NetSize::Large,
+                    other => {
+                        return Err(format!("unknown corpus `{other}` (use tiny|small|large)"))
+                    }
+                };
+            }
+            "--bench-json" => {
+                i += 1;
+                bench_json = Some(need(args.get(i), "--bench-json")?);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+
+    // rank order = level order, so Zipf makes A the hot key
+    let corpus: Vec<ScenarioItem> =
+        [LevelScenario::A, LevelScenario::B, LevelScenario::C, LevelScenario::D, LevelScenario::E]
+            .into_iter()
+            .map(|sc| {
+                ScenarioItem::new(
+                    format!("{}/{sc:?}", corpus_size.label()),
+                    scenarios::problem(corpus_size, sc),
+                )
+            })
+            .collect();
+
+    let sock = addr
+        .as_str()
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve `{addr}`: {e}"))?
+        .next()
+        .ok_or_else(|| format!("`{addr}` resolves to no address"))?;
+    let report = loadgen::run(&cfg, sock, &corpus).map_err(|e| e.to_string())?;
+    print!("{}", report.deterministic);
+    eprint!("{}", report.timing);
+    if let Some(path) = bench_json {
+        std::fs::write(&path, &report.bench_json)
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
 }
 
 /// Print a served outcome; mirrors [`report_outcome`] for wire-form data.

@@ -6,7 +6,10 @@
 //!              [--validate] [--quiet]
 //! sekitei serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!              [--cache-cap N] [--deadline-ms N] [--no-degrade]
-//! sekitei request (<spec-file> | --stats | --shutdown) [--addr HOST:PORT]
+//! sekitei request (<spec-file> | --stats | --metrics | --flight | --shutdown)
+//!              [--addr HOST:PORT] [--profile]
+//! sekitei loadgen [--addr HOST:PORT] [--requests N] [--connections N]
+//!              [--seed N] [--rate R] [--verify-every N] [--bench-json FILE]
 //! sekitei verify-cert <spec-file> <cert-file>
 //! sekitei check <spec-file>
 //! sekitei compile <spec-file> [--dump]

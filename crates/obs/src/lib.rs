@@ -18,17 +18,27 @@
 //! * [`metrics`]: a [`MetricsRegistry`] of named [`Counter`]s,
 //!   [`Gauge`]s, and log-linear [`Histogram`]s (bounded relative error,
 //!   built for p50/p95/p99 summaries). Registries are instantiable, not
-//!   global: each subsystem owns its own.
+//!   global: each subsystem owns its own. [`Histogram::merge`] folds
+//!   per-worker shards into one population, and [`expo`] renders a
+//!   registry in a versioned line-oriented text exposition
+//!   ([`expose`]) with a strict parser ([`parse_exposition`]) so a
+//!   live server can be scraped over the wire.
 //!
 //! The intended division of labor: *traces* answer "where did this one
 //! run spend its time" (profiling, `--trace-json`), *metrics* answer
 //! "what does the population look like" (server stats, latency
 //! percentiles).
 
+pub mod expo;
 pub mod metrics;
 pub mod trace;
 
-pub use metrics::{bucket_bounds, bucket_index, Counter, Gauge, Histogram, MetricsRegistry};
+pub use expo::{
+    expose, parse_exposition, BucketEntry, Exposition, HistogramSnapshot, EXPOSITION_VERSION,
+};
+pub use metrics::{
+    bucket_bounds, bucket_index, Counter, Gauge, Histogram, MetricView, MetricsRegistry,
+};
 pub use trace::{
     aggregate, disable, enable, enabled, event, now_ns, span, take_trace, Record, RecordKind,
     SpanGuard, Trace,

@@ -78,6 +78,12 @@ impl Gauge {
     }
 }
 
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Histogram(count={}, sum={}, max={})", self.count(), self.sum(), self.max())
+    }
+}
+
 /// Lock-free log-linear histogram over `u64` samples.
 pub struct Histogram {
     buckets: Box<[AtomicU64; BUCKETS]>,
@@ -150,12 +156,51 @@ impl Histogram {
         }
         self.max()
     }
+
+    /// Fold `other` into `self`: bucketwise count addition, summed
+    /// totals, max of maxes. Used to aggregate per-worker histogram
+    /// shards into one population before taking quantiles — recording
+    /// into thread-local shards and merging once is cheaper than N
+    /// threads contending on one histogram's cache lines. Merging is
+    /// exact: the merged histogram is indistinguishable from one that
+    /// recorded both sample streams directly.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let c = theirs.load(Ordering::Relaxed);
+            if c != 0 {
+                mine.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Visit the non-empty buckets in index order as `(index, count)`.
+    pub fn for_each_bucket(&self, mut f: impl FnMut(usize, u64)) {
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c != 0 {
+                f(i, c);
+            }
+        }
+    }
 }
 
 enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+}
+
+/// Borrowed view of one registered metric, as yielded by
+/// [`MetricsRegistry::for_each`]. Counters and gauges are read at visit
+/// time; histograms hand out the live handle so the visitor chooses what
+/// to snapshot.
+pub enum MetricView<'a> {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(&'a Histogram),
 }
 
 /// A named set of metrics. Handles are `Arc`s: call sites keep their
@@ -204,6 +249,20 @@ impl MetricsRegistry {
         {
             Metric::Histogram(h) => Arc::clone(h),
             _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Visit every metric in name order (the registry's natural sort).
+    /// The registry lock is held for the duration of the walk; visitors
+    /// must not call back into the registry.
+    pub fn for_each(&self, mut f: impl FnMut(&str, MetricView<'_>)) {
+        let m = self.metrics.lock().unwrap();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => f(name, MetricView::Counter(c.get())),
+                Metric::Gauge(g) => f(name, MetricView::Gauge(g.get())),
+                Metric::Histogram(h) => f(name, MetricView::Histogram(h)),
+            }
         }
     }
 }
@@ -314,6 +373,47 @@ mod tests {
         assert!(lines[0].starts_with("latency_us:"));
         assert!(lines[1].starts_with("queue_depth: -1"));
         assert!(lines[2].starts_with("served: 3"));
+    }
+
+    #[test]
+    fn merge_equals_pooled_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let pooled = Histogram::new();
+        for v in [1u64, 5, 64, 1000, 1_000_000] {
+            a.record(v);
+            pooled.record(v);
+        }
+        for v in [2u64, 5, 128, 70_000] {
+            b.record(v);
+            pooled.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), pooled.count());
+        assert_eq!(a.sum(), pooled.sum());
+        assert_eq!(a.max(), pooled.max());
+        let mut merged_buckets = Vec::new();
+        a.for_each_bucket(|i, c| merged_buckets.push((i, c)));
+        let mut pooled_buckets = Vec::new();
+        pooled.for_each_bucket(|i, c| pooled_buckets.push((i, c)));
+        assert_eq!(merged_buckets, pooled_buckets);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), pooled.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_into_empty_copies_other() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        b.record(42);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.quantile(0.5), 42);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.sum(), 42);
     }
 
     #[test]

@@ -392,12 +392,36 @@ impl Trace {
                 )),
             }
         }
+        if self.dropped > 0 {
+            // Explicit footer record so consumers that stream records (and
+            // never look at `meta`) still see the loss instead of a
+            // silently truncated trace.
+            out.push_str(&format!(
+                "{{\"type\":\"dropped\",\"count\":{},\"ring_cap\":{}}}\n",
+                self.dropped, RING_CAP
+            ));
+        }
         out.push_str(&format!(
             "{{\"type\":\"meta\",\"records\":{},\"dropped\":{}}}\n",
             self.records.len(),
             self.dropped
         ));
         out
+    }
+
+    /// If any records were lost to full rings over this trace's window,
+    /// say so on stderr (once, with the ring capacity so the reader knows
+    /// the ceiling they hit). Returns whether a warning was printed.
+    pub fn warn_if_dropped(&self) -> bool {
+        if self.dropped == 0 {
+            return false;
+        }
+        eprintln!(
+            "warning: trace ring overflow — {} record(s) dropped (per-thread ring \
+             capacity {RING_CAP}); the exported trace is truncated",
+            self.dropped
+        );
+        true
     }
 
     /// Human-readable indented tree. Spans whose parent is absent from the
@@ -633,8 +657,21 @@ mod tests {
         assert!(trace.dropped >= 100, "expected >= 100 drops, got {}", trace.dropped);
         let flood = trace.records.iter().filter(|r| r.name == "flood").count();
         assert!(flood <= RING_CAP);
-        // Next window starts clean.
+        // The loss is surfaced, not silent: an explicit `dropped` footer
+        // record precedes the meta line, and the stderr warning fires.
+        let text = trace.to_json_lines();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines[lines.len() - 2].starts_with("{\"type\":\"dropped\",\"count\":"),
+            "missing dropped footer: {:?}",
+            lines[lines.len() - 2]
+        );
+        assert!(lines[lines.len() - 1].starts_with("{\"type\":\"meta\""));
+        assert!(trace.warn_if_dropped());
+        // Next window starts clean: no drops, no footer, no warning.
         let trace = take_trace();
         assert_eq!(trace.dropped, 0);
+        assert!(!trace.to_json_lines().contains("\"type\":\"dropped\""));
+        assert!(!trace.warn_if_dropped());
     }
 }

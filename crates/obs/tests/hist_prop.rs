@@ -54,6 +54,54 @@ proptest! {
     }
 
     #[test]
+    fn merge_is_bucketwise_sum_with_pooled_quantiles(
+        left in proptest::collection::vec(arb_sample(), 0..150),
+        right in proptest::collection::vec(arb_sample(), 0..150),
+        q in 0.01..1.0f64,
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let pooled = Histogram::new();
+        for &s in &left {
+            a.record(s);
+            pooled.record(s);
+        }
+        for &s in &right {
+            b.record(s);
+            pooled.record(s);
+        }
+        a.merge(&b);
+
+        // Merged bucket counts equal the bucketwise sums of the shards
+        // (the pooled histogram IS that sum, bucket by bucket).
+        let mut merged = Vec::new();
+        a.for_each_bucket(|i, c| merged.push((i, c)));
+        let mut expected = Vec::new();
+        pooled.for_each_bucket(|i, c| expected.push((i, c)));
+        prop_assert_eq!(merged, expected);
+        prop_assert_eq!(a.count(), pooled.count());
+        prop_assert_eq!(a.sum(), pooled.sum());
+        prop_assert_eq!(a.max(), pooled.max());
+
+        // Quantiles of the merged histogram stay within one bucket width
+        // of the exact pooled-stream quantile.
+        let mut sorted: Vec<u64> = left.iter().chain(right.iter()).copied().collect();
+        if !sorted.is_empty() {
+            sorted.sort_unstable();
+            let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = a.quantile(q);
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            let width = hi - lo;
+            prop_assert!(est <= exact, "estimate {} above exact {}", est, exact);
+            prop_assert!(
+                exact - est < width,
+                "estimate {} more than one bucket width ({}) below exact {}", est, width, exact
+            );
+        }
+    }
+
+    #[test]
     fn count_sum_max_track_inputs(samples in proptest::collection::vec(arb_sample(), 0..100)) {
         let h = Histogram::new();
         for &s in &samples {

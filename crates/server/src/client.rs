@@ -5,7 +5,7 @@ use crate::protocol::{
     decode_response, encode_request, read_frame, write_frame, Request, Response, StatsSnapshot,
 };
 use sekitei_model::CppProblem;
-use sekitei_spec::{SpecError, WireOutcome};
+use sekitei_spec::{SpecError, WireOutcome, WirePhase};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -79,12 +79,26 @@ impl Connection {
     /// Plan an already-wire-encoded (`SKT1`) problem. Returns the outcome
     /// and whether it came from the server's outcome cache.
     pub fn plan_bytes(&mut self, problem: &[u8]) -> Result<(WireOutcome, bool), ClientError> {
-        match self.exchange(&Request::Plan(problem.to_vec()))? {
-            Response::Outcome { cache_hit, outcome } => Ok((outcome, cache_hit)),
+        let served = self.plan_bytes_traced(problem, 0, false)?;
+        Ok((served.outcome, served.cache_hit))
+    }
+
+    /// Plan already-encoded problem bytes carrying a trace id, optionally
+    /// asking the server for its per-phase self-time table.
+    pub fn plan_bytes_traced(
+        &mut self,
+        problem: &[u8],
+        trace_id: u64,
+        profile: bool,
+    ) -> Result<ServedOutcome, ClientError> {
+        let req = Request::Plan { trace_id, profile, problem: problem.to_vec() };
+        match self.exchange(&req)? {
+            Response::Outcome { cache_hit, trace_id, phases, outcome } => {
+                Ok(ServedOutcome { outcome, cache_hit, trace_id, phases })
+            }
             Response::Rejected(m) => Err(ClientError::Rejected(m)),
             Response::Error(m) => Err(ClientError::Server(m)),
-            Response::Stats(_) => Err(ClientError::Unexpected("stats")),
-            Response::Bye => Err(ClientError::Unexpected("bye")),
+            _ => Err(ClientError::Unexpected("non-outcome")),
         }
     }
 
@@ -102,6 +116,39 @@ impl Connection {
             _ => Err(ClientError::Unexpected("non-stats")),
         }
     }
+
+    /// Fetch the live metrics exposition text (scrape without restart).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.exchange(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            Response::Rejected(m) => Err(ClientError::Rejected(m)),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            _ => Err(ClientError::Unexpected("non-metrics")),
+        }
+    }
+
+    /// Fetch the flight-recorder dump text.
+    pub fn flight_recorder(&mut self) -> Result<String, ClientError> {
+        match self.exchange(&Request::FlightRecorder)? {
+            Response::FlightRecorder(text) => Ok(text),
+            Response::Rejected(m) => Err(ClientError::Rejected(m)),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            _ => Err(ClientError::Unexpected("non-flight")),
+        }
+    }
+}
+
+/// A full outcome response: payload plus the telemetry envelope.
+#[derive(Debug, Clone)]
+pub struct ServedOutcome {
+    /// The planning outcome.
+    pub outcome: WireOutcome,
+    /// Answered from the server's outcome cache.
+    pub cache_hit: bool,
+    /// Echo of the request's trace id.
+    pub trace_id: u64,
+    /// Server per-phase self-times (empty unless `profile` was requested).
+    pub phases: Vec<WirePhase>,
 }
 
 /// One-shot: plan `problem` against the server at `addr`.
@@ -115,6 +162,16 @@ pub fn request_plan(
 /// One-shot: fetch the serving counters.
 pub fn request_stats(addr: impl ToSocketAddrs) -> Result<StatsSnapshot, ClientError> {
     Connection::connect(addr)?.stats()
+}
+
+/// One-shot: fetch the live metrics exposition text.
+pub fn request_metrics(addr: impl ToSocketAddrs) -> Result<String, ClientError> {
+    Connection::connect(addr)?.metrics()
+}
+
+/// One-shot: fetch the flight-recorder dump text.
+pub fn request_flight_recorder(addr: impl ToSocketAddrs) -> Result<String, ClientError> {
+    Connection::connect(addr)?.flight_recorder()
 }
 
 /// One-shot: ask the server to shut down. `Ok` once the server

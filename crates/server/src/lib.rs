@@ -17,6 +17,19 @@
 //!   a sim-validated greedy-candidate plan instead of an error).
 //! - [`client`] — blocking request helpers used by `sekitei request` and
 //!   the benches.
+//! - [`flight`] — a bounded ring of per-request records with
+//!   per-latency-bucket exemplars, dumpable over the control protocol for
+//!   tail-latency post-mortems.
+//! - [`loadgen`] — a seeded open/closed-loop load generator (Zipf over a
+//!   scenario corpus, bursts, pipelining) reporting sustained req/s and
+//!   p50/p99/p99.9 from merged obs histogram shards.
+//!
+//! The telemetry plane ties these together: plan requests carry a
+//! client-assigned trace id that the server echoes, tags onto its spans,
+//! and writes into every flight record; `Metrics` control frames scrape
+//! the live [`ServerStats`] registry as a text exposition; and profile
+//! replies return the per-phase self-time table (`SKP1`) so a client can
+//! stitch server phases into its own trace.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,13 +37,22 @@
 pub mod cache;
 pub mod client;
 pub mod convert;
+pub mod flight;
+pub mod loadgen;
 pub mod protocol;
 pub mod server;
 pub mod stats;
 
 pub use cache::{content_hash, BoundedCache};
-pub use client::{request_plan, request_shutdown, request_stats, ClientError, Connection};
+pub use client::{
+    request_flight_recorder, request_metrics, request_plan, request_shutdown, request_stats,
+    ClientError, Connection, ServedOutcome,
+};
 pub use convert::outcome_to_wire;
+pub use flight::{
+    parse_dump, CacheTier, Exemplar, FlightDump, FlightRecord, FlightRecorder, OutcomeClass,
+};
+pub use loadgen::{LoadReport, LoadgenConfig, ScenarioItem};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
     Request, Response, StatsSnapshot, MAX_FRAME,

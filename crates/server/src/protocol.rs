@@ -7,7 +7,9 @@
 //! plan responses carry a `spec::wire`-encoded outcome (`SKO1`), so the
 //! heavy payloads reuse the existing codecs unchanged.
 
-use sekitei_spec::{decode_outcome, encode_outcome, SpecError, WireOutcome};
+use sekitei_spec::{
+    decode_outcome, decode_phases, encode_outcome, encode_phases, SpecError, WireOutcome, WirePhase,
+};
 use std::io::{self, Read, Write};
 
 /// Hard cap on a single frame: 16 MiB. Large/D problems encode under
@@ -48,28 +50,54 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
 pub enum Request {
     /// Plan the `spec::wire`-encoded (`SKT1`) problem carried verbatim —
     /// the server hashes these bytes as the cache key before decoding.
-    Plan(Vec<u8>),
+    Plan {
+        /// Client-assigned trace/request id, echoed in the outcome
+        /// response and tagged onto every server-side span/event and
+        /// flight-recorder record for this request. `0` means the client
+        /// did not assign one.
+        trace_id: u64,
+        /// Ask the server to return its per-phase self-time table
+        /// (`SKP1`) alongside the outcome.
+        profile: bool,
+        /// The `SKT1` problem bytes.
+        problem: Vec<u8>,
+    },
     /// Return the serving counters.
     Stats,
     /// Stop accepting connections and shut the service down.
     Shutdown,
+    /// Return the full metrics registry in text exposition form
+    /// (`sekitei_obs::expo`), so a live server can be scraped.
+    Metrics,
+    /// Return the flight-recorder dump: the bounded ring of recent
+    /// per-request records plus per-latency-bucket exemplars.
+    FlightRecorder,
 }
 
 const REQ_PLAN: u8 = 0;
 const REQ_STATS: u8 = 1;
 const REQ_SHUTDOWN: u8 = 2;
+const REQ_METRICS: u8 = 3;
+const REQ_FLIGHT: u8 = 4;
+
+/// Plan-request flag bit: the client wants the per-phase profile back.
+const PLAN_FLAG_PROFILE: u8 = 1;
 
 /// Encode a request payload.
 pub fn encode_request(r: &Request) -> Vec<u8> {
     match r {
-        Request::Plan(problem) => {
-            let mut b = Vec::with_capacity(1 + problem.len());
+        Request::Plan { trace_id, profile, problem } => {
+            let mut b = Vec::with_capacity(10 + problem.len());
             b.push(REQ_PLAN);
+            b.extend_from_slice(&trace_id.to_be_bytes());
+            b.push(if *profile { PLAN_FLAG_PROFILE } else { 0 });
             b.extend_from_slice(problem);
             b
         }
         Request::Stats => vec![REQ_STATS],
         Request::Shutdown => vec![REQ_SHUTDOWN],
+        Request::Metrics => vec![REQ_METRICS],
+        Request::FlightRecorder => vec![REQ_FLIGHT],
     }
 }
 
@@ -77,13 +105,24 @@ pub fn encode_request(r: &Request) -> Vec<u8> {
 pub fn decode_request(payload: &[u8]) -> Result<Request, SpecError> {
     match payload.split_first() {
         Some((&REQ_PLAN, rest)) => {
-            if rest.is_empty() {
+            if rest.len() < 10 {
+                return Err(SpecError::wire("truncated plan request header"));
+            }
+            let trace_id = u64::from_be_bytes(rest[0..8].try_into().unwrap());
+            let flags = rest[8];
+            if flags & !PLAN_FLAG_PROFILE != 0 {
+                return Err(SpecError::wire(format!("bad plan flags {flags:#x}")));
+            }
+            let problem = rest[9..].to_vec();
+            if problem.is_empty() {
                 return Err(SpecError::wire("empty plan request"));
             }
-            Ok(Request::Plan(rest.to_vec()))
+            Ok(Request::Plan { trace_id, profile: flags & PLAN_FLAG_PROFILE != 0, problem })
         }
         Some((&REQ_STATS, [])) => Ok(Request::Stats),
         Some((&REQ_SHUTDOWN, [])) => Ok(Request::Shutdown),
+        Some((&REQ_METRICS, [])) => Ok(Request::Metrics),
+        Some((&REQ_FLIGHT, [])) => Ok(Request::FlightRecorder),
         Some((&t, _)) => Err(SpecError::wire(format!("bad request tag {t}"))),
         None => Err(SpecError::wire("empty request")),
     }
@@ -118,14 +157,31 @@ pub struct StatsSnapshot {
     pub queue_p50_us: u64,
     /// 99th-percentile queue wait, microseconds.
     pub queue_p99_us: u64,
+    /// Outcome-class partition of served plan requests: each request lands
+    /// in exactly one class (precedence: error > cached > deadline_hit >
+    /// budget_exhausted > degraded > exact), so these six sum to the plan
+    /// requests handled. `exact` includes proven-infeasible answers — "no
+    /// plan exists" is an exact result.
+    pub class_exact: u64,
+    /// Computed plans served through the graceful-degradation path.
+    pub class_degraded: u64,
+    /// Requests answered from the outcome cache (same event as
+    /// `cache_hits`, counted here as a class for the partition).
+    pub class_cached: u64,
+    /// Computed outcomes that exhausted a search budget (non-deadline).
+    pub class_budget_exhausted: u64,
+    /// Computed outcomes cut short by the wall-clock deadline.
+    pub class_deadline_hit: u64,
+    /// Plan requests answered with an error response.
+    pub class_error: u64,
 }
 
-impl std::fmt::Display for StatsSnapshot {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "served {} (cache {} / task {} / full {}), degraded {}, rejected {}, \
-             latency p50 {}µs p95 {}µs p99 {}µs max {}µs, queue p50 {}µs p99 {}µs",
+impl StatsSnapshot {
+    /// Field count of the wire encoding (each a big-endian `u64`).
+    pub const WIRE_WORDS: usize = 18;
+
+    fn wire_words(&self) -> [u64; Self::WIRE_WORDS] {
+        [
             self.served,
             self.cache_hits,
             self.task_cache_hits,
@@ -138,6 +194,65 @@ impl std::fmt::Display for StatsSnapshot {
             self.max_us,
             self.queue_p50_us,
             self.queue_p99_us,
+            self.class_exact,
+            self.class_degraded,
+            self.class_cached,
+            self.class_budget_exhausted,
+            self.class_deadline_hit,
+            self.class_error,
+        ]
+    }
+
+    fn from_wire_words(w: &[u64; Self::WIRE_WORDS]) -> Self {
+        StatsSnapshot {
+            served: w[0],
+            cache_hits: w[1],
+            task_cache_hits: w[2],
+            cache_misses: w[3],
+            degraded: w[4],
+            rejected: w[5],
+            p50_us: w[6],
+            p95_us: w[7],
+            p99_us: w[8],
+            max_us: w[9],
+            queue_p50_us: w[10],
+            queue_p99_us: w[11],
+            class_exact: w[12],
+            class_degraded: w[13],
+            class_cached: w[14],
+            class_budget_exhausted: w[15],
+            class_deadline_hit: w[16],
+            class_error: w[17],
+        }
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "served {} (cache {} / task {} / full {}), degraded {}, rejected {}, \
+             latency p50 {}µs p95 {}µs p99 {}µs max {}µs, queue p50 {}µs p99 {}µs, \
+             classes exact {} / degraded {} / cached {} / budget_exhausted {} / \
+             deadline_hit {} / error {}",
+            self.served,
+            self.cache_hits,
+            self.task_cache_hits,
+            self.cache_misses,
+            self.degraded,
+            self.rejected,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.max_us,
+            self.queue_p50_us,
+            self.queue_p99_us,
+            self.class_exact,
+            self.class_degraded,
+            self.class_cached,
+            self.class_budget_exhausted,
+            self.class_deadline_hit,
+            self.class_error,
         )
     }
 }
@@ -150,6 +265,12 @@ pub enum Response {
     Outcome {
         /// Served from the outcome cache.
         cache_hit: bool,
+        /// Echo of the request's trace id (0 if none was assigned).
+        trace_id: u64,
+        /// Per-phase self-time table, present only when the request asked
+        /// for a profile. Always fresh — cached outcomes replay the SKO1
+        /// bytes but the profile describes *this* request's handling.
+        phases: Vec<WirePhase>,
         /// The outcome payload.
         outcome: WireOutcome,
     },
@@ -161,6 +282,10 @@ pub enum Response {
     Error(String),
     /// Shutdown acknowledged; the connection closes after this frame.
     Bye,
+    /// The metrics registry in text exposition form.
+    Metrics(String),
+    /// The flight-recorder dump in its text form.
+    FlightRecorder(String),
 }
 
 pub(crate) const RESP_OUTCOME: u8 = 0;
@@ -168,6 +293,8 @@ const RESP_STATS: u8 = 1;
 const RESP_REJECTED: u8 = 2;
 const RESP_ERROR: u8 = 3;
 const RESP_BYE: u8 = 4;
+const RESP_METRICS: u8 = 5;
+const RESP_FLIGHT: u8 = 6;
 
 fn put_str(b: &mut Vec<u8>, s: &str) {
     b.extend_from_slice(&(s.len() as u32).to_be_bytes());
@@ -185,34 +312,34 @@ fn get_str(b: &[u8]) -> Result<String, SpecError> {
     String::from_utf8(b[4..].to_vec()).map_err(|_| SpecError::wire("invalid utf-8"))
 }
 
+/// Build the `RESP_OUTCOME` payload header (everything before the `SKO1`
+/// bytes): cache-hit flag, trace-id echo, and the length-prefixed `SKP1`
+/// phase table (length 0 when no profile was requested). Shared with the
+/// server's cached-bytes fast path, which appends pre-encoded outcome
+/// bytes instead of re-encoding.
+pub(crate) fn outcome_header(cache_hit: bool, trace_id: u64, phases: &[WirePhase]) -> Vec<u8> {
+    let phase_blob = if phases.is_empty() { Vec::new() } else { encode_phases(phases).to_vec() };
+    let mut b = Vec::with_capacity(14 + phase_blob.len());
+    b.push(RESP_OUTCOME);
+    b.push(cache_hit as u8);
+    b.extend_from_slice(&trace_id.to_be_bytes());
+    b.extend_from_slice(&(phase_blob.len() as u32).to_be_bytes());
+    b.extend_from_slice(&phase_blob);
+    b
+}
+
 /// Encode a response payload.
 pub fn encode_response(r: &Response) -> Vec<u8> {
     match r {
-        Response::Outcome { cache_hit, outcome } => {
-            let body = encode_outcome(outcome);
-            let mut b = Vec::with_capacity(2 + body.len());
-            b.push(RESP_OUTCOME);
-            b.push(*cache_hit as u8);
-            b.extend_from_slice(&body);
+        Response::Outcome { cache_hit, trace_id, phases, outcome } => {
+            let mut b = outcome_header(*cache_hit, *trace_id, phases);
+            b.extend_from_slice(&encode_outcome(outcome));
             b
         }
         Response::Stats(s) => {
-            let mut b = Vec::with_capacity(1 + 12 * 8);
+            let mut b = Vec::with_capacity(1 + StatsSnapshot::WIRE_WORDS * 8);
             b.push(RESP_STATS);
-            for v in [
-                s.served,
-                s.cache_hits,
-                s.task_cache_hits,
-                s.cache_misses,
-                s.degraded,
-                s.rejected,
-                s.p50_us,
-                s.p95_us,
-                s.p99_us,
-                s.max_us,
-                s.queue_p50_us,
-                s.queue_p99_us,
-            ] {
+            for v in s.wire_words() {
                 b.extend_from_slice(&v.to_be_bytes());
             }
             b
@@ -228,6 +355,16 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
             b
         }
         Response::Bye => vec![RESP_BYE],
+        Response::Metrics(text) => {
+            let mut b = vec![RESP_METRICS];
+            put_str(&mut b, text);
+            b
+        }
+        Response::FlightRecorder(text) => {
+            let mut b = vec![RESP_FLIGHT];
+            put_str(&mut b, text);
+            b
+        }
     }
 }
 
@@ -235,39 +372,47 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
 pub fn decode_response(payload: &[u8]) -> Result<Response, SpecError> {
     match payload.split_first() {
         Some((&RESP_OUTCOME, rest)) => {
-            let (&hit, body) =
-                rest.split_first().ok_or_else(|| SpecError::wire("truncated outcome response"))?;
+            if rest.len() < 13 {
+                return Err(SpecError::wire("truncated outcome response"));
+            }
+            let hit = rest[0];
             if hit > 1 {
                 return Err(SpecError::wire(format!("bad cache-hit flag {hit}")));
             }
-            Ok(Response::Outcome { cache_hit: hit == 1, outcome: decode_outcome(body)? })
+            let trace_id = u64::from_be_bytes(rest[1..9].try_into().unwrap());
+            let phase_len = u32::from_be_bytes(rest[9..13].try_into().unwrap()) as usize;
+            let rest = &rest[13..];
+            if rest.len() < phase_len {
+                return Err(SpecError::wire("truncated phase table"));
+            }
+            let phases =
+                if phase_len == 0 { Vec::new() } else { decode_phases(&rest[..phase_len])? };
+            Ok(Response::Outcome {
+                cache_hit: hit == 1,
+                trace_id,
+                phases,
+                outcome: decode_outcome(&rest[phase_len..])?,
+            })
         }
         Some((&RESP_STATS, rest)) => {
-            if rest.len() != 12 * 8 {
-                return Err(SpecError::wire("bad stats length"));
+            if rest.len() != StatsSnapshot::WIRE_WORDS * 8 {
+                return Err(SpecError::wire(format!(
+                    "bad stats length {} (expected {})",
+                    rest.len(),
+                    StatsSnapshot::WIRE_WORDS * 8
+                )));
             }
-            let mut words = [0u64; 12];
+            let mut words = [0u64; StatsSnapshot::WIRE_WORDS];
             for (i, w) in words.iter_mut().enumerate() {
                 *w = u64::from_be_bytes(rest[i * 8..i * 8 + 8].try_into().unwrap());
             }
-            Ok(Response::Stats(StatsSnapshot {
-                served: words[0],
-                cache_hits: words[1],
-                task_cache_hits: words[2],
-                cache_misses: words[3],
-                degraded: words[4],
-                rejected: words[5],
-                p50_us: words[6],
-                p95_us: words[7],
-                p99_us: words[8],
-                max_us: words[9],
-                queue_p50_us: words[10],
-                queue_p99_us: words[11],
-            }))
+            Ok(Response::Stats(StatsSnapshot::from_wire_words(&words)))
         }
         Some((&RESP_REJECTED, rest)) => Ok(Response::Rejected(get_str(rest)?)),
         Some((&RESP_ERROR, rest)) => Ok(Response::Error(get_str(rest)?)),
         Some((&RESP_BYE, [])) => Ok(Response::Bye),
+        Some((&RESP_METRICS, rest)) => Ok(Response::Metrics(get_str(rest)?)),
+        Some((&RESP_FLIGHT, rest)) => Ok(Response::FlightRecorder(get_str(rest)?)),
         Some((&t, _)) => Err(SpecError::wire(format!("bad response tag {t}"))),
         None => Err(SpecError::wire("empty response")),
     }
@@ -318,7 +463,14 @@ mod tests {
     #[test]
     fn request_roundtrip() {
         let problem = sekitei_spec::encode(&scenarios::tiny(LevelScenario::B)).to_vec();
-        for r in [Request::Plan(problem), Request::Stats, Request::Shutdown] {
+        for r in [
+            Request::Plan { trace_id: 0, profile: false, problem: problem.clone() },
+            Request::Plan { trace_id: 0xDEAD_BEEF_0042_1177, profile: true, problem },
+            Request::Stats,
+            Request::Shutdown,
+            Request::Metrics,
+            Request::FlightRecorder,
+        ] {
             assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
         }
     }
@@ -327,13 +479,25 @@ mod tests {
     fn request_rejects_malformed() {
         assert!(decode_request(&[]).is_err());
         assert!(decode_request(&[9]).is_err());
-        assert!(decode_request(&[REQ_PLAN]).is_err()); // plan with no body
-        assert!(decode_request(&[REQ_STATS, 0]).is_err()); // trailing bytes
+        assert!(decode_request(&[REQ_PLAN]).is_err()); // plan with no header
+                                                       // header but no problem body
+        let mut header_only = vec![REQ_PLAN];
+        header_only.extend_from_slice(&7u64.to_be_bytes());
+        header_only.push(0);
+        assert!(decode_request(&header_only).is_err());
+        // undefined flag bits
+        let mut bad_flags = header_only.clone();
+        bad_flags[9] = 0x80;
+        bad_flags.push(1); // non-empty body so only the flags are at fault
+        assert!(decode_request(&bad_flags).is_err());
+        // control requests reject trailing bytes
+        assert!(decode_request(&[REQ_STATS, 0]).is_err());
+        assert!(decode_request(&[REQ_METRICS, 0]).is_err());
+        assert!(decode_request(&[REQ_FLIGHT, 0]).is_err());
     }
 
-    #[test]
-    fn response_roundtrip() {
-        let snapshot = StatsSnapshot {
+    fn sample_snapshot() -> StatsSnapshot {
+        StatsSnapshot {
             served: 10,
             cache_hits: 4,
             task_cache_hits: 3,
@@ -346,7 +510,17 @@ mod tests {
             max_us: 120_000,
             queue_p50_us: 15,
             queue_p99_us: 250,
-        };
+            class_exact: 5,
+            class_degraded: 1,
+            class_cached: 4,
+            class_budget_exhausted: 2,
+            class_deadline_hit: 1,
+            class_error: 3,
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
         let outcome = WireOutcome {
             plan: None,
             best_bound: Some(2.5),
@@ -354,15 +528,45 @@ mod tests {
             stats: Default::default(),
             certificate: None,
         };
+        let phases = vec![
+            WirePhase { name: "queue_wait".into(), self_ns: 900, count: 1 },
+            WirePhase { name: "search".into(), self_ns: 44_000, count: 1 },
+        ];
         for r in [
-            Response::Outcome { cache_hit: true, outcome },
-            Response::Stats(snapshot),
+            Response::Outcome {
+                cache_hit: true,
+                trace_id: 71,
+                phases: vec![],
+                outcome: outcome.clone(),
+            },
+            Response::Outcome { cache_hit: false, trace_id: 0, phases, outcome },
+            Response::Stats(sample_snapshot()),
             Response::Rejected("queue full".into()),
             Response::Error("bad magic".into()),
             Response::Bye,
+            Response::Metrics("# sekitei-metrics v1\n# end sekitei-metrics\n".into()),
+            Response::FlightRecorder("# sekitei-flight v1\n# end sekitei-flight\n".into()),
         ] {
             assert_eq!(decode_response(&encode_response(&r)).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn stats_frame_is_length_checked() {
+        // The widened frame is exactly 1 tag byte + 18 u64 words.
+        let encoded = encode_response(&Response::Stats(sample_snapshot()));
+        assert_eq!(encoded.len(), 1 + StatsSnapshot::WIRE_WORDS * 8);
+        assert_eq!(encoded.len(), 1 + 18 * 8);
+        // The pre-widening 12-word frame and off-by-one-word frames must
+        // be rejected, not silently zero-filled or truncated.
+        for words in [12usize, 17, 19] {
+            let mut short = vec![RESP_STATS];
+            short.extend(vec![0u8; words * 8]);
+            let err = decode_response(&short).unwrap_err();
+            assert!(err.to_string().contains("stats length"), "words={words}: {err}");
+        }
+        // And a byte-level truncation inside the last word too.
+        assert!(decode_response(&encoded[..encoded.len() - 1]).is_err());
     }
 
     #[test]
@@ -370,8 +574,17 @@ mod tests {
         assert!(decode_response(&[]).is_err());
         assert!(decode_response(&[99]).is_err());
         assert!(decode_response(&[RESP_OUTCOME]).is_err());
-        assert!(decode_response(&[RESP_OUTCOME, 2]).is_err()); // bad flag
+        // full header but bad cache-hit flag
+        let mut bad_flag = vec![RESP_OUTCOME, 2];
+        bad_flag.extend_from_slice(&[0u8; 12]);
+        assert!(decode_response(&bad_flag).is_err());
+        // phase-table length promising more than arrives
+        let mut bad_phase_len = vec![RESP_OUTCOME, 0];
+        bad_phase_len.extend_from_slice(&0u64.to_be_bytes());
+        bad_phase_len.extend_from_slice(&100u32.to_be_bytes());
+        assert!(decode_response(&bad_phase_len).is_err());
         assert!(decode_response(&[RESP_STATS, 0, 0]).is_err());
         assert!(decode_response(&[RESP_BYE, 0]).is_err());
+        assert!(decode_response(&[RESP_METRICS, 0]).is_err()); // truncated string
     }
 }

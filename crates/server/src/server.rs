@@ -4,14 +4,15 @@
 
 use crate::cache::{content_hash, BoundedCache};
 use crate::convert::outcome_to_wire;
+use crate::flight::{CacheTier, FlightRecord, FlightRecorder, OutcomeClass};
 use crate::protocol::{
-    decode_request, encode_response, read_frame, write_frame, Request, Response, RESP_OUTCOME,
+    decode_request, encode_response, outcome_header, read_frame, write_frame, Request, Response,
 };
 use crate::stats::ServerStats;
 use sekitei_compile::{compile, PlanningTask};
 use sekitei_model::CppProblem;
 use sekitei_planner::{Planner, PlannerConfig};
-use sekitei_spec::encode_outcome;
+use sekitei_spec::{encode_outcome, WirePhase};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -35,6 +36,9 @@ pub struct ServerConfig {
     /// knobs that make an optimal-but-occasionally-explosive planner
     /// servable.
     pub planner: PlannerConfig,
+    /// Flight-recorder capacity: the most recent this-many plan requests
+    /// stay dumpable for tail-latency post-mortems.
+    pub flight_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +52,7 @@ impl Default for ServerConfig {
                 degrade: true,
                 ..PlannerConfig::default()
             },
+            flight_cap: 4096,
         }
     }
 }
@@ -80,6 +85,15 @@ pub struct Server {
     stats: Arc<ServerStats>,
 }
 
+/// A completed outcome in the cache: the encoded `SKO1` bytes replayed on
+/// a hit, plus the content class and search size so hits can be
+/// flight-recorded and classified without decoding.
+struct CachedOutcome {
+    sko: Vec<u8>,
+    class: OutcomeClass,
+    rg_nodes: u64,
+}
+
 /// Everything the workers share, borrowed for the lifetime of the scope.
 struct ServeState {
     /// Accepted connections waiting for a worker, with their enqueue time
@@ -88,10 +102,11 @@ struct ServeState {
     available: Condvar,
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
+    flight: FlightRecorder,
     planner: Planner,
     planner_cfg: PlannerConfig,
     tasks: Mutex<BoundedCache<Arc<(CppProblem, PlanningTask)>>>,
-    outcomes: Mutex<BoundedCache<Arc<Vec<u8>>>>,
+    outcomes: Mutex<BoundedCache<Arc<CachedOutcome>>>,
 }
 
 impl Server {
@@ -136,6 +151,7 @@ impl Server {
             available: Condvar::new(),
             stop: Arc::clone(&self.stop),
             stats: Arc::clone(&self.stats),
+            flight: FlightRecorder::new(self.cfg.flight_cap),
             planner: Planner::new(self.cfg.planner),
             planner_cfg: self.cfg.planner,
             tasks: Mutex::new(BoundedCache::new(self.cfg.cache_cap)),
@@ -158,6 +174,7 @@ impl Server {
                             reject(stream);
                         } else {
                             q.push_back((stream, Instant::now()));
+                            self.stats.set_queue_depth(q.len());
                             drop(q);
                             state.available.notify_one();
                         }
@@ -192,6 +209,7 @@ fn worker_loop(state: &ServeState) {
             let mut q = state.queue.lock().unwrap();
             loop {
                 if let Some(c) = q.pop_front() {
+                    state.stats.set_queue_depth(q.len());
                     break Some(c);
                 }
                 if state.stop.load(Ordering::SeqCst) {
@@ -207,7 +225,7 @@ fn worker_loop(state: &ServeState) {
                 let wait_us = enqueued.elapsed().as_micros() as u64;
                 state.stats.record_queue_wait(wait_us);
                 sekitei_obs::event("queue_wait_us", wait_us);
-                handle_conn(state, stream)
+                handle_conn(state, stream, wait_us)
             }
             None => break,
         }
@@ -215,7 +233,11 @@ fn worker_loop(state: &ServeState) {
 }
 
 /// Serve every frame on one connection until EOF, timeout or shutdown.
-fn handle_conn(state: &ServeState, mut stream: TcpStream) {
+/// `queue_wait_us` is the accept-queue wait of this connection; it is
+/// attributed to every request the connection carries (with pipelining
+/// only the first request actually paid it, but the attribution keeps
+/// "how long did admission stall this client" answerable per record).
+fn handle_conn(state: &ServeState, mut stream: TcpStream, queue_wait_us: u64) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     loop {
@@ -224,16 +246,28 @@ fn handle_conn(state: &ServeState, mut stream: TcpStream) {
             Err(_) => return, // EOF, timeout or garbage length — drop
         };
         let (payload, done) = match decode_request(&frame) {
+            // Malformed frames answer an Error response and keep the
+            // connection serving — a garbled control frame must never take
+            // the server (or even the connection) down.
             Err(e) => (encode_response(&Response::Error(e.to_string())), false),
             Ok(Request::Stats) => {
                 (encode_response(&Response::Stats(state.stats.snapshot())), false)
+            }
+            Ok(Request::Metrics) => {
+                let text = sekitei_obs::expose(state.stats.registry());
+                (encode_response(&Response::Metrics(text)), false)
+            }
+            Ok(Request::FlightRecorder) => {
+                (encode_response(&Response::FlightRecorder(state.flight.dump())), false)
             }
             Ok(Request::Shutdown) => {
                 state.stop.store(true, Ordering::SeqCst);
                 state.available.notify_all();
                 (encode_response(&Response::Bye), true)
             }
-            Ok(Request::Plan(problem)) => (handle_plan(state, &problem), false),
+            Ok(Request::Plan { trace_id, profile, problem }) => {
+                (handle_plan(state, trace_id, profile, queue_wait_us, &problem), false)
+            }
         };
         if write_frame(&mut stream, &payload).is_err() || done {
             return;
@@ -241,23 +275,91 @@ fn handle_conn(state: &ServeState, mut stream: TcpStream) {
     }
 }
 
+/// Per-request self-time collector behind the `--profile` flag: when the
+/// request asked for a profile, each pipeline stage is timed inline with
+/// `Instant` (independent of the global tracing gate, so profiling one
+/// request never requires turning on process-wide tracing) and shipped
+/// back as an `SKP1` table next to the outcome.
+struct PhaseTimes {
+    enabled: bool,
+    rows: Vec<WirePhase>,
+}
+
+impl PhaseTimes {
+    fn new(enabled: bool, queue_wait_us: u64) -> Self {
+        let mut rows = Vec::new();
+        if enabled {
+            rows.push(WirePhase {
+                name: "queue_wait".into(),
+                self_ns: queue_wait_us * 1_000,
+                count: 1,
+            });
+        }
+        PhaseTimes { enabled, rows }
+    }
+
+    /// Run `f`, timing it as phase `name` when profiling is on.
+    fn timed<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        if !self.enabled {
+            return f();
+        }
+        let t = Instant::now();
+        let out = f();
+        self.rows.push(WirePhase {
+            name: name.into(),
+            self_ns: t.elapsed().as_nanos() as u64,
+            count: 1,
+        });
+        out
+    }
+}
+
 /// The serving pipeline for one plan request: outcome tier → compiled
 /// tier → full decode + compile, then search under the configured
 /// deadline, sim-validating any degraded plan before it leaves the
-/// process.
-fn handle_plan(state: &ServeState, problem_bytes: &[u8]) -> Vec<u8> {
+/// process. Every path — cache hit, computed, error — lands one flight
+/// record and one outcome-class count.
+fn handle_plan(
+    state: &ServeState,
+    trace_id: u64,
+    profile: bool,
+    queue_wait_us: u64,
+    problem_bytes: &[u8],
+) -> Vec<u8> {
     let _span = sekitei_obs::span("request");
+    if trace_id != 0 {
+        // Tag the span tree: the event's parent is this request span, so
+        // every phase span below shares the id through it.
+        sekitei_obs::event("trace_id", trace_id);
+    }
     let t_req = Instant::now();
     let key = content_hash(problem_bytes);
+    let mut phases = PhaseTimes::new(profile, queue_wait_us);
 
-    if let Some(sko) = state.outcomes.lock().unwrap().get(key) {
+    let cached = phases.timed("cache", || state.outcomes.lock().unwrap().get(key));
+    if let Some(c) = cached {
         sekitei_obs::event("outcome_cache_hit", 1);
         state.stats.record_cache_hit();
-        state.stats.record_served(t_req.elapsed().as_micros() as u64);
-        return outcome_payload(true, &sko);
+        state.stats.record_class(OutcomeClass::Cached);
+        let latency_us = t_req.elapsed().as_micros() as u64;
+        state.stats.record_served(latency_us);
+        state.flight.record(FlightRecord {
+            seq: 0,
+            trace_id,
+            fingerprint: key,
+            class: c.class,
+            tier: CacheTier::Outcome,
+            queue_wait_us,
+            rg_nodes: c.rg_nodes,
+            latency_us,
+        });
+        let mut payload = outcome_header(true, trace_id, &phases.rows);
+        payload.extend_from_slice(&c.sko);
+        return payload;
     }
 
     let entry = state.tasks.lock().unwrap().get(key);
+    let tier = if entry.is_some() { CacheTier::Task } else { CacheTier::Full };
     let entry = match entry {
         Some(e) => {
             sekitei_obs::event("task_cache_hit", 1);
@@ -265,18 +367,22 @@ fn handle_plan(state: &ServeState, problem_bytes: &[u8]) -> Vec<u8> {
             e
         }
         None => {
-            let decoded = {
+            let decoded = phases.timed("decode", || {
                 let _g = sekitei_obs::span("decode");
                 sekitei_spec::decode(problem_bytes)
-            };
+            });
             let problem = match decoded {
                 Ok(p) => p,
-                Err(e) => return encode_response(&Response::Error(e.to_string())),
+                Err(e) => {
+                    return plan_error(state, trace_id, key, queue_wait_us, t_req, &e.to_string())
+                }
             };
             // compile() opens its own "compile" span under this request
-            let task = match compile(&problem) {
+            let task = match phases.timed("compile", || compile(&problem)) {
                 Ok(t) => t,
-                Err(e) => return encode_response(&Response::Error(e.to_string())),
+                Err(e) => {
+                    return plan_error(state, trace_id, key, queue_wait_us, t_req, &e.to_string())
+                }
             };
             sekitei_obs::event("cache_miss", 1);
             state.stats.record_cache_miss();
@@ -288,7 +394,7 @@ fn handle_plan(state: &ServeState, problem_bytes: &[u8]) -> Vec<u8> {
 
     // `t_req` anchors both the reported total time and the deadline, so
     // whatever the cache tiers saved is returned to the search budget
-    let (outcome, incumbent_used) = {
+    let (outcome, incumbent_used) = phases.timed("search", || {
         let _g = sekitei_obs::span("search");
         if state.planner_cfg.anytime {
             // race the exact search against the SLS lane; a deadline hit
@@ -300,7 +406,7 @@ fn handle_plan(state: &ServeState, problem_bytes: &[u8]) -> Vec<u8> {
         } else {
             (state.planner.plan_task(entry.1.clone(), t_req), false)
         }
-    };
+    });
     let mut wire = outcome_to_wire(&outcome);
     if incumbent_used {
         // the incumbent already passed the full simulator inside the lane;
@@ -309,9 +415,11 @@ fn handle_plan(state: &ServeState, problem_bytes: &[u8]) -> Vec<u8> {
             state.stats.record_degraded();
         }
     } else if outcome.plan.as_ref().is_some_and(|p| p.degraded) {
-        let _g = sekitei_obs::span("validate");
-        let plan = outcome.plan.as_ref().expect("checked above");
-        let report = sekitei_sim::validate_plan(&entry.0, &outcome.task, plan);
+        let report = phases.timed("validate", || {
+            let _g = sekitei_obs::span("validate");
+            let plan = outcome.plan.as_ref().expect("checked above");
+            sekitei_sim::validate_plan(&entry.0, &outcome.task, plan)
+        });
         if report.ok {
             state.stats.record_degraded();
         } else {
@@ -323,27 +431,59 @@ fn handle_plan(state: &ServeState, problem_bytes: &[u8]) -> Vec<u8> {
             wire.certificate = None;
         }
     }
-    let sko = {
+    let sko = phases.timed("encode", || {
         let _g = sekitei_obs::span("encode");
         encode_outcome(&wire).to_vec()
-    };
+    });
+    let class = OutcomeClass::of_outcome(&wire);
     if !outcome.stats.deadline_hit {
         // outcomes are deterministic unless the wall clock cut the search
         // short: node- and reject-budget exhaustion is a pure function of
         // the problem and config, so those outcomes cache and replay
         // soundly — only deadline-tripped ones depend on timing luck
-        state.outcomes.lock().unwrap().insert(key, Arc::new(sko.clone()));
+        state.outcomes.lock().unwrap().insert(
+            key,
+            Arc::new(CachedOutcome { sko: sko.clone(), class, rg_nodes: wire.stats.rg_nodes }),
+        );
     }
-    state.stats.record_served(t_req.elapsed().as_micros() as u64);
-    outcome_payload(false, &sko)
+    state.stats.record_class(class);
+    let latency_us = t_req.elapsed().as_micros() as u64;
+    state.stats.record_served(latency_us);
+    state.flight.record(FlightRecord {
+        seq: 0,
+        trace_id,
+        fingerprint: key,
+        class,
+        tier,
+        queue_wait_us,
+        rg_nodes: wire.stats.rg_nodes,
+        latency_us,
+    });
+    let mut payload = outcome_header(false, trace_id, &phases.rows);
+    payload.extend_from_slice(&sko);
+    payload
 }
 
-/// Assemble an `Outcome` response payload around already-encoded `SKO1`
-/// bytes without re-encoding them (the cache stores exactly these bytes).
-fn outcome_payload(cache_hit: bool, sko: &[u8]) -> Vec<u8> {
-    let mut b = Vec::with_capacity(2 + sko.len());
-    b.push(RESP_OUTCOME);
-    b.push(cache_hit as u8);
-    b.extend_from_slice(sko);
-    b
+/// A failed plan request still lands in the telemetry plane: one
+/// `class_error` count and one flight record, then the error response.
+fn plan_error(
+    state: &ServeState,
+    trace_id: u64,
+    fingerprint: u64,
+    queue_wait_us: u64,
+    t_req: Instant,
+    msg: &str,
+) -> Vec<u8> {
+    state.stats.record_class(OutcomeClass::Error);
+    state.flight.record(FlightRecord {
+        seq: 0,
+        trace_id,
+        fingerprint,
+        class: OutcomeClass::Error,
+        tier: CacheTier::Full,
+        queue_wait_us,
+        rg_nodes: 0,
+        latency_us: t_req.elapsed().as_micros() as u64,
+    });
+    encode_response(&Response::Error(msg.to_string()))
 }

@@ -9,8 +9,9 @@
 //! the histogram summarizes the server's lifetime, which is what the
 //! stats protocol reports were already treated as.
 
+use crate::flight::OutcomeClass;
 use crate::protocol::StatsSnapshot;
-use sekitei_obs::{Counter, Histogram, MetricsRegistry};
+use sekitei_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::fmt;
 use std::sync::Arc;
 
@@ -24,6 +25,15 @@ pub struct ServerStats {
     cache_misses: Arc<Counter>,
     degraded: Arc<Counter>,
     rejected: Arc<Counter>,
+    /// One counter per outcome class, indexed in the order the
+    /// `StatsSnapshot` wire fields list them.
+    class_exact: Arc<Counter>,
+    class_degraded: Arc<Counter>,
+    class_cached: Arc<Counter>,
+    class_budget_exhausted: Arc<Counter>,
+    class_deadline_hit: Arc<Counter>,
+    class_error: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
     latency_us: Arc<Histogram>,
     queue_wait_us: Arc<Histogram>,
 }
@@ -37,6 +47,13 @@ impl Default for ServerStats {
         let cache_misses = registry.counter("cache_misses");
         let degraded = registry.counter("degraded");
         let rejected = registry.counter("rejected");
+        let class_exact = registry.counter("class_exact");
+        let class_degraded = registry.counter("class_degraded");
+        let class_cached = registry.counter("class_cached");
+        let class_budget_exhausted = registry.counter("class_budget_exhausted");
+        let class_deadline_hit = registry.counter("class_deadline_hit");
+        let class_error = registry.counter("class_error");
+        let queue_depth = registry.gauge("queue_depth");
         let latency_us = registry.histogram("latency_us");
         let queue_wait_us = registry.histogram("queue_wait_us");
         ServerStats {
@@ -47,6 +64,13 @@ impl Default for ServerStats {
             cache_misses,
             degraded,
             rejected,
+            class_exact,
+            class_degraded,
+            class_cached,
+            class_budget_exhausted,
+            class_deadline_hit,
+            class_error,
+            queue_depth,
             latency_us,
             queue_wait_us,
         }
@@ -97,6 +121,27 @@ impl ServerStats {
         self.rejected.inc();
     }
 
+    /// Count one plan request's outcome class. Each request lands in
+    /// exactly one class (`Cached` for outcome-cache hits, otherwise the
+    /// content class of the computed outcome), so the six class counters
+    /// partition the plan requests handled.
+    pub fn record_class(&self, class: OutcomeClass) {
+        match class {
+            OutcomeClass::Exact => self.class_exact.inc(),
+            OutcomeClass::Degraded => self.class_degraded.inc(),
+            OutcomeClass::Cached => self.class_cached.inc(),
+            OutcomeClass::BudgetExhausted => self.class_budget_exhausted.inc(),
+            OutcomeClass::DeadlineHit => self.class_deadline_hit.inc(),
+            OutcomeClass::Error => self.class_error.inc(),
+        }
+    }
+
+    /// Publish the current accept-queue depth (connections waiting for a
+    /// worker).
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.set(depth as i64);
+    }
+
     /// The underlying registry (for rendering every metric by name).
     pub fn registry(&self) -> &MetricsRegistry {
         &self.registry
@@ -119,6 +164,12 @@ impl ServerStats {
             max_us: self.latency_us.max(),
             queue_p50_us: self.queue_wait_us.quantile(0.50),
             queue_p99_us: self.queue_wait_us.quantile(0.99),
+            class_exact: self.class_exact.get(),
+            class_degraded: self.class_degraded.get(),
+            class_cached: self.class_cached.get(),
+            class_budget_exhausted: self.class_budget_exhausted.get(),
+            class_deadline_hit: self.class_deadline_hit.get(),
+            class_error: self.class_error.get(),
         }
     }
 }
@@ -194,10 +245,55 @@ mod tests {
             "cache_misses",
             "degraded",
             "rejected",
+            "class_exact",
+            "class_error",
+            "queue_depth",
             "latency_us",
             "queue_wait_us",
         ] {
             assert!(text.contains(name), "{name} missing from: {text}");
         }
+    }
+
+    #[test]
+    fn class_counters_partition_into_snapshot() {
+        let s = ServerStats::default();
+        for class in [
+            OutcomeClass::Exact,
+            OutcomeClass::Exact,
+            OutcomeClass::Degraded,
+            OutcomeClass::Cached,
+            OutcomeClass::BudgetExhausted,
+            OutcomeClass::DeadlineHit,
+            OutcomeClass::Error,
+        ] {
+            s.record_class(class);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.class_exact, 2);
+        assert_eq!(snap.class_degraded, 1);
+        assert_eq!(snap.class_cached, 1);
+        assert_eq!(snap.class_budget_exhausted, 1);
+        assert_eq!(snap.class_deadline_hit, 1);
+        assert_eq!(snap.class_error, 1);
+        let total = snap.class_exact
+            + snap.class_degraded
+            + snap.class_cached
+            + snap.class_budget_exhausted
+            + snap.class_deadline_hit
+            + snap.class_error;
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn exposition_carries_live_registry() {
+        let s = ServerStats::default();
+        s.record_served(100);
+        s.set_queue_depth(3);
+        let text = sekitei_obs::expose(s.registry());
+        let parsed = sekitei_obs::parse_exposition(&text).unwrap();
+        assert_eq!(parsed.counters["served"], 1);
+        assert_eq!(parsed.gauges["queue_depth"], 3);
+        assert_eq!(parsed.histograms["latency_us"].count, 1);
     }
 }

@@ -52,6 +52,6 @@ pub use error::SpecError;
 pub use parser::{parse_expr, parse_problem};
 pub use printer::print_problem;
 pub use wire::{
-    decode, decode_outcome, encode, encode_outcome, WireOutcome, WirePlan, WireStats, WireStep,
-    WireStepKind,
+    decode, decode_outcome, decode_phases, encode, encode_outcome, encode_phases, WireOutcome,
+    WirePhase, WirePlan, WireStats, WireStep, WireStepKind,
 };

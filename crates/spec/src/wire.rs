@@ -551,6 +551,70 @@ pub fn decode_outcome(mut buf: &[u8]) -> Result<WireOutcome, SpecError> {
     })
 }
 
+// ----------------------------------------------------------- phase tables
+
+/// Magic header of the phase-table wire form (server → client direction).
+const PHASES_MAGIC: &[u8; 4] = b"SKP1";
+
+/// Hard cap on phase rows: the server emits one row per pipeline stage
+/// (queue wait, decode, compile, search, validate, encode, …), so
+/// anything past this is a malformed or hostile frame.
+const MAX_PHASES: usize = 64;
+
+/// One row of a server-side self-time table: how long one named phase of
+/// request handling took, exclusive of nested phases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePhase {
+    /// Phase name (e.g. `"search"`, `"queue_wait"`).
+    pub name: String,
+    /// Self time in nanoseconds.
+    pub self_ns: u64,
+    /// Number of slices aggregated into this row (0 allowed for phases
+    /// that were skipped but still reported).
+    pub count: u64,
+}
+
+/// Encode a per-phase self-time table. Riding next to an `SKO1` outcome
+/// in the serving protocol, this lets `sekitei request --profile` stitch
+/// the server's phase breakdown into the client's own trace.
+pub fn encode_phases(phases: &[WirePhase]) -> Bytes {
+    let mut b = BytesMut::with_capacity(16 + phases.len() * 32);
+    b.put_slice(PHASES_MAGIC);
+    b.put_u32(phases.len() as u32);
+    for p in phases {
+        put_str(&mut b, &p.name);
+        b.put_u64(p.self_ns);
+        b.put_u64(p.count);
+    }
+    b.freeze()
+}
+
+/// Decode a phase table; strict (trailing bytes and oversized row counts
+/// are rejected).
+pub fn decode_phases(mut buf: &[u8]) -> Result<Vec<WirePhase>, SpecError> {
+    let b = &mut buf;
+    let mut magic = [0u8; 4];
+    take(b, &mut magic)?;
+    if &magic != PHASES_MAGIC {
+        return Err(SpecError::wire("bad phase-table magic"));
+    }
+    let n = get_u32(b)? as usize;
+    if n > MAX_PHASES {
+        return Err(SpecError::wire(format!("phase table too long ({n} rows)")));
+    }
+    let mut phases = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = get_str(b)?;
+        let self_ns = get_u64(b)?;
+        let count = get_u64(b)?;
+        phases.push(WirePhase { name, self_ns, count });
+    }
+    if !b.is_empty() {
+        return Err(SpecError::wire("trailing bytes after phase table"));
+    }
+    Ok(phases)
+}
+
 // ------------------------------------------------------------- primitives
 
 fn put_str(b: &mut BytesMut, s: &str) {
@@ -885,6 +949,30 @@ mod tests {
         let mut bytes = encode_outcome(&sample_outcome(true)).to_vec();
         bytes.push(0);
         assert!(decode_outcome(&bytes).is_err());
+    }
+
+    #[test]
+    fn phase_table_roundtrip_and_rejections() {
+        let phases = vec![
+            WirePhase { name: "queue_wait".into(), self_ns: 1200, count: 1 },
+            WirePhase { name: "search".into(), self_ns: 81_000, count: 1 },
+            WirePhase { name: "encode".into(), self_ns: 0, count: 0 },
+        ];
+        let bytes = encode_phases(&phases);
+        assert_eq!(decode_phases(&bytes).unwrap(), phases);
+        // Empty tables are legal (profile not requested / nothing timed).
+        assert_eq!(decode_phases(&encode_phases(&[])).unwrap(), vec![]);
+        // Strictness: truncation, trailing bytes, bad magic, runaway count.
+        for cut in 0..bytes.len() {
+            assert!(decode_phases(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+        let mut trailing = bytes.to_vec();
+        trailing.push(0);
+        assert!(decode_phases(&trailing).is_err());
+        assert!(decode_phases(b"SKO1\x00\x00\x00\x00").is_err());
+        let mut huge = b"SKP1".to_vec();
+        huge.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(decode_phases(&huge).is_err());
     }
 
     #[test]
