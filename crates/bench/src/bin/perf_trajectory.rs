@@ -174,17 +174,17 @@ fn serve_once(size: NetSize, sc: LevelScenario) -> [PhaseRow; 2] {
     let mut conn = Connection::connect(addr).expect("connect");
 
     let t = Instant::now();
-    let (cold, hit) = conn.plan(&p).expect("cold request");
+    let (cold, via) = conn.plan(&p).expect("cold request");
     let cold_ms = t.elapsed().as_secs_f64() * 1e3;
-    assert!(!hit, "fresh server cannot have the outcome cached");
+    assert!(!via.is_warm(), "fresh server cannot have the outcome cached");
 
     let t = Instant::now();
-    let (_, hit) = conn.plan(&p).expect("warm request");
+    let (_, via) = conn.plan(&p).expect("warm request");
     let warm_ms = t.elapsed().as_secs_f64() * 1e3;
     // budget-exhaustion is deterministic and caches; only deadline-tripped
     // outcomes (wall-clock luck) are deliberately uncacheable
     assert!(
-        hit || cold.stats.deadline_hit,
+        via.is_warm() || cold.stats.deadline_hit,
         "identical repeat of a deadline-free run must hit the outcome cache"
     );
 

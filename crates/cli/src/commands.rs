@@ -16,16 +16,16 @@ const USAGE: &str = "usage:
   sekitei batch <spec-file>... [--threads N] [--search-threads N]
                [--no-prune] [--validate] [--quiet] [--profile]
                [--trace-json FILE] [--emit-cert FILE]
-  sekitei serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
-               [--cache-cap N] [--max-nodes N] [--deadline-ms N]
-               [--search-threads N] [--no-degrade]
+  sekitei serve [--addr HOST:PORT] [--workers N] [--shards N] [--queue-cap N]
+               [--cache-cap N] [--cache-file FILE] [--max-nodes N]
+               [--deadline-ms N] [--search-threads N] [--no-degrade]
                [--anytime] [--sls-seed N] [--sls-restarts N]
   sekitei request (<spec-file> | --stats | --metrics | --flight | --shutdown)
-               [--addr HOST:PORT] [--profile]
+               [--addr HOST:PORT] [--profile] [--priority <high|normal|low>]
   sekitei loadgen [--addr HOST:PORT] [--requests N] [--connections N]
                [--seed N] [--zipf-s X] [--pipeline N] [--rate R] [--burst N]
-               [--verify-every N] [--corpus <tiny|small|large>]
-               [--bench-json FILE]
+               [--verify-every N] [--low-every N]
+               [--corpus <tiny|small|large>] [--bench-json FILE]
   sekitei verify-cert <spec-file> <cert-file>
   sekitei check <spec-file>
   sekitei compile <spec-file> [--dump]
@@ -445,6 +445,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 let v = need(args.get(i), "--workers")?;
                 cfg.workers = v.parse().map_err(|_| format!("bad --workers value `{v}`"))?;
             }
+            "--shards" => {
+                i += 1;
+                let v = need(args.get(i), "--shards")?;
+                cfg.shards = v.parse().map_err(|_| format!("bad --shards value `{v}`"))?;
+            }
+            "--cache-file" => {
+                i += 1;
+                cfg.cache_file = Some(need(args.get(i), "--cache-file")?.into());
+            }
             "--queue-cap" => {
                 i += 1;
                 let v = need(args.get(i), "--queue-cap")?;
@@ -509,6 +518,7 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
     let mut flight = false;
     let mut shutdown = false;
     let mut profile = false;
+    let mut priority = sekitei_server::Priority::Normal;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -521,6 +531,18 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
             "--flight" => flight = true,
             "--shutdown" => shutdown = true,
             "--profile" => profile = true,
+            "--priority" => {
+                i += 1;
+                priority = match args.get(i).map(String::as_str) {
+                    Some("high") => sekitei_server::Priority::High,
+                    Some("normal") => sekitei_server::Priority::Normal,
+                    Some("low") => sekitei_server::Priority::Low,
+                    Some(other) => {
+                        return Err(format!("bad --priority `{other}` (use high|normal|low)"))
+                    }
+                    None => return Err("--priority needs a value".into()),
+                };
+            }
             f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
             f => file = Some(f.to_string()),
         }
@@ -577,11 +599,12 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
             let connect_us = t_connect.elapsed().as_micros() as u64;
 
             let t_rtt = std::time::Instant::now();
-            let served =
-                conn.plan_bytes_traced(&bytes, trace_id, profile).map_err(|e| e.to_string())?;
+            let served = conn
+                .plan_bytes_traced(&bytes, trace_id, profile, priority)
+                .map_err(|e| e.to_string())?;
             let rtt_us = t_rtt.elapsed().as_micros() as u64;
 
-            report_wire_outcome(&served.outcome, served.cache_hit);
+            report_wire_outcome(&served.outcome, served.served_via);
             if let Some(bytes) = &served.outcome.certificate {
                 // the client compiles the task itself, so the check is
                 // independent of everything the server claimed
@@ -720,6 +743,11 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
                 cfg.verify_every =
                     v.parse().map_err(|_| format!("bad --verify-every value `{v}`"))?;
             }
+            "--low-every" => {
+                i += 1;
+                let v = need(args.get(i), "--low-every")?;
+                cfg.low_every = v.parse().map_err(|_| format!("bad --low-every value `{v}`"))?;
+            }
             "--corpus" => {
                 i += 1;
                 corpus_size = match need(args.get(i), "--corpus")?.as_str() {
@@ -770,7 +798,7 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
 }
 
 /// Print a served outcome; mirrors [`report_outcome`] for wire-form data.
-fn report_wire_outcome(outcome: &sekitei_spec::WireOutcome, cache_hit: bool) {
+fn report_wire_outcome(outcome: &sekitei_spec::WireOutcome, served_via: sekitei_server::ServedVia) {
     match &outcome.plan {
         Some(plan) => {
             println!(
@@ -822,7 +850,11 @@ fn report_wire_outcome(outcome: &sekitei_spec::WireOutcome, cache_hit: bool) {
         s.total_time_us,
         if s.deadline_hit { " [deadline hit]" } else { "" },
         if s.budget_exhausted && !s.deadline_hit { " [budget exhausted]" } else { "" },
-        if cache_hit { " [cache hit]" } else { "" },
+        match served_via {
+            sekitei_server::ServedVia::Computed => "",
+            sekitei_server::ServedVia::Cache => " [cache hit]",
+            sekitei_server::ServedVia::Coalesced => " [coalesced]",
+        },
     );
 }
 

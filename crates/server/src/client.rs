@@ -2,7 +2,8 @@
 //! persistent [`Connection`] for request streams.
 
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, Request, Response, StatsSnapshot,
+    decode_response, encode_request, read_frame, write_frame, Priority, Request, Response,
+    ServedVia, StatsSnapshot,
 };
 use sekitei_model::CppProblem;
 use sekitei_spec::{SpecError, WireOutcome, WirePhase};
@@ -77,24 +78,27 @@ impl Connection {
     }
 
     /// Plan an already-wire-encoded (`SKT1`) problem. Returns the outcome
-    /// and whether it came from the server's outcome cache.
-    pub fn plan_bytes(&mut self, problem: &[u8]) -> Result<(WireOutcome, bool), ClientError> {
-        let served = self.plan_bytes_traced(problem, 0, false)?;
-        Ok((served.outcome, served.cache_hit))
+    /// and how the server served it (computed, cached, or coalesced onto
+    /// a concurrent search).
+    pub fn plan_bytes(&mut self, problem: &[u8]) -> Result<(WireOutcome, ServedVia), ClientError> {
+        let served = self.plan_bytes_traced(problem, 0, false, Priority::Normal)?;
+        Ok((served.outcome, served.served_via))
     }
 
-    /// Plan already-encoded problem bytes carrying a trace id, optionally
-    /// asking the server for its per-phase self-time table.
+    /// Plan already-encoded problem bytes carrying a trace id and
+    /// priority class, optionally asking the server for its per-phase
+    /// self-time table.
     pub fn plan_bytes_traced(
         &mut self,
         problem: &[u8],
         trace_id: u64,
         profile: bool,
+        priority: Priority,
     ) -> Result<ServedOutcome, ClientError> {
-        let req = Request::Plan { trace_id, profile, problem: problem.to_vec() };
+        let req = Request::Plan { trace_id, profile, priority, problem: problem.to_vec() };
         match self.exchange(&req)? {
-            Response::Outcome { cache_hit, trace_id, phases, outcome } => {
-                Ok(ServedOutcome { outcome, cache_hit, trace_id, phases })
+            Response::Outcome { served_via, trace_id, phases, outcome } => {
+                Ok(ServedOutcome { outcome, served_via, trace_id, phases })
             }
             Response::Rejected(m) => Err(ClientError::Rejected(m)),
             Response::Error(m) => Err(ClientError::Server(m)),
@@ -103,7 +107,7 @@ impl Connection {
     }
 
     /// Plan a problem.
-    pub fn plan(&mut self, problem: &CppProblem) -> Result<(WireOutcome, bool), ClientError> {
+    pub fn plan(&mut self, problem: &CppProblem) -> Result<(WireOutcome, ServedVia), ClientError> {
         self.plan_bytes(&sekitei_spec::encode(problem))
     }
 
@@ -143,8 +147,9 @@ impl Connection {
 pub struct ServedOutcome {
     /// The planning outcome.
     pub outcome: WireOutcome,
-    /// Answered from the server's outcome cache.
-    pub cache_hit: bool,
+    /// How the server answered: a fresh search, an outcome-cache replay,
+    /// or a coalesced join onto a concurrent identical request.
+    pub served_via: ServedVia,
     /// Echo of the request's trace id.
     pub trace_id: u64,
     /// Server per-phase self-times (empty unless `profile` was requested).
@@ -155,7 +160,7 @@ pub struct ServedOutcome {
 pub fn request_plan(
     addr: impl ToSocketAddrs,
     problem: &CppProblem,
-) -> Result<(WireOutcome, bool), ClientError> {
+) -> Result<(WireOutcome, ServedVia), ClientError> {
     Connection::connect(addr)?.plan(problem)
 }
 

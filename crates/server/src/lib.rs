@@ -10,11 +10,16 @@
 //!   (`/stats`, shutdown).
 //! - [`cache`] — two content-addressed tiers keyed by the hash of the
 //!   encoded problem: compiled tasks (skip grounding/leveling) and
-//!   completed outcomes (skip everything).
-//! - [`server`] — a nonblocking acceptor with queue-depth admission
-//!   control feeding scoped worker threads; every request plans under a
-//!   wall-clock deadline with graceful degradation (best-so-far bound plus
-//!   a sim-validated greedy-candidate plan instead of an error).
+//!   completed outcomes (skip everything), the outcome tier under CLOCK
+//!   eviction.
+//! - [`persist`] — an append-only checksummed snapshot of the outcome
+//!   tier (`SKS1`), replayed on start so a restart keeps its warm hit
+//!   rate.
+//! - [`server`] — a nonblocking acceptor round-robining connections over
+//!   accept/worker shards, each owning a queue, a fingerprint-partitioned
+//!   cache stripe with single-flight request coalescing, stats, and a
+//!   flight ring; every request plans under a wall-clock deadline with
+//!   graceful degradation and priority-aware shedding under pressure.
 //! - [`client`] — blocking request helpers used by `sekitei request` and
 //!   the benches.
 //! - [`flight`] — a bounded ring of per-request records with
@@ -39,23 +44,28 @@ pub mod client;
 pub mod convert;
 pub mod flight;
 pub mod loadgen;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod stats;
 
-pub use cache::{content_hash, BoundedCache};
+pub use cache::{content_hash, BoundedCache, ClockCache};
 pub use client::{
     request_flight_recorder, request_metrics, request_plan, request_shutdown, request_stats,
     ClientError, Connection, ServedOutcome,
 };
 pub use convert::outcome_to_wire;
 pub use flight::{
-    parse_dump, CacheTier, Exemplar, FlightDump, FlightRecord, FlightRecorder, OutcomeClass,
+    merged_dump, parse_dump, CacheTier, Exemplar, FlightDump, FlightRecord, FlightRecorder,
+    OutcomeClass,
 };
 pub use loadgen::{LoadReport, LoadgenConfig, ScenarioItem};
+pub use persist::{
+    config_fingerprint, open_snapshot, LoadedOutcome, SnapshotAppender, SnapshotFile,
+};
 pub use protocol::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    Request, Response, StatsSnapshot, MAX_FRAME,
+    decode_request, decode_response, encode_request, encode_response, frame_into, read_frame,
+    write_frame, Priority, Request, Response, ServedVia, StatsSnapshot, MAX_FRAME,
 };
 pub use server::{Server, ServerConfig, ShutdownHandle};
 pub use stats::ServerStats;

@@ -27,13 +27,15 @@
 use crate::client::ClientError;
 use crate::flight::OutcomeClass;
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, Request, Response,
+    decode_response, encode_request, read_frame, write_frame, Priority, Request, Response,
+    ServedVia,
 };
 use sekitei_cert::{check_certificate, decode_certificate};
 use sekitei_compile::{compile, PlanningTask};
 use sekitei_model::CppProblem;
 use sekitei_obs::Histogram;
 use sekitei_util::SplitMix64;
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
@@ -79,6 +81,10 @@ pub struct LoadgenConfig {
     /// Verify the served certificate on every Nth request per
     /// connection (0 = never).
     pub verify_every: u64,
+    /// Send every Nth request per connection at `Low` priority (0 =
+    /// all `Normal`). Under queue pressure the server sheds these
+    /// first; the `shed` tally measures how many.
+    pub low_every: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -92,6 +98,7 @@ impl Default for LoadgenConfig {
             rate_per_s: None,
             burst: 1,
             verify_every: 0,
+            low_every: 0,
         }
     }
 }
@@ -116,6 +123,12 @@ pub struct LoadReport {
     /// Outcome-cache hits observed (nondeterministic: depends on
     /// cross-connection interleaving).
     pub cache_hits: u64,
+    /// Replies coalesced onto another connection's in-flight search
+    /// (nondeterministic, like `cache_hits`).
+    pub coalesced: u64,
+    /// Requests shed by the server's priority gate (`Rejected` replies
+    /// naming a shed; nondeterministic — depends on queue pressure).
+    pub shed: u64,
     /// Sustained throughput over the measurement window.
     pub req_per_s: f64,
     /// Merged latency distribution across all connections.
@@ -134,6 +147,7 @@ struct Slot {
     scenario: usize,
     trace_id: u64,
     verify: bool,
+    priority: Priority,
 }
 
 /// Per-connection tallies folded into the final report in connection
@@ -142,6 +156,8 @@ struct WorkerOut {
     scenario_counts: Vec<u64>,
     class_counts: [u64; 6],
     cache_hits: u64,
+    coalesced: u64,
+    shed: u64,
     errors: u64,
     verified: (u64, u64, u64),
     hist: Histogram,
@@ -186,7 +202,12 @@ fn schedule(cfg: &LoadgenConfig, cdf: &[f64], c: usize, count: u64) -> Vec<Slot>
             let scenario = sample_cdf(cdf, rng.unit());
             let trace_id = rng.next_u64().max(1);
             let verify = cfg.verify_every > 0 && i % cfg.verify_every == 0;
-            Slot { scenario, trace_id, verify }
+            let priority = if cfg.low_every > 0 && i % cfg.low_every == 0 {
+                Priority::Low
+            } else {
+                Priority::Normal
+            };
+            Slot { scenario, trace_id, verify, priority }
         })
         .collect()
 }
@@ -228,15 +249,22 @@ fn drive(
         scenario_counts: vec![0; corpus.len()],
         class_counts: [0; 6],
         cache_hits: 0,
+        coalesced: 0,
+        shed: 0,
         errors: 0,
         verified: (0, 0, 0),
         hist: Histogram::new(),
         completed: 0,
     };
-    let mut stream = TcpStream::connect(addr)?;
+    let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(Duration::from_secs(60)))?;
     stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    // batch the pipeline window into one write and drain replies through
+    // a buffered reader — the syscall count per request is what bounds a
+    // single-core closed loop, on the client exactly as on the server
+    let mut reader = BufReader::with_capacity(64 * 1024, stream.try_clone()?);
+    let mut writer = BufWriter::with_capacity(64 * 1024, stream);
 
     let batch_len = match cfg.rate_per_s {
         Some(_) => cfg.burst.max(1),
@@ -268,23 +296,27 @@ fn drive(
             let req = Request::Plan {
                 trace_id: slot.trace_id,
                 profile: false,
+                priority: slot.priority,
                 problem: corpus[slot.scenario].bytes.clone(),
             };
-            write_frame(&mut stream, &encode_request(&req))?;
+            write_frame(&mut writer, &encode_request(&req))?;
         }
+        writer.flush()?;
         for slot in batch {
-            let frame = read_frame(&mut stream)?;
+            let frame = read_frame(&mut reader)?;
             let latency_us = t0.elapsed().as_micros() as u64;
             out.hist.record(latency_us);
             out.completed += 1;
             out.scenario_counts[slot.scenario] += 1;
             match decode_response(&frame)? {
-                Response::Outcome { cache_hit, trace_id, outcome, .. } => {
+                Response::Outcome { served_via, trace_id, outcome, .. } => {
                     if trace_id != slot.trace_id {
                         return Err(ClientError::Unexpected("trace id mismatch"));
                     }
-                    if cache_hit {
-                        out.cache_hits += 1;
+                    match served_via {
+                        ServedVia::Cache => out.cache_hits += 1,
+                        ServedVia::Coalesced => out.coalesced += 1,
+                        ServedVia::Computed => {}
                     }
                     // content class: identical whether served cached or
                     // computed, so it belongs in the deterministic report
@@ -293,7 +325,17 @@ fn drive(
                         verify_served(tasks, *slot, &outcome, &mut out);
                     }
                 }
-                Response::Rejected(_) | Response::Error(_) => {
+                Response::Rejected(m) => {
+                    // priority sheds are load feedback, not failures: they
+                    // tally separately (timing section — pressure-dependent)
+                    if m.contains("shed") {
+                        out.shed += 1;
+                    } else {
+                        out.errors += 1;
+                    }
+                    out.class_counts[class_slot(OutcomeClass::Error)] += 1;
+                }
+                Response::Error(_) => {
                     out.errors += 1;
                     out.class_counts[class_slot(OutcomeClass::Error)] += 1;
                 }
@@ -349,6 +391,7 @@ pub fn run(
     let mut class_counts = [0u64; 6];
     let merged = Histogram::new();
     let (mut completed, mut errors, mut cache_hits) = (0u64, 0u64, 0u64);
+    let (mut coalesced, mut shed) = (0u64, 0u64);
     let mut verified = (0u64, 0u64, 0u64);
     for out in outs {
         let out = out?;
@@ -361,6 +404,8 @@ pub fn run(
         completed += out.completed;
         errors += out.errors;
         cache_hits += out.cache_hits;
+        coalesced += out.coalesced;
+        shed += out.shed;
         verified.0 += out.verified.0;
         verified.1 += out.verified.1;
         verified.2 += out.verified.2;
@@ -370,7 +415,7 @@ pub fn run(
     let req_per_s = completed as f64 / elapsed.as_secs_f64().max(1e-9);
     let deterministic =
         render_deterministic(cfg, corpus, &scenario_counts, &class_counts, verified);
-    let timing = render_timing(elapsed, completed, req_per_s, cache_hits, &merged);
+    let timing = render_timing(elapsed, completed, req_per_s, cache_hits, coalesced, shed, &merged);
     let bench_json = render_bench_json(
         cfg,
         elapsed,
@@ -378,6 +423,8 @@ pub fn run(
         errors,
         req_per_s,
         cache_hits,
+        coalesced,
+        shed,
         &merged,
         &class_counts,
     );
@@ -389,6 +436,8 @@ pub fn run(
         completed,
         errors,
         cache_hits,
+        coalesced,
+        shed,
         req_per_s,
         latency: merged,
         class_counts,
@@ -410,8 +459,8 @@ fn render_deterministic(
         None => format!("closed pipeline={}", cfg.pipeline.max(1)),
     };
     s.push_str(&format!(
-        "config seed={} requests={} connections={} zipf_s={} verify_every={} mode={mode}\n",
-        cfg.seed, cfg.requests, cfg.connections, cfg.zipf_s, cfg.verify_every
+        "config seed={} requests={} connections={} zipf_s={} verify_every={} low_every={} mode={mode}\n",
+        cfg.seed, cfg.requests, cfg.connections, cfg.zipf_s, cfg.verify_every, cfg.low_every
     ));
     s.push_str(&format!("corpus scenarios={}\n", corpus.len()));
     for (item, count) in corpus.iter().zip(scenario_counts) {
@@ -431,10 +480,12 @@ fn render_timing(
     completed: u64,
     req_per_s: f64,
     cache_hits: u64,
+    coalesced: u64,
+    shed: u64,
     hist: &Histogram,
 ) -> String {
     format!(
-        "elapsed {:.3}s  completed {completed}  sustained {req_per_s:.0} req/s  cache_hits {cache_hits}\n\
+        "elapsed {:.3}s  completed {completed}  sustained {req_per_s:.0} req/s  cache_hits {cache_hits}  coalesced {coalesced}  shed {shed}\n\
          latency_us p50={} p95={} p99={} p99.9={} max={}\n",
         elapsed.as_secs_f64(),
         hist.quantile(0.50),
@@ -453,6 +504,8 @@ fn render_bench_json(
     errors: u64,
     req_per_s: f64,
     cache_hits: u64,
+    coalesced: u64,
+    shed: u64,
     hist: &Histogram,
     class_counts: &[u64; 6],
 ) -> String {
@@ -460,7 +513,7 @@ fn render_bench_json(
     format!(
         "[\n  {{\"row\": \"throughput\", \"mode\": \"{mode}\", \"seed\": {}, \"requests\": {completed}, \
 \"connections\": {}, \"pipeline\": {}, \"elapsed_s\": {:.3}, \"req_per_s\": {req_per_s:.1}, \
-\"errors\": {errors}, \"cache_hits\": {cache_hits}}},\n  \
+\"errors\": {errors}, \"cache_hits\": {cache_hits}, \"coalesced\": {coalesced}, \"shed\": {shed}}},\n  \
 {{\"row\": \"latency\", \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \"max_us\": {}}},\n  \
 {{\"row\": \"classes\", \"exact\": {}, \"degraded\": {}, \"budget_exhausted\": {}, \"deadline_hit\": {}, \"error\": {}}}\n]\n",
         cfg.seed,

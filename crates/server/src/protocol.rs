@@ -17,16 +17,26 @@ use std::io::{self, Read, Write};
 /// length prefix before allocating.
 pub const MAX_FRAME: u32 = 1 << 24;
 
+/// Append one length-prefixed frame to an in-memory buffer without any
+/// I/O. The sharded server batches all replies for a pipelined read burst
+/// through this and flushes them with a single `write_all`, which is the
+/// difference between ~2 syscalls and ~2·batch syscalls per burst.
+pub fn frame_into(buf: &mut Vec<u8>, payload: &[u8]) -> io::Result<()> {
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    buf.reserve(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    Ok(())
+}
+
 /// Write one length-prefixed frame. Prefix and payload go out in a single
 /// `write_all` — two small writes on a raw socket interact badly with
 /// Nagle + delayed ACK (~40ms stall per direction).
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    if payload.len() as u64 > MAX_FRAME as u64 {
-        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
-    }
-    let mut framed = Vec::with_capacity(4 + payload.len());
-    framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    framed.extend_from_slice(payload);
+    let mut framed = Vec::new();
+    frame_into(&mut framed, payload)?;
     w.write_all(&framed)?;
     w.flush()
 }
@@ -45,6 +55,43 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
     Ok(buf)
 }
 
+/// Admission-control priority of a plan request. Under queue pressure
+/// the server sheds low-priority requests first: `Low` sheds once the
+/// shard queue is half full, `Normal` only once it is completely full,
+/// `High` is never shed by the priority gate (only by the hard
+/// connection-level admission cap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Never shed by the priority gate.
+    High,
+    /// Shed only when the shard queue is completely full.
+    #[default]
+    Normal,
+    /// Shed once the shard queue is half full.
+    Low,
+}
+
+impl Priority {
+    /// Stable wire ordinal.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Decode a wire ordinal.
+    pub fn from_u8(v: u8) -> Option<Priority> {
+        match v {
+            0 => Some(Priority::High),
+            1 => Some(Priority::Normal),
+            2 => Some(Priority::Low),
+            _ => None,
+        }
+    }
+}
+
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -59,6 +106,9 @@ pub enum Request {
         /// Ask the server to return its per-phase self-time table
         /// (`SKP1`) alongside the outcome.
         profile: bool,
+        /// Admission-control priority; under queue pressure lower
+        /// priorities shed first.
+        priority: Priority,
         /// The `SKT1` problem bytes.
         problem: Vec<u8>,
     },
@@ -86,11 +136,12 @@ const PLAN_FLAG_PROFILE: u8 = 1;
 /// Encode a request payload.
 pub fn encode_request(r: &Request) -> Vec<u8> {
     match r {
-        Request::Plan { trace_id, profile, problem } => {
-            let mut b = Vec::with_capacity(10 + problem.len());
+        Request::Plan { trace_id, profile, priority, problem } => {
+            let mut b = Vec::with_capacity(11 + problem.len());
             b.push(REQ_PLAN);
             b.extend_from_slice(&trace_id.to_be_bytes());
             b.push(if *profile { PLAN_FLAG_PROFILE } else { 0 });
+            b.push(priority.as_u8());
             b.extend_from_slice(problem);
             b
         }
@@ -105,7 +156,7 @@ pub fn encode_request(r: &Request) -> Vec<u8> {
 pub fn decode_request(payload: &[u8]) -> Result<Request, SpecError> {
     match payload.split_first() {
         Some((&REQ_PLAN, rest)) => {
-            if rest.len() < 10 {
+            if rest.len() < 11 {
                 return Err(SpecError::wire("truncated plan request header"));
             }
             let trace_id = u64::from_be_bytes(rest[0..8].try_into().unwrap());
@@ -113,11 +164,18 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, SpecError> {
             if flags & !PLAN_FLAG_PROFILE != 0 {
                 return Err(SpecError::wire(format!("bad plan flags {flags:#x}")));
             }
-            let problem = rest[9..].to_vec();
+            let priority = Priority::from_u8(rest[9])
+                .ok_or_else(|| SpecError::wire(format!("bad plan priority {}", rest[9])))?;
+            let problem = rest[10..].to_vec();
             if problem.is_empty() {
                 return Err(SpecError::wire("empty plan request"));
             }
-            Ok(Request::Plan { trace_id, profile: flags & PLAN_FLAG_PROFILE != 0, problem })
+            Ok(Request::Plan {
+                trace_id,
+                profile: flags & PLAN_FLAG_PROFILE != 0,
+                priority,
+                problem,
+            })
         }
         Some((&REQ_STATS, [])) => Ok(Request::Stats),
         Some((&REQ_SHUTDOWN, [])) => Ok(Request::Shutdown),
@@ -142,8 +200,15 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// Responses served through the graceful-degradation path.
     pub degraded: u64,
+    /// Requests answered by joining an in-flight search for the same
+    /// fingerprint (single-flight coalescing): one search ran, its
+    /// encoded bytes fanned out to these joiners.
+    pub coalesced: u64,
     /// Connections turned away by admission control (queue full).
     pub rejected: u64,
+    /// Plan requests shed by the priority gate under queue pressure
+    /// (answered `Rejected` without running the planner).
+    pub queue_shed: u64,
     /// Median plan latency since startup, microseconds (histogram bucket
     /// lower bound; see `sekitei_obs::Histogram::quantile`).
     pub p50_us: u64,
@@ -178,7 +243,7 @@ pub struct StatsSnapshot {
 
 impl StatsSnapshot {
     /// Field count of the wire encoding (each a big-endian `u64`).
-    pub const WIRE_WORDS: usize = 18;
+    pub const WIRE_WORDS: usize = 20;
 
     fn wire_words(&self) -> [u64; Self::WIRE_WORDS] {
         [
@@ -187,7 +252,9 @@ impl StatsSnapshot {
             self.task_cache_hits,
             self.cache_misses,
             self.degraded,
+            self.coalesced,
             self.rejected,
+            self.queue_shed,
             self.p50_us,
             self.p95_us,
             self.p99_us,
@@ -210,19 +277,21 @@ impl StatsSnapshot {
             task_cache_hits: w[2],
             cache_misses: w[3],
             degraded: w[4],
-            rejected: w[5],
-            p50_us: w[6],
-            p95_us: w[7],
-            p99_us: w[8],
-            max_us: w[9],
-            queue_p50_us: w[10],
-            queue_p99_us: w[11],
-            class_exact: w[12],
-            class_degraded: w[13],
-            class_cached: w[14],
-            class_budget_exhausted: w[15],
-            class_deadline_hit: w[16],
-            class_error: w[17],
+            coalesced: w[5],
+            rejected: w[6],
+            queue_shed: w[7],
+            p50_us: w[8],
+            p95_us: w[9],
+            p99_us: w[10],
+            max_us: w[11],
+            queue_p50_us: w[12],
+            queue_p99_us: w[13],
+            class_exact: w[14],
+            class_degraded: w[15],
+            class_cached: w[16],
+            class_budget_exhausted: w[17],
+            class_deadline_hit: w[18],
+            class_error: w[19],
         }
     }
 }
@@ -231,7 +300,8 @@ impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "served {} (cache {} / task {} / full {}), degraded {}, rejected {}, \
+            "served {} (cache {} / task {} / full {}), degraded {}, coalesced {}, \
+             rejected {}, shed {}, \
              latency p50 {}µs p95 {}µs p99 {}µs max {}µs, queue p50 {}µs p99 {}µs, \
              classes exact {} / degraded {} / cached {} / budget_exhausted {} / \
              deadline_hit {} / error {}",
@@ -240,7 +310,9 @@ impl std::fmt::Display for StatsSnapshot {
             self.task_cache_hits,
             self.cache_misses,
             self.degraded,
+            self.coalesced,
             self.rejected,
+            self.queue_shed,
             self.p50_us,
             self.p95_us,
             self.p99_us,
@@ -257,14 +329,65 @@ impl std::fmt::Display for StatsSnapshot {
     }
 }
 
+/// How an outcome response was produced, as reported in the response
+/// header. Distinguishes a fresh search, an outcome-cache replay, and a
+/// single-flight fan-out (joined another request's in-flight search).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedVia {
+    /// The planner ran for this request.
+    Computed,
+    /// Replayed from the outcome cache without running the planner.
+    Cache,
+    /// Joined an in-flight search for the same fingerprint; the leader's
+    /// encoded bytes were fanned out to this request.
+    Coalesced,
+}
+
+impl ServedVia {
+    /// True for any path that avoided running the planner fresh
+    /// (cache replay or coalesced fan-out).
+    pub fn is_warm(self) -> bool {
+        !matches!(self, ServedVia::Computed)
+    }
+
+    /// Stable wire ordinal.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ServedVia::Computed => 0,
+            ServedVia::Cache => 1,
+            ServedVia::Coalesced => 2,
+        }
+    }
+
+    /// Decode a wire ordinal.
+    pub fn from_u8(v: u8) -> Option<ServedVia> {
+        match v {
+            0 => Some(ServedVia::Computed),
+            1 => Some(ServedVia::Cache),
+            2 => Some(ServedVia::Coalesced),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ServedVia {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ServedVia::Computed => "computed",
+            ServedVia::Cache => "cache",
+            ServedVia::Coalesced => "coalesced",
+        })
+    }
+}
+
 /// A server response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// A planning outcome; `cache_hit` is true when it came from the
-    /// outcome cache without running the planner.
+    /// A planning outcome; `served_via` reports whether it came from a
+    /// fresh search, the outcome cache, or a coalesced in-flight search.
     Outcome {
-        /// Served from the outcome cache.
-        cache_hit: bool,
+        /// How the outcome was produced.
+        served_via: ServedVia,
         /// Echo of the request's trace id (0 if none was assigned).
         trace_id: u64,
         /// Per-phase self-time table, present only when the request asked
@@ -313,15 +436,19 @@ fn get_str(b: &[u8]) -> Result<String, SpecError> {
 }
 
 /// Build the `RESP_OUTCOME` payload header (everything before the `SKO1`
-/// bytes): cache-hit flag, trace-id echo, and the length-prefixed `SKP1`
+/// bytes): served-via byte, trace-id echo, and the length-prefixed `SKP1`
 /// phase table (length 0 when no profile was requested). Shared with the
 /// server's cached-bytes fast path, which appends pre-encoded outcome
 /// bytes instead of re-encoding.
-pub(crate) fn outcome_header(cache_hit: bool, trace_id: u64, phases: &[WirePhase]) -> Vec<u8> {
+pub(crate) fn outcome_header(
+    served_via: ServedVia,
+    trace_id: u64,
+    phases: &[WirePhase],
+) -> Vec<u8> {
     let phase_blob = if phases.is_empty() { Vec::new() } else { encode_phases(phases).to_vec() };
     let mut b = Vec::with_capacity(14 + phase_blob.len());
     b.push(RESP_OUTCOME);
-    b.push(cache_hit as u8);
+    b.push(served_via.as_u8());
     b.extend_from_slice(&trace_id.to_be_bytes());
     b.extend_from_slice(&(phase_blob.len() as u32).to_be_bytes());
     b.extend_from_slice(&phase_blob);
@@ -331,8 +458,8 @@ pub(crate) fn outcome_header(cache_hit: bool, trace_id: u64, phases: &[WirePhase
 /// Encode a response payload.
 pub fn encode_response(r: &Response) -> Vec<u8> {
     match r {
-        Response::Outcome { cache_hit, trace_id, phases, outcome } => {
-            let mut b = outcome_header(*cache_hit, *trace_id, phases);
+        Response::Outcome { served_via, trace_id, phases, outcome } => {
+            let mut b = outcome_header(*served_via, *trace_id, phases);
             b.extend_from_slice(&encode_outcome(outcome));
             b
         }
@@ -375,10 +502,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, SpecError> {
             if rest.len() < 13 {
                 return Err(SpecError::wire("truncated outcome response"));
             }
-            let hit = rest[0];
-            if hit > 1 {
-                return Err(SpecError::wire(format!("bad cache-hit flag {hit}")));
-            }
+            let served_via = ServedVia::from_u8(rest[0])
+                .ok_or_else(|| SpecError::wire(format!("bad served-via byte {}", rest[0])))?;
             let trace_id = u64::from_be_bytes(rest[1..9].try_into().unwrap());
             let phase_len = u32::from_be_bytes(rest[9..13].try_into().unwrap()) as usize;
             let rest = &rest[13..];
@@ -388,7 +513,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, SpecError> {
             let phases =
                 if phase_len == 0 { Vec::new() } else { decode_phases(&rest[..phase_len])? };
             Ok(Response::Outcome {
-                cache_hit: hit == 1,
+                served_via,
                 trace_id,
                 phases,
                 outcome: decode_outcome(&rest[phase_len..])?,
@@ -452,6 +577,30 @@ mod tests {
     }
 
     #[test]
+    fn frame_into_matches_write_frame_bytes() {
+        let mut streamed = Vec::new();
+        write_frame(&mut streamed, b"abc").unwrap();
+        let mut buffered = Vec::new();
+        frame_into(&mut buffered, b"abc").unwrap();
+        assert_eq!(streamed, buffered);
+        // batched frames concatenate and read back in order
+        frame_into(&mut buffered, b"").unwrap();
+        frame_into(&mut buffered, b"xyz").unwrap();
+        let mut r = &buffered[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"abc");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), b"xyz");
+    }
+
+    #[test]
+    fn snapshot_display_carries_greppable_facets() {
+        let text = sample_snapshot().to_string();
+        for token in ["coalesced 2", "shed 1", "rejected 2", "served 10"] {
+            assert!(text.contains(token), "missing {token:?} in {text:?}");
+        }
+    }
+
+    #[test]
     fn frame_rejects_oversized_length() {
         let big = (MAX_FRAME + 1).to_be_bytes();
         let mut r = &big[..];
@@ -464,8 +613,19 @@ mod tests {
     fn request_roundtrip() {
         let problem = sekitei_spec::encode(&scenarios::tiny(LevelScenario::B)).to_vec();
         for r in [
-            Request::Plan { trace_id: 0, profile: false, problem: problem.clone() },
-            Request::Plan { trace_id: 0xDEAD_BEEF_0042_1177, profile: true, problem },
+            Request::Plan {
+                trace_id: 0,
+                profile: false,
+                priority: Priority::Normal,
+                problem: problem.clone(),
+            },
+            Request::Plan {
+                trace_id: 0xDEAD_BEEF_0042_1177,
+                profile: true,
+                priority: Priority::High,
+                problem: problem.clone(),
+            },
+            Request::Plan { trace_id: 7, profile: false, priority: Priority::Low, problem },
             Request::Stats,
             Request::Shutdown,
             Request::Metrics,
@@ -483,13 +643,27 @@ mod tests {
                                                        // header but no problem body
         let mut header_only = vec![REQ_PLAN];
         header_only.extend_from_slice(&7u64.to_be_bytes());
-        header_only.push(0);
+        header_only.push(0); // flags
+        header_only.push(1); // priority
         assert!(decode_request(&header_only).is_err());
         // undefined flag bits
         let mut bad_flags = header_only.clone();
         bad_flags[9] = 0x80;
         bad_flags.push(1); // non-empty body so only the flags are at fault
         assert!(decode_request(&bad_flags).is_err());
+        // undefined priority ordinal
+        let mut bad_priority = header_only.clone();
+        bad_priority[10] = 3;
+        bad_priority.push(1);
+        assert!(decode_request(&bad_priority).is_err());
+        // v1-style 9-byte header (no priority byte) with a body must not
+        // silently decode — the first body byte would be read as priority,
+        // and SKT1 problems start with 'S' (0x53), not a valid ordinal
+        let mut v1_style = vec![REQ_PLAN];
+        v1_style.extend_from_slice(&7u64.to_be_bytes());
+        v1_style.push(0);
+        v1_style.extend_from_slice(b"SKT1");
+        assert!(decode_request(&v1_style).is_err());
         // control requests reject trailing bytes
         assert!(decode_request(&[REQ_STATS, 0]).is_err());
         assert!(decode_request(&[REQ_METRICS, 0]).is_err());
@@ -503,7 +677,9 @@ mod tests {
             task_cache_hits: 3,
             cache_misses: 3,
             degraded: 1,
+            coalesced: 2,
             rejected: 2,
+            queue_shed: 1,
             p50_us: 900,
             p95_us: 20_000,
             p99_us: 45_000,
@@ -534,12 +710,18 @@ mod tests {
         ];
         for r in [
             Response::Outcome {
-                cache_hit: true,
+                served_via: ServedVia::Cache,
                 trace_id: 71,
                 phases: vec![],
                 outcome: outcome.clone(),
             },
-            Response::Outcome { cache_hit: false, trace_id: 0, phases, outcome },
+            Response::Outcome {
+                served_via: ServedVia::Coalesced,
+                trace_id: 17,
+                phases: vec![],
+                outcome: outcome.clone(),
+            },
+            Response::Outcome { served_via: ServedVia::Computed, trace_id: 0, phases, outcome },
             Response::Stats(sample_snapshot()),
             Response::Rejected("queue full".into()),
             Response::Error("bad magic".into()),
@@ -553,13 +735,13 @@ mod tests {
 
     #[test]
     fn stats_frame_is_length_checked() {
-        // The widened frame is exactly 1 tag byte + 18 u64 words.
+        // The widened frame is exactly 1 tag byte + 20 u64 words.
         let encoded = encode_response(&Response::Stats(sample_snapshot()));
         assert_eq!(encoded.len(), 1 + StatsSnapshot::WIRE_WORDS * 8);
-        assert_eq!(encoded.len(), 1 + 18 * 8);
-        // The pre-widening 12-word frame and off-by-one-word frames must
-        // be rejected, not silently zero-filled or truncated.
-        for words in [12usize, 17, 19] {
+        assert_eq!(encoded.len(), 1 + 20 * 8);
+        // The pre-widening 12/18-word frames and off-by-one-word frames
+        // must be rejected, not silently zero-filled or truncated.
+        for words in [12usize, 18, 19, 21] {
             let mut short = vec![RESP_STATS];
             short.extend(vec![0u8; words * 8]);
             let err = decode_response(&short).unwrap_err();
@@ -574,8 +756,8 @@ mod tests {
         assert!(decode_response(&[]).is_err());
         assert!(decode_response(&[99]).is_err());
         assert!(decode_response(&[RESP_OUTCOME]).is_err());
-        // full header but bad cache-hit flag
-        let mut bad_flag = vec![RESP_OUTCOME, 2];
+        // full header but bad served-via byte (3 is past Coalesced)
+        let mut bad_flag = vec![RESP_OUTCOME, 3];
         bad_flag.extend_from_slice(&[0u8; 12]);
         assert!(decode_response(&bad_flag).is_err());
         // phase-table length promising more than arrives

@@ -1,35 +1,68 @@
-//! The serving loop: a nonblocking acceptor feeding a bounded connection
-//! queue drained by scoped worker threads (the same scoped-thread pattern
-//! as `Planner::plan_batch` — no detached threads, no channels).
+//! The serving loop, sharded: a nonblocking acceptor round-robins
+//! connections across N shards, each shard owning its own bounded
+//! connection queue, worker threads, stats, and flight-recorder ring —
+//! no global lock anywhere on the hot path.
+//!
+//! The two-tier cache is partitioned into per-shard *stripes* by
+//! fingerprint (`key % shards`), independent of which shard's queue a
+//! connection landed in, so every request for the same problem meets the
+//! same stripe. Each stripe also carries a single-flight table:
+//! concurrent requests for one fingerprint elect a leader that runs the
+//! search while the rest join a waiter list and receive the leader's
+//! encoded `SKO1` bytes when it publishes — one search, N answers
+//! (the `coalesced` facet in stats).
+//!
+//! Control requests (`Stats`, `Metrics`, `FlightRecorder`) aggregate
+//! across shards: counters sum, histograms merge exactly
+//! (`Histogram::merge`), flight rings interleave on a shared global
+//! sequence counter — byte-for-byte indistinguishable from a single
+//! unsharded server that saw the same traffic in the same order.
+//!
+//! Determinism argument: sharding moves *where* a request is handled,
+//! never *what* it computes. Outcomes are pure functions of (problem
+//! bytes, planner config); coalesced fan-out hands every joiner the
+//! same encoded bytes the leader produced; and cached replays were
+//! already byte replays. So per-request responses are byte-identical to
+//! the unsharded server's for every schedule, and only the *timing*
+//! facets (queue waits, latency histograms) vary run to run — exactly
+//! as before.
 
-use crate::cache::{content_hash, BoundedCache};
+use crate::cache::{content_hash, BoundedCache, ClockCache};
 use crate::convert::outcome_to_wire;
-use crate::flight::{CacheTier, FlightRecord, FlightRecorder, OutcomeClass};
+use crate::flight::{merged_dump, CacheTier, FlightRecord, FlightRecorder, OutcomeClass};
+use crate::persist::{config_fingerprint, open_snapshot, SnapshotAppender};
 use crate::protocol::{
-    decode_request, encode_response, outcome_header, read_frame, write_frame, Request, Response,
+    decode_request, encode_response, frame_into, outcome_header, read_frame, write_frame, Priority,
+    Request, Response, ServedVia,
 };
 use crate::stats::ServerStats;
 use sekitei_compile::{compile, PlanningTask};
 use sekitei_model::CppProblem;
 use sekitei_planner::{Planner, PlannerConfig};
 use sekitei_spec::{encode_outcome, WirePhase};
-use std::collections::VecDeque;
-use std::io;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Serving configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads draining the connection queue (`0` = one per
-    /// available core).
+    /// Worker threads draining the connection queues (`0` = one per
+    /// available core). Raised to at least one per shard.
     pub workers: usize,
-    /// Admission control: connections beyond this many waiting in the
-    /// queue are turned away with a `Rejected` response.
+    /// Accept/worker shards. Each shard owns its own connection queue,
+    /// workers, stats, flight ring, and cache stripe; `1` reproduces the
+    /// unsharded server exactly.
+    pub shards: usize,
+    /// Admission control, per shard: connections beyond this many waiting
+    /// in a shard's queue are turned away with a `Rejected` response.
     pub queue_cap: usize,
-    /// Entries per cache tier (compiled tasks and completed outcomes).
+    /// Total entries per cache tier (compiled tasks and completed
+    /// outcomes), split across shard stripes.
     pub cache_cap: usize,
     /// Planner configuration applied to every request. The serve defaults
     /// turn on a per-request deadline and graceful degradation — the two
@@ -37,14 +70,20 @@ pub struct ServerConfig {
     /// servable.
     pub planner: PlannerConfig,
     /// Flight-recorder capacity: the most recent this-many plan requests
-    /// stay dumpable for tail-latency post-mortems.
+    /// stay dumpable for tail-latency post-mortems (split across shards).
     pub flight_cap: usize,
+    /// Append-only `SKS1` outcome-cache snapshot file. When set, computed
+    /// cacheable outcomes are appended as they happen and replayed on the
+    /// next start (after a config-fingerprint check), so a restart keeps
+    /// its warm hit rate.
+    pub cache_file: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             workers: 0,
+            shards: 1,
             queue_cap: 128,
             cache_cap: 256,
             planner: PlannerConfig {
@@ -53,6 +92,7 @@ impl Default for ServerConfig {
                 ..PlannerConfig::default()
             },
             flight_cap: 4096,
+            cache_file: None,
         }
     }
 }
@@ -82,7 +122,6 @@ pub struct Server {
     cfg: ServerConfig,
     listener: TcpListener,
     stop: Arc<AtomicBool>,
-    stats: Arc<ServerStats>,
 }
 
 /// A completed outcome in the cache: the encoded `SKO1` bytes replayed on
@@ -94,19 +133,59 @@ struct CachedOutcome {
     rg_nodes: u64,
 }
 
-/// Everything the workers share, borrowed for the lifetime of the scope.
-struct ServeState {
+/// One accept/worker shard: its own connection queue, stats, and flight
+/// ring. Workers are pinned to a shard; the acceptor round-robins
+/// connections across shards.
+struct ShardState {
     /// Accepted connections waiting for a worker, with their enqueue time
     /// (the queue-wait histogram measures accept → worker-pickup).
     queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     available: Condvar,
-    stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     flight: FlightRecorder,
+}
+
+/// One fingerprint-partitioned slice of the two-tier cache plus its
+/// single-flight table. Chosen by `key % shards`, independent of the
+/// connection's shard, so identical problems always meet the same
+/// stripe no matter which queue carried them.
+struct CacheStripe {
+    tasks: Mutex<BoundedCache<Arc<(CppProblem, PlanningTask)>>>,
+    outcomes: Mutex<ClockCache<Arc<CachedOutcome>>>,
+    inflight: Mutex<HashMap<u64, Arc<InFlight>>>,
+}
+
+/// A search in progress: the leader publishes into `slot` and notifies;
+/// joiners wait on `done`. The leader always publishes — success or
+/// error — before removing the entry from the stripe's table, so no
+/// joiner can miss the result.
+#[derive(Default)]
+struct InFlight {
+    slot: Mutex<Option<Result<Arc<CachedOutcome>, String>>>,
+    done: Condvar,
+}
+
+/// Everything the workers share, borrowed for the lifetime of the scope.
+struct ServeState {
+    shards: Vec<ShardState>,
+    stripes: Vec<CacheStripe>,
+    stop: Arc<AtomicBool>,
     planner: Planner,
     planner_cfg: PlannerConfig,
-    tasks: Mutex<BoundedCache<Arc<(CppProblem, PlanningTask)>>>,
-    outcomes: Mutex<BoundedCache<Arc<CachedOutcome>>>,
+    persist: Option<SnapshotAppender>,
+    queue_cap: usize,
+}
+
+impl ServeState {
+    fn stripe(&self, key: u64) -> &CacheStripe {
+        &self.stripes[(key % self.stripes.len() as u64) as usize]
+    }
+
+    fn notify_all_shards(&self) {
+        for shard in &self.shards {
+            shard.available.notify_all();
+        }
+    }
 }
 
 impl Server {
@@ -114,22 +193,12 @@ impl Server {
     /// [`Server::local_addr`]).
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        Ok(Server {
-            cfg,
-            listener,
-            stop: Arc::new(AtomicBool::new(false)),
-            stats: Arc::new(ServerStats::default()),
-        })
+        Ok(Server { cfg, listener, stop: Arc::new(AtomicBool::new(false)) })
     }
 
     /// The bound socket address.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
-    }
-
-    /// The shared counters (live; snapshot any time).
-    pub fn stats(&self) -> Arc<ServerStats> {
-        Arc::clone(&self.stats)
     }
 
     /// A handle that stops [`Server::run`] from another thread.
@@ -141,42 +210,93 @@ impl Server {
     /// means every worker has drained and exited.
     pub fn run(self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
+        let n_shards = self.cfg.shards.max(1);
         let workers = if self.cfg.workers == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             self.cfg.workers
+        }
+        .max(n_shards);
+
+        let seq = Arc::new(AtomicU64::new(1));
+        let per_shard_flight = self.cfg.flight_cap.div_ceil(n_shards);
+        let shards: Vec<ShardState> = (0..n_shards)
+            .map(|_| ShardState {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                stats: Arc::new(ServerStats::default()),
+                flight: FlightRecorder::new_sharing(per_shard_flight, Arc::clone(&seq)),
+            })
+            .collect();
+        // total capacity split across stripes: stripe s gets its floor
+        // share plus one of the remainder entries
+        let stripe_cap = |s: usize| {
+            self.cfg.cache_cap / n_shards + usize::from(s < self.cfg.cache_cap % n_shards)
         };
+        let stripes: Vec<CacheStripe> = (0..n_shards)
+            .map(|s| CacheStripe {
+                tasks: Mutex::new(BoundedCache::new(stripe_cap(s))),
+                outcomes: Mutex::new(ClockCache::new(stripe_cap(s))),
+                inflight: Mutex::new(HashMap::new()),
+            })
+            .collect();
+
+        // cache persistence: replay the snapshot's valid prefix into the
+        // stripes, then keep appending fresh computed outcomes
+        let persist = match &self.cfg.cache_file {
+            Some(path) => {
+                let fp = config_fingerprint(&self.cfg.planner);
+                let snap = open_snapshot(path, fp)?;
+                for entry in snap.loaded {
+                    let stripe = &stripes[(entry.key % n_shards as u64) as usize];
+                    stripe.outcomes.lock().unwrap().insert(
+                        entry.key,
+                        Arc::new(CachedOutcome {
+                            sko: entry.payload,
+                            class: entry.class,
+                            rg_nodes: entry.rg_nodes,
+                        }),
+                    );
+                }
+                Some(snap.appender)
+            }
+            None => None,
+        };
+
         let state = ServeState {
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
+            shards,
+            stripes,
             stop: Arc::clone(&self.stop),
-            stats: Arc::clone(&self.stats),
-            flight: FlightRecorder::new(self.cfg.flight_cap),
             planner: Planner::new(self.cfg.planner),
             planner_cfg: self.cfg.planner,
-            tasks: Mutex::new(BoundedCache::new(self.cfg.cache_cap)),
-            outcomes: Mutex::new(BoundedCache::new(self.cfg.cache_cap)),
+            persist,
+            queue_cap: self.cfg.queue_cap,
         };
         let mut accept_error = None;
         std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| worker_loop(&state));
+            for w in 0..workers {
+                let shard_idx = w % n_shards;
+                let state = &state;
+                s.spawn(move || worker_loop(state, shard_idx));
             }
+            let mut next_shard = 0usize;
             while !self.stop.load(Ordering::SeqCst) {
                 match self.listener.accept() {
                     Ok((stream, _)) => {
                         let _ = stream.set_nonblocking(false);
                         let _ = stream.set_nodelay(true);
-                        let mut q = state.queue.lock().unwrap();
+                        let shard = &state.shards[next_shard];
+                        next_shard = (next_shard + 1) % n_shards;
+                        let mut q = shard.queue.lock().unwrap();
                         if q.len() >= self.cfg.queue_cap {
                             drop(q);
-                            self.stats.record_rejected();
+                            shard.stats.record_rejected();
                             reject(stream);
                         } else {
                             q.push_back((stream, Instant::now()));
-                            self.stats.set_queue_depth(q.len());
+                            shard.stats.set_queue_depth(q.len());
                             drop(q);
-                            state.available.notify_one();
+                            shard.available.notify_one();
                         }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -188,7 +308,7 @@ impl Server {
                     }
                 }
             }
-            state.available.notify_all();
+            state.notify_all_shards();
         });
         match accept_error {
             Some(e) => Err(e),
@@ -203,29 +323,30 @@ fn reject(mut stream: TcpStream) {
     let _ = write_frame(&mut stream, &encode_response(&Response::Rejected("queue full".into())));
 }
 
-fn worker_loop(state: &ServeState) {
+fn worker_loop(state: &ServeState, shard_idx: usize) {
+    let shard = &state.shards[shard_idx];
     loop {
         let conn = {
-            let mut q = state.queue.lock().unwrap();
+            let mut q = shard.queue.lock().unwrap();
             loop {
                 if let Some(c) = q.pop_front() {
-                    state.stats.set_queue_depth(q.len());
+                    shard.stats.set_queue_depth(q.len());
                     break Some(c);
                 }
                 if state.stop.load(Ordering::SeqCst) {
                     break None;
                 }
                 let (guard, _) =
-                    state.available.wait_timeout(q, Duration::from_millis(50)).unwrap();
+                    shard.available.wait_timeout(q, Duration::from_millis(50)).unwrap();
                 q = guard;
             }
         };
         match conn {
             Some((stream, enqueued)) => {
                 let wait_us = enqueued.elapsed().as_micros() as u64;
-                state.stats.record_queue_wait(wait_us);
+                shard.stats.record_queue_wait(wait_us);
                 sekitei_obs::event("queue_wait_us", wait_us);
-                handle_conn(state, stream, wait_us)
+                handle_conn(state, shard, stream, wait_us)
             }
             None => break,
         }
@@ -233,15 +354,29 @@ fn worker_loop(state: &ServeState) {
 }
 
 /// Serve every frame on one connection until EOF, timeout or shutdown.
+///
+/// Reads go through a [`BufReader`]; responses accumulate in an
+/// out-buffer that is flushed with one `write_all` when the reader has
+/// no more buffered requests (i.e. just before the worker would block).
+/// For a pipelined batch of K requests this is 2 syscalls instead of
+/// 2K — on a single core, where the workers and the kernel share the
+/// CPU, that syscall count *is* the throughput ceiling.
+///
 /// `queue_wait_us` is the accept-queue wait of this connection; it is
 /// attributed to every request the connection carries (with pipelining
 /// only the first request actually paid it, but the attribution keeps
 /// "how long did admission stall this client" answerable per record).
-fn handle_conn(state: &ServeState, mut stream: TcpStream, queue_wait_us: u64) {
+fn handle_conn(state: &ServeState, shard: &ShardState, stream: TcpStream, queue_wait_us: u64) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::with_capacity(64 * 1024, stream);
+    let mut out: Vec<u8> = Vec::with_capacity(64 * 1024);
     loop {
-        let frame = match read_frame(&mut stream) {
+        let frame = match read_frame(&mut reader) {
             Ok(f) => f,
             Err(_) => return, // EOF, timeout or garbage length — drop
         };
@@ -251,25 +386,44 @@ fn handle_conn(state: &ServeState, mut stream: TcpStream, queue_wait_us: u64) {
             // the server (or even the connection) down.
             Err(e) => (encode_response(&Response::Error(e.to_string())), false),
             Ok(Request::Stats) => {
-                (encode_response(&Response::Stats(state.stats.snapshot())), false)
+                let shard_stats: Vec<_> =
+                    state.shards.iter().map(|sh| Arc::clone(&sh.stats)).collect();
+                let snap = ServerStats::merged_snapshot(&shard_stats);
+                (encode_response(&Response::Stats(snap)), false)
             }
             Ok(Request::Metrics) => {
-                let text = sekitei_obs::expose(state.stats.registry());
+                let shard_stats: Vec<_> =
+                    state.shards.iter().map(|sh| Arc::clone(&sh.stats)).collect();
+                let text = sekitei_obs::expose(&ServerStats::merged_registry(&shard_stats));
                 (encode_response(&Response::Metrics(text)), false)
             }
             Ok(Request::FlightRecorder) => {
-                (encode_response(&Response::FlightRecorder(state.flight.dump())), false)
+                let rings: Vec<&FlightRecorder> =
+                    state.shards.iter().map(|sh| &sh.flight).collect();
+                (encode_response(&Response::FlightRecorder(merged_dump(&rings))), false)
             }
             Ok(Request::Shutdown) => {
                 state.stop.store(true, Ordering::SeqCst);
-                state.available.notify_all();
+                state.notify_all_shards();
                 (encode_response(&Response::Bye), true)
             }
-            Ok(Request::Plan { trace_id, profile, problem }) => {
-                (handle_plan(state, trace_id, profile, queue_wait_us, &problem), false)
-            }
+            Ok(Request::Plan { trace_id, profile, priority, problem }) => (
+                handle_plan(state, shard, trace_id, profile, priority, queue_wait_us, &problem),
+                false,
+            ),
         };
-        if write_frame(&mut stream, &payload).is_err() || done {
+        if frame_into(&mut out, &payload).is_err() {
+            return;
+        }
+        // flush when the client is out of pipelined requests (the next
+        // read would block), when the batch is getting large, or on Bye
+        if done || reader.buffer().is_empty() || out.len() >= 256 * 1024 {
+            if writer.write_all(&out).is_err() {
+                return;
+            }
+            out.clear();
+        }
+        if done {
             return;
         }
     }
@@ -314,15 +468,37 @@ impl PhaseTimes {
     }
 }
 
-/// The serving pipeline for one plan request: outcome tier → compiled
-/// tier → full decode + compile, then search under the configured
-/// deadline, sim-validating any degraded plan before it leaves the
-/// process. Every path — cache hit, computed, error — lands one flight
-/// record and one outcome-class count.
+/// The shed threshold for a priority at a given per-shard queue cap:
+/// `None` means this priority is never shed by the gate.
+fn shed_threshold(priority: Priority, queue_cap: usize) -> Option<usize> {
+    match priority {
+        Priority::High => None,
+        Priority::Normal => Some(queue_cap),
+        Priority::Low => Some(queue_cap.div_ceil(2)),
+    }
+}
+
+/// What the leader's compute path produced, ready to cache/publish/serve.
+struct Computed {
+    cached: Arc<CachedOutcome>,
+    tier: CacheTier,
+    cacheable: bool,
+}
+
+/// The serving pipeline for one plan request: priority gate → outcome
+/// stripe → single-flight election → (leader) compiled tier → full
+/// decode + compile → search under the configured deadline,
+/// sim-validating any degraded plan before it leaves the process.
+/// Joiners skip everything and wait for the leader's published bytes.
+/// Every path — shed, cache hit, coalesced, computed, error — lands one
+/// flight record or shed count and one outcome-class count.
+#[allow(clippy::too_many_arguments)]
 fn handle_plan(
     state: &ServeState,
+    shard: &ShardState,
     trace_id: u64,
     profile: bool,
+    priority: Priority,
     queue_wait_us: u64,
     problem_bytes: &[u8],
 ) -> Vec<u8> {
@@ -333,37 +509,211 @@ fn handle_plan(
         sekitei_obs::event("trace_id", trace_id);
     }
     let t_req = Instant::now();
-    let key = content_hash(problem_bytes);
-    let mut phases = PhaseTimes::new(profile, queue_wait_us);
 
-    let cached = phases.timed("cache", || state.outcomes.lock().unwrap().get(key));
-    if let Some(c) = cached {
-        sekitei_obs::event("outcome_cache_hit", 1);
-        state.stats.record_cache_hit();
-        state.stats.record_class(OutcomeClass::Cached);
-        let latency_us = t_req.elapsed().as_micros() as u64;
-        state.stats.record_served(latency_us);
-        state.flight.record(FlightRecord {
-            seq: 0,
-            trace_id,
-            fingerprint: key,
-            class: c.class,
-            tier: CacheTier::Outcome,
-            queue_wait_us,
-            rg_nodes: c.rg_nodes,
-            latency_us,
-        });
-        let mut payload = outcome_header(true, trace_id, &phases.rows);
-        payload.extend_from_slice(&c.sko);
-        return payload;
+    // priority gate: under queue pressure on *this shard*, shed lower
+    // priorities before doing any work for them. A zero threshold means
+    // a zero queue cap, where connection-level admission control already
+    // rejects everything — the gate stays out of it.
+    if let Some(threshold) = shed_threshold(priority, state.queue_cap) {
+        if threshold > 0 && shard.queue.lock().unwrap().len() >= threshold {
+            shard.stats.record_shed(priority);
+            sekitei_obs::event("queue_shed", 1);
+            return encode_response(&Response::Rejected(format!(
+                "queue pressure: {} priority request shed",
+                match priority {
+                    Priority::High => "high",
+                    Priority::Normal => "normal",
+                    Priority::Low => "low",
+                }
+            )));
+        }
     }
 
-    let entry = state.tasks.lock().unwrap().get(key);
+    let key = content_hash(problem_bytes);
+    let stripe = state.stripe(key);
+    let mut phases = PhaseTimes::new(profile, queue_wait_us);
+
+    let cached = phases.timed("cache", || stripe.outcomes.lock().unwrap().get(key));
+    if let Some(c) = cached {
+        sekitei_obs::event("outcome_cache_hit", 1);
+        shard.stats.record_cache_hit();
+        return serve_cached_bytes(
+            shard,
+            &c,
+            ServedVia::Cache,
+            trace_id,
+            key,
+            queue_wait_us,
+            t_req,
+            &phases.rows,
+        );
+    }
+
+    // single-flight election: first request for a fingerprint leads, the
+    // rest join its waiter list and fan out the leader's bytes
+    let flight_entry = {
+        let mut inflight = stripe.inflight.lock().unwrap();
+        match inflight.get(&key) {
+            Some(f) => {
+                let f = Arc::clone(f);
+                drop(inflight);
+                sekitei_obs::event("coalesced_join", 1);
+                return match wait_for_leader(&f, &state.stop) {
+                    Some(Ok(c)) => {
+                        shard.stats.record_coalesced();
+                        serve_cached_bytes(
+                            shard,
+                            &c,
+                            ServedVia::Coalesced,
+                            trace_id,
+                            key,
+                            queue_wait_us,
+                            t_req,
+                            &phases.rows,
+                        )
+                    }
+                    Some(Err(msg)) => plan_error(shard, trace_id, key, queue_wait_us, t_req, &msg),
+                    None => plan_error(
+                        shard,
+                        trace_id,
+                        key,
+                        queue_wait_us,
+                        t_req,
+                        "server shutting down",
+                    ),
+                };
+            }
+            None => {
+                let f = Arc::new(InFlight::default());
+                inflight.insert(key, Arc::clone(&f));
+                f
+            }
+        }
+    };
+
+    // leader: run the compute path, then publish — success or error —
+    // *after* the cache insert, so a request arriving as the in-flight
+    // entry disappears finds the outcome in the stripe instead
+    match compute_plan(state, shard, &mut phases, key, problem_bytes, t_req) {
+        Ok(computed) => {
+            if computed.cacheable {
+                stripe.outcomes.lock().unwrap().insert(key, Arc::clone(&computed.cached));
+                if let Some(p) = &state.persist {
+                    p.append(
+                        key,
+                        computed.cached.class,
+                        computed.cached.rg_nodes,
+                        &computed.cached.sko,
+                    );
+                }
+            }
+            publish(stripe, &flight_entry, key, Ok(Arc::clone(&computed.cached)));
+            let class = computed.cached.class;
+            shard.stats.record_class(class);
+            let latency_us = t_req.elapsed().as_micros() as u64;
+            shard.stats.record_served(latency_us);
+            shard.flight.record(FlightRecord {
+                seq: 0,
+                trace_id,
+                fingerprint: key,
+                class,
+                tier: computed.tier,
+                queue_wait_us,
+                rg_nodes: computed.cached.rg_nodes,
+                latency_us,
+            });
+            let mut payload = outcome_header(ServedVia::Computed, trace_id, &phases.rows);
+            payload.extend_from_slice(&computed.cached.sko);
+            payload
+        }
+        Err(msg) => {
+            publish(stripe, &flight_entry, key, Err(msg.clone()));
+            plan_error(shard, trace_id, key, queue_wait_us, t_req, &msg)
+        }
+    }
+}
+
+/// Leader publication: set the slot, wake every joiner, then retire the
+/// in-flight entry. This order leaves no window where a joiner holds the
+/// entry but can never see a result.
+fn publish(
+    stripe: &CacheStripe,
+    f: &Arc<InFlight>,
+    key: u64,
+    result: Result<Arc<CachedOutcome>, String>,
+) {
+    *f.slot.lock().unwrap() = Some(result);
+    f.done.notify_all();
+    stripe.inflight.lock().unwrap().remove(&key);
+}
+
+/// Joiner wait: block until the leader publishes. Returns `None` only on
+/// shutdown (the leader always publishes, even its errors).
+fn wait_for_leader(f: &InFlight, stop: &AtomicBool) -> Option<Result<Arc<CachedOutcome>, String>> {
+    let mut slot = f.slot.lock().unwrap();
+    loop {
+        if let Some(result) = slot.as_ref() {
+            return Some(result.clone());
+        }
+        if stop.load(Ordering::SeqCst) {
+            return None;
+        }
+        let (guard, _) = f.done.wait_timeout(slot, Duration::from_millis(50)).unwrap();
+        slot = guard;
+    }
+}
+
+/// Answer a request from already-encoded outcome bytes (outcome-cache hit
+/// or coalesced fan-out): class partition records `Cached` — how the
+/// request was *answered* — while the flight record keeps the cached
+/// outcome's content class.
+#[allow(clippy::too_many_arguments)]
+fn serve_cached_bytes(
+    shard: &ShardState,
+    c: &CachedOutcome,
+    via: ServedVia,
+    trace_id: u64,
+    key: u64,
+    queue_wait_us: u64,
+    t_req: Instant,
+    phase_rows: &[WirePhase],
+) -> Vec<u8> {
+    shard.stats.record_class(OutcomeClass::Cached);
+    let latency_us = t_req.elapsed().as_micros() as u64;
+    shard.stats.record_served(latency_us);
+    shard.flight.record(FlightRecord {
+        seq: 0,
+        trace_id,
+        fingerprint: key,
+        class: c.class,
+        tier: CacheTier::Outcome,
+        queue_wait_us,
+        rg_nodes: c.rg_nodes,
+        latency_us,
+    });
+    let mut payload = outcome_header(via, trace_id, phase_rows);
+    payload.extend_from_slice(&c.sko);
+    payload
+}
+
+/// The leader's compute path: compiled tier → full decode + compile,
+/// then search under the configured deadline, sim-validating any
+/// degraded plan before it leaves the process.
+fn compute_plan(
+    state: &ServeState,
+    shard: &ShardState,
+    phases: &mut PhaseTimes,
+    key: u64,
+    problem_bytes: &[u8],
+    t_req: Instant,
+) -> Result<Computed, String> {
+    let stripe = state.stripe(key);
+    let entry = stripe.tasks.lock().unwrap().get(key);
     let tier = if entry.is_some() { CacheTier::Task } else { CacheTier::Full };
     let entry = match entry {
         Some(e) => {
             sekitei_obs::event("task_cache_hit", 1);
-            state.stats.record_task_cache_hit();
+            shard.stats.record_task_cache_hit();
             e
         }
         None => {
@@ -371,23 +721,13 @@ fn handle_plan(
                 let _g = sekitei_obs::span("decode");
                 sekitei_spec::decode(problem_bytes)
             });
-            let problem = match decoded {
-                Ok(p) => p,
-                Err(e) => {
-                    return plan_error(state, trace_id, key, queue_wait_us, t_req, &e.to_string())
-                }
-            };
+            let problem = decoded.map_err(|e| e.to_string())?;
             // compile() opens its own "compile" span under this request
-            let task = match phases.timed("compile", || compile(&problem)) {
-                Ok(t) => t,
-                Err(e) => {
-                    return plan_error(state, trace_id, key, queue_wait_us, t_req, &e.to_string())
-                }
-            };
+            let task = phases.timed("compile", || compile(&problem)).map_err(|e| e.to_string())?;
             sekitei_obs::event("cache_miss", 1);
-            state.stats.record_cache_miss();
+            shard.stats.record_cache_miss();
             let arc = Arc::new((problem, task));
-            state.tasks.lock().unwrap().insert(key, Arc::clone(&arc));
+            stripe.tasks.lock().unwrap().insert(key, Arc::clone(&arc));
             arc
         }
     };
@@ -412,7 +752,7 @@ fn handle_plan(
         // the incumbent already passed the full simulator inside the lane;
         // count degraded service when its sources bound at relaxed values
         if outcome.plan.as_ref().is_some_and(|p| p.degraded) {
-            state.stats.record_degraded();
+            shard.stats.record_degraded();
         }
     } else if outcome.plan.as_ref().is_some_and(|p| p.degraded) {
         let report = phases.timed("validate", || {
@@ -421,7 +761,7 @@ fn handle_plan(
             sekitei_sim::validate_plan(&entry.0, &outcome.task, plan)
         });
         if report.ok {
-            state.stats.record_degraded();
+            shard.stats.record_degraded();
         } else {
             // never ship a degraded plan the simulator rejects — fall back
             // to bound-only, which is still a useful answer. The gap and
@@ -436,46 +776,32 @@ fn handle_plan(
         encode_outcome(&wire).to_vec()
     });
     let class = OutcomeClass::of_outcome(&wire);
-    if !outcome.stats.deadline_hit {
-        // outcomes are deterministic unless the wall clock cut the search
-        // short: node- and reject-budget exhaustion is a pure function of
-        // the problem and config, so those outcomes cache and replay
-        // soundly — only deadline-tripped ones depend on timing luck
-        state.outcomes.lock().unwrap().insert(
-            key,
-            Arc::new(CachedOutcome { sko: sko.clone(), class, rg_nodes: wire.stats.rg_nodes }),
-        );
-    }
-    state.stats.record_class(class);
-    let latency_us = t_req.elapsed().as_micros() as u64;
-    state.stats.record_served(latency_us);
-    state.flight.record(FlightRecord {
-        seq: 0,
-        trace_id,
-        fingerprint: key,
-        class,
+    // outcomes are deterministic unless the wall clock cut the search
+    // short: node- and reject-budget exhaustion is a pure function of
+    // the problem and config, so those outcomes cache and replay
+    // soundly — only deadline-tripped ones depend on timing luck.
+    // (Deadline outcomes still fan out to coalesced joiners: they asked
+    // for the same problem *now*, and this is the answer "now" produced.)
+    let cacheable = !outcome.stats.deadline_hit;
+    Ok(Computed {
+        cached: Arc::new(CachedOutcome { sko, class, rg_nodes: wire.stats.rg_nodes }),
         tier,
-        queue_wait_us,
-        rg_nodes: wire.stats.rg_nodes,
-        latency_us,
-    });
-    let mut payload = outcome_header(false, trace_id, &phases.rows);
-    payload.extend_from_slice(&sko);
-    payload
+        cacheable,
+    })
 }
 
 /// A failed plan request still lands in the telemetry plane: one
 /// `class_error` count and one flight record, then the error response.
 fn plan_error(
-    state: &ServeState,
+    shard: &ShardState,
     trace_id: u64,
     fingerprint: u64,
     queue_wait_us: u64,
     t_req: Instant,
     msg: &str,
 ) -> Vec<u8> {
-    state.stats.record_class(OutcomeClass::Error);
-    state.flight.record(FlightRecord {
+    shard.stats.record_class(OutcomeClass::Error);
+    shard.flight.record(FlightRecord {
         seq: 0,
         trace_id,
         fingerprint,

@@ -11,7 +11,7 @@
 
 use crate::flight::OutcomeClass;
 use crate::protocol::StatsSnapshot;
-use sekitei_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use sekitei_obs::{Counter, Gauge, Histogram, MetricView, MetricsRegistry};
 use std::fmt;
 use std::sync::Arc;
 
@@ -24,7 +24,11 @@ pub struct ServerStats {
     task_cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     degraded: Arc<Counter>,
+    coalesced: Arc<Counter>,
     rejected: Arc<Counter>,
+    queue_shed: Arc<Counter>,
+    queue_shed_low: Arc<Counter>,
+    queue_shed_normal: Arc<Counter>,
     /// One counter per outcome class, indexed in the order the
     /// `StatsSnapshot` wire fields list them.
     class_exact: Arc<Counter>,
@@ -46,7 +50,11 @@ impl Default for ServerStats {
         let task_cache_hits = registry.counter("task_cache_hits");
         let cache_misses = registry.counter("cache_misses");
         let degraded = registry.counter("degraded");
+        let coalesced = registry.counter("coalesced");
         let rejected = registry.counter("rejected");
+        let queue_shed = registry.counter("queue_shed");
+        let queue_shed_low = registry.counter("queue_shed_low");
+        let queue_shed_normal = registry.counter("queue_shed_normal");
         let class_exact = registry.counter("class_exact");
         let class_degraded = registry.counter("class_degraded");
         let class_cached = registry.counter("class_cached");
@@ -63,7 +71,11 @@ impl Default for ServerStats {
             task_cache_hits,
             cache_misses,
             degraded,
+            coalesced,
             rejected,
+            queue_shed,
+            queue_shed_low,
+            queue_shed_normal,
             class_exact,
             class_degraded,
             class_cached,
@@ -121,6 +133,23 @@ impl ServerStats {
         self.rejected.inc();
     }
 
+    /// Count a request answered by joining another request's in-flight
+    /// search (single-flight fan-out).
+    pub fn record_coalesced(&self) {
+        self.coalesced.inc();
+    }
+
+    /// Count a plan request shed by the priority gate under queue
+    /// pressure; the per-priority counters live only in the registry.
+    pub fn record_shed(&self, priority: crate::protocol::Priority) {
+        self.queue_shed.inc();
+        match priority {
+            crate::protocol::Priority::Low => self.queue_shed_low.inc(),
+            crate::protocol::Priority::Normal => self.queue_shed_normal.inc(),
+            crate::protocol::Priority::High => {}
+        }
+    }
+
     /// Count one plan request's outcome class. Each request lands in
     /// exactly one class (`Cached` for outcome-cache hits, otherwise the
     /// content class of the computed outcome), so the six class counters
@@ -157,7 +186,9 @@ impl ServerStats {
             task_cache_hits: self.task_cache_hits.get(),
             cache_misses: self.cache_misses.get(),
             degraded: self.degraded.get(),
+            coalesced: self.coalesced.get(),
             rejected: self.rejected.get(),
+            queue_shed: self.queue_shed.get(),
             p50_us: self.latency_us.quantile(0.50),
             p95_us: self.latency_us.quantile(0.95),
             p99_us: self.latency_us.quantile(0.99),
@@ -171,6 +202,50 @@ impl ServerStats {
             class_deadline_hit: self.class_deadline_hit.get(),
             class_error: self.class_error.get(),
         }
+    }
+
+    /// Aggregate per-shard stats into one snapshot: counters sum,
+    /// histograms merge exactly (`Histogram::merge` adds bucket counts),
+    /// and percentiles are derived from the merged populations — the
+    /// result is identical to what a single global `ServerStats` would
+    /// have reported for the same traffic.
+    pub fn merged_snapshot(shards: &[Arc<ServerStats>]) -> StatsSnapshot {
+        let merged = ServerStats::default();
+        for s in shards {
+            merged.served.add(s.served.get());
+            merged.cache_hits.add(s.cache_hits.get());
+            merged.task_cache_hits.add(s.task_cache_hits.get());
+            merged.cache_misses.add(s.cache_misses.get());
+            merged.degraded.add(s.degraded.get());
+            merged.coalesced.add(s.coalesced.get());
+            merged.rejected.add(s.rejected.get());
+            merged.queue_shed.add(s.queue_shed.get());
+            merged.class_exact.add(s.class_exact.get());
+            merged.class_degraded.add(s.class_degraded.get());
+            merged.class_cached.add(s.class_cached.get());
+            merged.class_budget_exhausted.add(s.class_budget_exhausted.get());
+            merged.class_deadline_hit.add(s.class_deadline_hit.get());
+            merged.class_error.add(s.class_error.get());
+            merged.latency_us.merge(&s.latency_us);
+            merged.queue_wait_us.merge(&s.queue_wait_us);
+        }
+        merged.snapshot()
+    }
+
+    /// Aggregate per-shard registries into one scrape-ready registry:
+    /// same-named counters sum, gauges sum (queue depth across shards is
+    /// the total backlog), histograms merge. Walks each source registry
+    /// under its own lock while writing into a fresh one.
+    pub fn merged_registry(shards: &[Arc<ServerStats>]) -> MetricsRegistry {
+        let out = MetricsRegistry::new();
+        for s in shards {
+            s.registry.for_each(|name, view| match view {
+                MetricView::Counter(v) => out.counter(name).add(v),
+                MetricView::Gauge(v) => out.gauge(name).add(v),
+                MetricView::Histogram(h) => out.histogram(name).merge(h),
+            });
+        }
+        out
     }
 }
 
@@ -283,6 +358,55 @@ mod tests {
             + snap.class_deadline_hit
             + snap.class_error;
         assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn shed_and_coalesced_counters_surface_everywhere() {
+        use crate::protocol::Priority;
+        let s = ServerStats::default();
+        s.record_coalesced();
+        s.record_coalesced();
+        s.record_shed(Priority::Low);
+        s.record_shed(Priority::Normal);
+        s.record_shed(Priority::Low);
+        let snap = s.snapshot();
+        assert_eq!(snap.coalesced, 2);
+        assert_eq!(snap.queue_shed, 3);
+        let parsed = sekitei_obs::parse_exposition(&sekitei_obs::expose(s.registry())).unwrap();
+        assert_eq!(parsed.counters["coalesced"], 2);
+        assert_eq!(parsed.counters["queue_shed"], 3);
+        assert_eq!(parsed.counters["queue_shed_low"], 2);
+        assert_eq!(parsed.counters["queue_shed_normal"], 1);
+    }
+
+    #[test]
+    fn merged_snapshot_equals_single_stats_over_same_traffic() {
+        let a = Arc::new(ServerStats::default());
+        let b = Arc::new(ServerStats::default());
+        let single = ServerStats::default();
+        for (i, target) in [(1u64, &a), (2, &b), (3, &a), (4, &b), (5, &a)] {
+            target.record_served(i * 100);
+            target.record_class(OutcomeClass::Exact);
+            single.record_served(i * 100);
+            single.record_class(OutcomeClass::Exact);
+        }
+        a.record_queue_wait(10);
+        b.record_queue_wait(90);
+        single.record_queue_wait(10);
+        single.record_queue_wait(90);
+        b.record_cache_hit();
+        single.record_cache_hit();
+        let merged = ServerStats::merged_snapshot(&[a.clone(), b.clone()]);
+        assert_eq!(merged, single.snapshot());
+        assert_eq!(merged.served, 5);
+        assert_eq!(merged.cache_hits, 1);
+
+        // the merged registry view agrees with the merged snapshot
+        let reg = ServerStats::merged_registry(&[a, b]);
+        let parsed = sekitei_obs::parse_exposition(&sekitei_obs::expose(&reg)).unwrap();
+        assert_eq!(parsed.counters["served"], 5);
+        assert_eq!(parsed.histograms["latency_us"].count, 5);
+        assert_eq!(parsed.histograms["queue_wait_us"].count, 2);
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use sekitei_model::LevelScenario;
 use sekitei_planner::PlannerConfig;
 use sekitei_server::{
-    request_plan, request_shutdown, request_stats, ClientError, Connection, Server, ServerConfig,
-    ShutdownHandle,
+    request_plan, request_shutdown, request_stats, ClientError, Connection, Priority, ServedVia,
+    Server, ServerConfig, ShutdownHandle,
 };
 use sekitei_topology::scenarios;
 use std::net::SocketAddr;
@@ -28,8 +28,8 @@ fn small_cfg() -> ServerConfig {
 #[test]
 fn tiny_b_roundtrips_to_a_seven_action_plan() {
     let (addr, _, join) = start(small_cfg());
-    let (outcome, cache_hit) = request_plan(addr, &scenarios::tiny(LevelScenario::B)).unwrap();
-    assert!(!cache_hit);
+    let (outcome, via) = request_plan(addr, &scenarios::tiny(LevelScenario::B)).unwrap();
+    assert_eq!(via, ServedVia::Computed);
     let plan = outcome.plan.expect("Tiny/B is solvable");
     assert_eq!(plan.steps.len(), 7);
     assert!(!plan.degraded);
@@ -44,10 +44,10 @@ fn warm_repeat_is_a_cache_hit_with_identical_outcome() {
     let (addr, _, join) = start(small_cfg());
     let mut conn = Connection::connect(addr).unwrap();
     let p = scenarios::tiny(LevelScenario::C);
-    let (cold, hit_cold) = conn.plan(&p).unwrap();
-    let (warm, hit_warm) = conn.plan(&p).unwrap();
-    assert!(!hit_cold);
-    assert!(hit_warm, "identical bytes must hit the outcome tier");
+    let (cold, via_cold) = conn.plan(&p).unwrap();
+    let (warm, via_warm) = conn.plan(&p).unwrap();
+    assert_eq!(via_cold, ServedVia::Computed);
+    assert_eq!(via_warm, ServedVia::Cache, "identical bytes must hit the outcome tier");
     assert_eq!(cold, warm, "cached outcome must be byte-identical");
     let stats = conn.stats().unwrap();
     assert_eq!(stats.served, 2);
@@ -97,12 +97,12 @@ fn budget_exhausted_outcome_serves_warm_from_cache() {
     let (addr, _, join) = start(cfg);
     let mut conn = Connection::connect(addr).unwrap();
     let p = scenarios::small(LevelScenario::A);
-    let (cold, hit_cold) = conn.plan(&p).unwrap();
-    assert!(!hit_cold);
+    let (cold, via_cold) = conn.plan(&p).unwrap();
+    assert_eq!(via_cold, ServedVia::Computed);
     assert!(cold.stats.budget_exhausted, "Small/A must exhaust a 500-node budget");
     assert!(!cold.stats.deadline_hit);
-    let (warm, hit_warm) = conn.plan(&p).unwrap();
-    assert!(hit_warm, "budget-exhausted outcomes must hit the cache");
+    let (warm, via_warm) = conn.plan(&p).unwrap();
+    assert!(via_warm.is_warm(), "budget-exhausted outcomes must hit the cache");
     assert_eq!(cold, warm, "cached outcome must be byte-identical");
     request_shutdown(addr).unwrap();
     join.join().unwrap().unwrap();
@@ -124,11 +124,11 @@ fn deadline_tripped_outcome_is_never_cached() {
     let (addr, _, join) = start(cfg);
     let mut conn = Connection::connect(addr).unwrap();
     let p = scenarios::large(LevelScenario::A);
-    let (cold, hit_cold) = conn.plan(&p).unwrap();
-    assert!(!hit_cold);
+    let (cold, via_cold) = conn.plan(&p).unwrap();
+    assert_eq!(via_cold, ServedVia::Computed);
     assert!(cold.stats.deadline_hit, "Large/A cannot finish in 1ms");
-    let (_, hit_warm) = conn.plan(&p).unwrap();
-    assert!(!hit_warm, "deadline-tripped outcomes must never replay from cache");
+    let (_, via_warm) = conn.plan(&p).unwrap();
+    assert!(!via_warm.is_warm(), "deadline-tripped outcomes must never replay from cache");
     request_shutdown(addr).unwrap();
     join.join().unwrap().unwrap();
 }
@@ -196,5 +196,186 @@ fn shutdown_handle_stops_an_idle_server() {
     assert!(!handle.is_shutdown());
     handle.shutdown();
     assert!(handle.is_shutdown());
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_onto_one_search() {
+    // Large/A under a 750ms deadline holds the leader in the search long
+    // enough for the other three connections to join its waiter list:
+    // exactly one search runs (one cache miss), three answers coalesce
+    let cfg = ServerConfig {
+        workers: 4,
+        planner: PlannerConfig {
+            deadline: Some(Duration::from_millis(750)),
+            degrade: false,
+            ..PlannerConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let (addr, _, join) = start(cfg);
+    let p = scenarios::large(LevelScenario::A);
+    let barrier = std::sync::Barrier::new(4);
+    let vias: Vec<ServedVia> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (p, barrier) = (&p, &barrier);
+                s.spawn(move || {
+                    let mut conn = Connection::connect(addr).unwrap();
+                    barrier.wait();
+                    let (_, via) = conn.plan(p).unwrap();
+                    via
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let coalesced = vias.iter().filter(|v| **v == ServedVia::Coalesced).count();
+    let computed = vias.iter().filter(|v| **v == ServedVia::Computed).count();
+    assert_eq!(computed, 1, "exactly one leader computes: {vias:?}");
+    assert_eq!(coalesced, 3, "the other three coalesce: {vias:?}");
+    let stats = request_stats(addr).unwrap();
+    assert_eq!(stats.cache_misses, 1, "one search for four requests");
+    assert_eq!(stats.coalesced, 3);
+    assert_eq!(stats.served, 4);
+    request_shutdown(addr).unwrap();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn low_priority_sheds_first_under_queue_pressure() {
+    // one worker, queue cap 4 → the Low shed threshold is 2. The worker
+    // is busy with the active connection, so two extra idle connections
+    // sit in the queue; once the depth gauge reads 2, a Low request on
+    // the active connection is shed while High and Normal still serve.
+    let (addr, _, join) = start(ServerConfig { workers: 1, queue_cap: 4, ..small_cfg() });
+    let mut active = Connection::connect(addr).unwrap();
+    // a request proves the worker owns this connection before the idlers
+    let (_, via) = active.plan(&scenarios::tiny(LevelScenario::B)).unwrap();
+    assert_eq!(via, ServedVia::Computed);
+
+    let _idle_a = Connection::connect(addr).unwrap();
+    let _idle_b = Connection::connect(addr).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let parsed = sekitei_obs::parse_exposition(&active.metrics().unwrap()).unwrap();
+        if parsed.gauges.get("queue_depth").copied().unwrap_or(0) >= 2 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "queue never reached depth 2");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let bytes = sekitei_spec::encode(&scenarios::tiny(LevelScenario::C));
+    match active.plan_bytes_traced(&bytes, 0, false, Priority::Low) {
+        Err(ClientError::Rejected(msg)) => assert!(msg.contains("shed"), "msg: {msg}"),
+        other => panic!("low priority must shed under pressure, got {other:?}"),
+    }
+    // the same request at High (never shed) and Normal (threshold 4 > 2)
+    // priority still serves on the same connection
+    active.plan_bytes_traced(&bytes, 0, false, Priority::High).unwrap();
+    active.plan_bytes_traced(&bytes, 0, false, Priority::Normal).unwrap();
+
+    let stats = active.stats().unwrap();
+    assert_eq!(stats.queue_shed, 1, "stats: {stats}");
+    let parsed = sekitei_obs::parse_exposition(&active.metrics().unwrap()).unwrap();
+    assert_eq!(parsed.counters.get("queue_shed_low").copied(), Some(1));
+    assert_eq!(parsed.counters.get("queue_shed_normal").copied(), Some(0));
+    drop(active);
+    request_shutdown(addr).unwrap();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn persisted_cache_survives_restart_as_warm_hits() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("sekitei_serve_persist_{}.sks", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let cfg = ServerConfig { cache_file: Some(path.clone()), ..small_cfg() };
+
+    let (addr, _, join) = start(cfg.clone());
+    let p = scenarios::tiny(LevelScenario::C);
+    let (cold, via) = request_plan(addr, &p).unwrap();
+    assert_eq!(via, ServedVia::Computed);
+    request_shutdown(addr).unwrap();
+    join.join().unwrap().unwrap();
+
+    // a brand-new process-equivalent: same cache file, same config — the
+    // very first request must already be warm
+    let (addr, _, join) = start(cfg);
+    let mut conn = Connection::connect(addr).unwrap();
+    let (warm, via) = conn.plan(&p).unwrap();
+    assert_eq!(via, ServedVia::Cache, "restart must serve from the persisted cache");
+    assert_eq!(cold, warm, "replayed outcome must be byte-identical");
+    let stats = conn.stats().unwrap();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 0, "no recompute after restart");
+    drop(conn);
+    request_shutdown(addr).unwrap();
+    join.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn stale_cache_file_cold_starts_after_config_change() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("sekitei_serve_stale_{}.sks", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let (addr, _, join) = start(ServerConfig { cache_file: Some(path.clone()), ..small_cfg() });
+    let p = scenarios::tiny(LevelScenario::D);
+    request_plan(addr, &p).unwrap();
+    request_shutdown(addr).unwrap();
+    join.join().unwrap().unwrap();
+
+    // restart with a different planner config: the fingerprint no longer
+    // matches, so nothing may replay — a stale answer would be wrong
+    let cfg = ServerConfig {
+        cache_file: Some(path.clone()),
+        planner: PlannerConfig { max_nodes: 77_777, ..PlannerConfig::default() },
+        ..small_cfg()
+    };
+    let (addr, _, join) = start(cfg);
+    let mut conn = Connection::connect(addr).unwrap();
+    let (_, via) = conn.plan(&p).unwrap();
+    assert_eq!(via, ServedVia::Computed, "config change must invalidate the snapshot");
+    let stats = conn.stats().unwrap();
+    assert_eq!(stats.cache_misses, 1);
+    drop(conn);
+    request_shutdown(addr).unwrap();
+    join.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn sharded_server_aggregates_stats_and_flight_across_shards() {
+    let (addr, _, join) = start(ServerConfig { workers: 2, shards: 2, ..ServerConfig::default() });
+    // one-shot requests: each opens its own connection, so the acceptor
+    // round-robins them across both shards
+    let solvable = [LevelScenario::B, LevelScenario::C, LevelScenario::D, LevelScenario::E];
+    for sc in solvable {
+        let (outcome, _) = request_plan(addr, &scenarios::tiny(sc)).unwrap();
+        assert!(outcome.plan.is_some());
+    }
+    // repeats hit whichever stripe owns the fingerprint, regardless of
+    // which shard's queue the new connection landed in
+    for sc in solvable {
+        let (_, via) = request_plan(addr, &scenarios::tiny(sc)).unwrap();
+        assert_eq!(via, ServedVia::Cache, "stripe ownership is fingerprint-based");
+    }
+    let stats = request_stats(addr).unwrap();
+    assert_eq!(stats.served, 8, "merged stats cover both shards: {stats}");
+    assert_eq!(stats.cache_hits, 4);
+    assert_eq!(stats.cache_misses, 4);
+
+    let dump = sekitei_server::request_flight_recorder(addr).unwrap();
+    let parsed = sekitei_server::parse_dump(&dump).unwrap();
+    assert_eq!(parsed.records.len(), 8, "merged flight dump covers both shards");
+    let seqs: Vec<u64> = parsed.records.iter().map(|r| r.seq).collect();
+    let mut sorted = seqs.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(seqs, sorted, "records interleave in global sequence order");
+    request_shutdown(addr).unwrap();
     join.join().unwrap().unwrap();
 }

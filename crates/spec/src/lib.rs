@@ -52,6 +52,8 @@ pub use error::SpecError;
 pub use parser::{parse_expr, parse_problem};
 pub use printer::print_problem;
 pub use wire::{
-    decode, decode_outcome, decode_phases, encode, encode_outcome, encode_phases, WireOutcome,
-    WirePhase, WirePlan, WireStats, WireStep, WireStepKind,
+    decode, decode_outcome, decode_phases, decode_snapshot_header, decode_snapshot_record, encode,
+    encode_outcome, encode_phases, encode_snapshot_header, encode_snapshot_record, WireOutcome,
+    WirePhase, WirePlan, WireSnapshotRecord, WireStats, WireStep, WireStepKind,
+    SNAPSHOT_HEADER_LEN,
 };

@@ -615,6 +615,129 @@ pub fn decode_phases(mut buf: &[u8]) -> Result<Vec<WirePhase>, SpecError> {
     Ok(phases)
 }
 
+// --------------------------------------------------------- cache snapshots
+
+/// Magic header of the outcome-cache snapshot file format.
+const SNAPSHOT_MAGIC: &[u8; 4] = b"SKS1";
+
+/// Current snapshot format version. Bumping this invalidates every file
+/// written by an older binary (loaders cold-start instead of guessing).
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// Byte length of a snapshot file header: magic + version + fingerprint.
+pub const SNAPSHOT_HEADER_LEN: usize = 4 + 4 + 8;
+
+/// Hard cap on one cached outcome payload; mirrors the certificate cap
+/// and keeps a corrupt length field from allocating gigabytes.
+const MAX_SNAPSHOT_PAYLOAD: usize = 1 << 22;
+
+/// One record of an append-only outcome-cache snapshot: the content
+/// fingerprint of the problem, the outcome class (as its stable wire
+/// ordinal), the reachability-graph node count, and the encoded `SKO1`
+/// bytes exactly as they would be served from the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSnapshotRecord {
+    /// Content hash of the problem bytes (the cache key).
+    pub key: u64,
+    /// Outcome-class ordinal (0..=5, matching the serving layer's
+    /// six-way class partition).
+    pub class: u8,
+    /// Reachability-graph nodes expanded when the outcome was computed.
+    pub rg_nodes: u64,
+    /// Encoded `SKO1` outcome bytes.
+    pub payload: Vec<u8>,
+}
+
+/// FNV-1a over a byte slice; the per-record checksum primitive. Kept
+/// private — callers only see it through encode/decode.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encode a snapshot file header binding the file to one server build:
+/// `fingerprint` hashes the planner configuration and crate version, so
+/// a cache written under different search settings is never replayed.
+pub fn encode_snapshot_header(fingerprint: u64) -> Bytes {
+    let mut b = BytesMut::with_capacity(SNAPSHOT_HEADER_LEN);
+    b.put_slice(SNAPSHOT_MAGIC);
+    b.put_u32(SNAPSHOT_VERSION);
+    b.put_u64(fingerprint);
+    b.freeze()
+}
+
+/// Decode a snapshot file header, returning the embedded configuration
+/// fingerprint. Strict: bad magic or an unknown version is an error
+/// (loaders treat either as a cold start).
+pub fn decode_snapshot_header(buf: &[u8]) -> Result<u64, SpecError> {
+    if buf.len() < SNAPSHOT_HEADER_LEN {
+        return Err(SpecError::wire("snapshot header truncated"));
+    }
+    let mut b = &buf[..SNAPSHOT_HEADER_LEN];
+    let mut magic = [0u8; 4];
+    take(&mut b, &mut magic)?;
+    if &magic != SNAPSHOT_MAGIC {
+        return Err(SpecError::wire("bad snapshot magic"));
+    }
+    let version = get_u32(&mut b)?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SpecError::wire(format!("unsupported snapshot version {version}")));
+    }
+    get_u64(&mut b)
+}
+
+/// Encode one snapshot record with a trailing FNV-1a checksum over the
+/// record body, so torn appends and bit flips are detected per record.
+pub fn encode_snapshot_record(r: &WireSnapshotRecord) -> Bytes {
+    let mut b = BytesMut::with_capacity(29 + r.payload.len() + 8);
+    b.put_u64(r.key);
+    b.put_u8(r.class);
+    b.put_u64(r.rg_nodes);
+    b.put_u32(r.payload.len() as u32);
+    b.put_slice(&r.payload);
+    let sum = fnv1a(&b);
+    b.put_u64(sum);
+    b.freeze()
+}
+
+/// Decode one snapshot record from the front of `buf`, returning the
+/// record and the number of bytes consumed so callers can walk an
+/// append-only file record by record. Strict per record: a bad class,
+/// an oversized or non-`SKO1` payload, or a checksum mismatch is an
+/// error — the loader treats the first failure as the end of the valid
+/// prefix.
+pub fn decode_snapshot_record(buf: &[u8]) -> Result<(WireSnapshotRecord, usize), SpecError> {
+    let b = &mut &buf[..];
+    let key = get_u64(b)?;
+    let class = get_u8(b)?;
+    if class > 5 {
+        return Err(SpecError::wire(format!("bad snapshot class {class}")));
+    }
+    let rg_nodes = get_u64(b)?;
+    let len = get_u32(b)? as usize;
+    if len > MAX_SNAPSHOT_PAYLOAD {
+        return Err(SpecError::wire(format!("snapshot payload too large ({len} bytes)")));
+    }
+    if b.remaining() < len {
+        return Err(SpecError::wire("snapshot payload truncated"));
+    }
+    let payload = b[..len].to_vec();
+    if payload.len() < 4 || &payload[..4] != OUTCOME_MAGIC {
+        return Err(SpecError::wire("snapshot payload is not an SKO1 outcome"));
+    }
+    *b = &b[len..];
+    let body_len = 8 + 1 + 8 + 4 + len;
+    let stored = get_u64(b)?;
+    if stored != fnv1a(&buf[..body_len]) {
+        return Err(SpecError::wire("snapshot record checksum mismatch"));
+    }
+    Ok((WireSnapshotRecord { key, class, rg_nodes, payload }, body_len + 8))
+}
+
 // ------------------------------------------------------------- primitives
 
 fn put_str(b: &mut BytesMut, s: &str) {
@@ -985,6 +1108,89 @@ mod tests {
             let mut corrupt = bytes.clone();
             corrupt[i] ^= 0xFF;
             let _ = decode(&corrupt);
+        }
+    }
+
+    fn sample_snapshot_record(seed: u64) -> WireSnapshotRecord {
+        WireSnapshotRecord {
+            key: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            class: (seed % 6) as u8,
+            rg_nodes: seed * 31,
+            payload: encode_outcome(&sample_outcome(seed % 2 == 0)).to_vec(),
+        }
+    }
+
+    #[test]
+    fn snapshot_header_roundtrip_and_rejections() {
+        let bytes = encode_snapshot_header(0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(bytes.len(), SNAPSHOT_HEADER_LEN);
+        assert_eq!(decode_snapshot_header(&bytes).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot_header(&bytes[..cut]).is_err());
+        }
+        let mut bad_magic = bytes.to_vec();
+        bad_magic[0] = b'X';
+        assert!(decode_snapshot_header(&bad_magic).is_err());
+        let mut bad_version = bytes.to_vec();
+        bad_version[7] = 99;
+        assert!(decode_snapshot_header(&bad_version).is_err());
+    }
+
+    #[test]
+    fn snapshot_record_roundtrip_reports_consumed_length() {
+        let records: Vec<_> = (1..=4).map(sample_snapshot_record).collect();
+        let mut file = Vec::new();
+        for r in &records {
+            file.extend_from_slice(&encode_snapshot_record(r));
+        }
+        let mut rest = &file[..];
+        for want in &records {
+            let (got, used) = decode_snapshot_record(rest).unwrap();
+            assert_eq!(&got, want);
+            rest = &rest[used..];
+        }
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn snapshot_record_rejects_truncation_and_bad_fields() {
+        let bytes = encode_snapshot_record(&sample_snapshot_record(3));
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot_record(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+        }
+        // class out of range
+        let mut bad = bytes.to_vec();
+        bad[8] = 6;
+        assert!(decode_snapshot_record(&bad).is_err());
+        // payload that is not SKO1
+        let not_sko = WireSnapshotRecord { key: 1, class: 0, rg_nodes: 0, payload: vec![0; 16] };
+        assert!(decode_snapshot_record(&encode_snapshot_record(&not_sko)).is_err());
+    }
+
+    #[test]
+    fn snapshot_record_seeded_corruption_never_passes_checksum() {
+        // xorshift-style seeded sweep: flip one byte at a pseudo-random
+        // offset each round; every corruption must be rejected, never
+        // panic, and never decode to a different record silently.
+        let r = sample_snapshot_record(7);
+        let bytes = encode_snapshot_record(&r).to_vec();
+        let mut state: u64 = 0x1234_5678_9ABC_DEF0;
+        for _ in 0..256 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let pos = (state % bytes.len() as u64) as usize;
+            let bit = 1u8 << (state >> 32 & 7);
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= bit;
+            match decode_snapshot_record(&corrupt) {
+                Err(_) => {}
+                Ok((got, used)) => {
+                    // only reachable if the flip cancelled out, which a
+                    // single-bit flip cannot do
+                    panic!("corrupt record decoded: {got:?} ({used} bytes)");
+                }
+            }
         }
     }
 }
